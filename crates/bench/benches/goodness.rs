@@ -1,0 +1,51 @@
+//! Host-time cost of the `goodness()` heuristic and the ELSC table index.
+//!
+//! "While the goodness() function by itself is very simple, executes
+//! quickly and considers the most appropriate factors ... it is expensive
+//! to recalculate goodness() for every task on every invocation" (§3.3.2)
+//! — the per-call cost is tiny; the baseline's problem is the
+//! multiplication by n.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use elsc::index_for;
+use elsc_ktask::{MmId, TaskSpec, TaskTable};
+use elsc_sched_api::goodness;
+
+fn bench_goodness(c: &mut Criterion) {
+    let mut tasks = TaskTable::new();
+    let tid = tasks.spawn(&TaskSpec::named("t").mm(MmId(3)));
+    tasks.task_mut(tid).counter = 11;
+    let task = tasks.task(tid);
+    c.bench_function("goodness_eval", |b| {
+        b.iter(|| black_box(goodness(black_box(task), black_box(0), black_box(MmId(3)))))
+    });
+}
+
+fn bench_index_for(c: &mut Criterion) {
+    let mut tasks = TaskTable::new();
+    let tid = tasks.spawn(&TaskSpec::named("t"));
+    tasks.task_mut(tid).counter = 17;
+    let task = tasks.task(tid);
+    c.bench_function("elsc_index_for", |b| {
+        b.iter(|| black_box(index_for(black_box(task))))
+    });
+}
+
+fn bench_recalc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recalculate_counters");
+    for &n in &[100usize, 2000] {
+        group.bench_function(format!("{n}_tasks"), |b| {
+            let mut tasks = TaskTable::new();
+            for _ in 0..n {
+                tasks.spawn(&TaskSpec::named("t"));
+            }
+            b.iter(|| black_box(elsc_ktask::recalc::recalculate_counters(&mut tasks)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_goodness, bench_index_for, bench_recalc);
+criterion_main!(benches);

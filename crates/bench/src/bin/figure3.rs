@@ -1,0 +1,47 @@
+//! Figure 3: VolanoMark message throughput vs number of rooms.
+//!
+//! The paper plots two charts: UP and 1P on one (3000–4600 msg/s range),
+//! and 4P on another (1700–6200 msg/s). The shapes to reproduce:
+//!
+//! * elsc-up ≥ reg-up everywhere, with reg-up falling visibly as rooms
+//!   grow and elsc-up staying nearly flat;
+//! * 1P below UP for both (SMP build overhead);
+//! * on 4P the gap is dramatic: reg collapses with rooms while elsc
+//!   holds most of its throughput.
+//!
+//! We also print 2P (used by Figure 4).
+
+use elsc_bench::{header, volano_cfg, volano_throughput, ConfigKind, SchedKind};
+
+/// The paper's room sweep.
+const ROOMS: [usize; 4] = [5, 10, 15, 20];
+
+fn main() {
+    header(
+        "Figure 3 — VolanoMark throughput (messages/second)",
+        "Molloy & Honeyman 2001, Figure 3",
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10}",
+        "series", "rooms=5", "10", "15", "20"
+    );
+    for shape in ConfigKind::ALL {
+        for kind in [SchedKind::Elsc, SchedKind::Reg] {
+            let mut cells = Vec::new();
+            for rooms in ROOMS {
+                let cfg = volano_cfg(rooms);
+                cells.push(volano_throughput(shape, kind, &cfg));
+            }
+            println!(
+                "{:<10} {:>8.0} {:>10.0} {:>10.0} {:>10.0}",
+                format!("{}-{}", kind.label(), shape.label().to_lowercase()),
+                cells[0],
+                cells[1],
+                cells[2],
+                cells[3]
+            );
+        }
+    }
+    println!("\npaper shape: elsc above reg on every configuration; reg degrades");
+    println!("with rooms (24% from 5 to 25 rooms per IBM); 4P shows the largest gap.");
+}

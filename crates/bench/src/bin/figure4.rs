@@ -1,0 +1,32 @@
+//! Figure 4: scaling with rooms — 20-room throughput divided by 5-room
+//! throughput, per configuration.
+//!
+//! "As the figure indicates, the ELSC scheduler clearly scales to more
+//! threads better than the current scheduler." The bars hover near 1.0
+//! for elsc and noticeably below for reg on every processor count.
+
+use elsc_bench::{header, volano_cfg, volano_throughput, ConfigKind, SchedKind};
+
+fn main() {
+    header(
+        "Figure 4 — scaling factor (20-room / 5-room throughput)",
+        "Molloy & Honeyman 2001, Figure 4",
+    );
+    println!("{:<8} {:>10} {:>10}", "config", "elsc", "reg");
+    for shape in ConfigKind::ALL {
+        let mut factors = Vec::new();
+        for kind in [SchedKind::Elsc, SchedKind::Reg] {
+            let t5 = volano_throughput(shape, kind, &volano_cfg(5));
+            let t20 = volano_throughput(shape, kind, &volano_cfg(20));
+            factors.push(t20 / t5);
+        }
+        println!(
+            "{:<8} {:>10.3} {:>10.3}",
+            shape.label(),
+            factors[0],
+            factors[1]
+        );
+    }
+    println!("\npaper shape: elsc bars near 1.0 on every config; reg clearly lower,");
+    println!("worst on the larger SMP configurations.");
+}

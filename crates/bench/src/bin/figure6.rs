@@ -1,0 +1,48 @@
+//! Figure 6: where ELSC pays — more `schedule()` entries on SMP and more
+//! tasks placed on a processor different from their last one.
+//!
+//! "One of the adverse effects of a table-based scheme is an increase in
+//! the number of calls to schedule() when running on a machine with more
+//! than one processor ... there is a strong correlation with how many
+//! times a task is selected without having the processor affinity bonus."
+
+use elsc_bench::{header, volano_cfg, ConfigKind, SchedKind};
+use elsc_workloads::volanomark;
+
+fn main() {
+    header(
+        "Figure 6 — schedule() calls (thousands) and cross-CPU placements",
+        "Molloy & Honeyman 2001, Figure 6",
+    );
+    let cfg = volano_cfg(10);
+    println!(
+        "workload: VolanoMark, {} rooms ({} threads, the paper's 10-room run)\n",
+        cfg.rooms,
+        cfg.total_threads()
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "config", "calls(k) elsc", "calls(k) reg", "new-cpu elsc", "new-cpu reg"
+    );
+    for shape in ConfigKind::ALL {
+        let mut calls = Vec::new();
+        let mut newcpu = Vec::new();
+        for kind in [SchedKind::Elsc, SchedKind::Reg] {
+            let report = volanomark::run(shape.machine(), kind.build(shape.nr_cpus()), &cfg);
+            let total = report.stats.total();
+            calls.push(total.sched_calls as f64 / 1_000.0);
+            newcpu.push(total.picked_new_cpu);
+        }
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>14} {:>14}",
+            shape.label(),
+            calls[0],
+            calls[1],
+            newcpu[0],
+            newcpu[1]
+        );
+    }
+    println!("\npaper shape: similar call counts on UP/1P, elsc somewhat higher on");
+    println!("2P/4P; elsc schedules tasks onto a new processor far more often than");
+    println!("reg on the multiprocessor configs (the cost of bounded search).");
+}

@@ -1,0 +1,50 @@
+//! Table 2: time to complete a kernel compile, {Current, ELSC} × {UP, 2P}.
+//!
+//! Paper values (IBM Netfinity 5500, 2.3.99-pre4, `make -j4 bzImage`):
+//!
+//! ```text
+//! Current - UP   6:41.41
+//! ELSC    - UP   6:38.68
+//! Current - 2P   3:40.38
+//! ELSC    - 2P   3:40.36
+//! ```
+//!
+//! The claim to reproduce is the *shape*: the schedulers tie (light load),
+//! with ELSC holding a small advantage on UP from its search-loop
+//! shortcut, and a dead heat on 2P.
+
+use elsc_bench::{header, ConfigKind, SchedKind};
+use elsc_workloads::kbuild::{self, KbuildConfig};
+
+fn mmss(secs: f64) -> String {
+    let m = (secs / 60.0).floor() as u64;
+    let s = secs - m as f64 * 60.0;
+    format!("{m}:{s:05.2}")
+}
+
+fn main() {
+    header(
+        "Table 2 — kernel compile wall time",
+        "Molloy & Honeyman 2001, Table 2",
+    );
+    let cfg = KbuildConfig::default();
+    println!(
+        "workload: make -j{} over {} translation units\n",
+        cfg.jobs, cfg.translation_units
+    );
+    println!("{:<14} {:>12} {:>12}", "scheduler", "time", "seconds");
+    for shape in [ConfigKind::Up, ConfigKind::Smp(2)] {
+        for kind in [SchedKind::Reg, SchedKind::Elsc] {
+            let report = kbuild::run(shape.machine(), kind.build(shape.nr_cpus()), &cfg);
+            let secs = report.elapsed_secs();
+            println!(
+                "{:<14} {:>12} {:>12.3}",
+                format!("{} - {}", kind.label(), shape.label()),
+                mmss(secs),
+                secs
+            );
+        }
+    }
+    println!("\npaper: Current-UP 6:41.41, ELSC-UP 6:38.68, Current-2P 3:40.38, ELSC-2P 3:40.36");
+    println!("expected shape: near-tie everywhere; small ELSC edge on UP.");
+}

@@ -1,0 +1,222 @@
+//! Shared harness for the experiment binaries and microbenchmarks.
+//!
+//! One binary per paper artifact (see `DESIGN.md` §5):
+//!
+//! | target | artifact |
+//! |---|---|
+//! | `table2` | Table 2 — kernel-compile wall time |
+//! | `figure2` | Figure 2 — recalculation frequency |
+//! | `figure3` | Figure 3 — VolanoMark throughput vs rooms |
+//! | `figure4` | Figure 4 — 20-room/5-room scaling factor |
+//! | `figure5` | Figure 5 — cycles and tasks examined per `schedule()` |
+//! | `figure6` | Figure 6 — `schedule()` calls and cross-CPU placements |
+//! | `kernel_share` | §4 claim — scheduler share of kernel time |
+//!
+//! Criterion benches (`cargo bench`) measure the *real* (host) cost of the
+//! scheduler algorithms themselves: `schedule()` latency vs run-queue
+//! length, run-queue operation costs, `goodness()` evaluation, and an
+//! ablation across all four scheduler designs.
+#![warn(missing_docs)]
+
+use elsc::ElscScheduler;
+use elsc_machine::MachineConfig;
+use elsc_sched_api::Scheduler;
+use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_linux::LinuxScheduler;
+use elsc_workloads::VolanoConfig;
+
+pub mod rig;
+pub mod summary;
+
+/// Machine shapes from the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigKind {
+    /// Non-SMP kernel build on one processor.
+    Up,
+    /// SMP kernel build on `n` processors.
+    Smp(usize),
+}
+
+impl ConfigKind {
+    /// The four configurations of Figures 2–6.
+    pub const ALL: [ConfigKind; 4] = [
+        ConfigKind::Up,
+        ConfigKind::Smp(1),
+        ConfigKind::Smp(2),
+        ConfigKind::Smp(4),
+    ];
+
+    /// The machine configuration for this shape.
+    pub fn machine(self) -> MachineConfig {
+        match self {
+            ConfigKind::Up => MachineConfig::up(),
+            ConfigKind::Smp(n) => MachineConfig::smp(n),
+        }
+        .with_max_secs(20_000.0)
+    }
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigKind::Up => "UP",
+            ConfigKind::Smp(1) => "1P",
+            ConfigKind::Smp(2) => "2P",
+            ConfigKind::Smp(4) => "4P",
+            ConfigKind::Smp(_) => "nP",
+        }
+    }
+
+    /// Number of processors.
+    pub fn nr_cpus(self) -> usize {
+        match self {
+            ConfigKind::Up => 1,
+            ConfigKind::Smp(n) => n,
+        }
+    }
+}
+
+/// The scheduler designs under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// The stock 2.3.99 scheduler ("reg").
+    Reg,
+    /// The paper's contribution.
+    Elsc,
+    /// §8 heap design.
+    Heap,
+    /// §8 per-(processor, address-space) heap design.
+    AHeap,
+    /// §8 per-CPU multi-queue design.
+    Mq,
+}
+
+impl SchedKind {
+    /// The two schedulers the paper evaluates.
+    pub const PAPER: [SchedKind; 2] = [SchedKind::Elsc, SchedKind::Reg];
+
+    /// All five designs, for ablations.
+    pub const ALL: [SchedKind; 5] = [
+        SchedKind::Reg,
+        SchedKind::Elsc,
+        SchedKind::Heap,
+        SchedKind::AHeap,
+        SchedKind::Mq,
+    ];
+
+    /// Instantiates the scheduler (`nr_cpus` only matters for `Mq`).
+    pub fn build(self, nr_cpus: usize) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Reg => Box::new(LinuxScheduler::new()),
+            SchedKind::Elsc => Box::new(ElscScheduler::new()),
+            SchedKind::Heap => Box::new(HeapScheduler::new()),
+            SchedKind::AHeap => Box::new(AffinityHeapScheduler::new()),
+            SchedKind::Mq => Box::new(MultiQueueScheduler::new(nr_cpus)),
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedKind::Reg => "reg",
+            SchedKind::Elsc => "elsc",
+            SchedKind::Heap => "heap",
+            SchedKind::AHeap => "aheap",
+            SchedKind::Mq => "mq",
+        }
+    }
+}
+
+/// VolanoMark parameters used by the experiment binaries.
+///
+/// The paper ran 100 messages per user; we default to 20, which leaves
+/// message *rates* (the benchmark metric) unchanged while keeping the
+/// whole experiment matrix inside a few minutes of host time. Override
+/// with the `ELSC_MESSAGES` environment variable to run the full length.
+pub fn volano_cfg(rooms: usize) -> VolanoConfig {
+    let messages = std::env::var("ELSC_MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    VolanoConfig {
+        rooms,
+        messages_per_user: messages,
+        ..VolanoConfig::default()
+    }
+}
+
+/// Runs VolanoMark per the paper's run rules: `ELSC_ITERATIONS` runs
+/// (default 1, paper used 11) with varied seeds, the first discarded as
+/// warm-up when more than one, and the mean throughput reported.
+pub fn volano_throughput(shape: ConfigKind, kind: SchedKind, cfg: &VolanoConfig) -> f64 {
+    let iterations: usize = std::env::var("ELSC_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let mut samples = Vec::new();
+    for i in 0..iterations {
+        let machine = shape.machine().with_seed(0x5EED_CAFE + i as u64);
+        let report = elsc_workloads::volanomark::run(machine, kind.build(shape.nr_cpus()), cfg);
+        samples.push(elsc_workloads::volanomark::throughput(&report));
+    }
+    if samples.len() > 1 {
+        // "we ran the benchmark 11 times ... and discarded the first run
+        // due to its variant startup costs" (§6).
+        samples.remove(0);
+    }
+    summary::Summary::of(&samples).mean
+}
+
+/// Formats a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:>w$}  ", w = w));
+    }
+    out.trim_end().to_string()
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str, artifact: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("reproduces: {artifact}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_kinds_cover_paper_matrix() {
+        let labels: Vec<_> = ConfigKind::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["UP", "1P", "2P", "4P"]);
+        assert_eq!(ConfigKind::Up.nr_cpus(), 1);
+        assert_eq!(ConfigKind::Smp(4).nr_cpus(), 4);
+        assert!(!ConfigKind::Up.machine().sched.smp);
+        assert!(ConfigKind::Smp(1).machine().sched.smp);
+    }
+
+    #[test]
+    fn sched_kinds_instantiate() {
+        for kind in SchedKind::ALL {
+            let s = kind.build(2);
+            assert_eq!(s.name(), kind.label());
+            assert_eq!(s.nr_running(), 0);
+        }
+    }
+
+    #[test]
+    fn volano_cfg_respects_rooms() {
+        let c = volano_cfg(15);
+        assert_eq!(c.rooms, 15);
+        assert_eq!(c.users_per_room, 20);
+    }
+
+    #[test]
+    fn row_formats_fixed_width() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

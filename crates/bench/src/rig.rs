@@ -1,0 +1,145 @@
+//! A raw-scheduler rig for microbenchmarks: drives `schedule()` directly,
+//! without the machine simulation, so Criterion measures the algorithm's
+//! *host* cost and the meter reports its *simulated* cost.
+
+use elsc_ktask::{MmId, TaskSpec, TaskTable, Tid};
+use elsc_sched_api::{SchedConfig, SchedCtx, Scheduler};
+use elsc_simcore::{CostModel, CycleMeter};
+use elsc_stats::SchedStats;
+
+use crate::SchedKind;
+
+/// A populated scheduler ready to be driven.
+pub struct Rig {
+    /// The task table.
+    pub tasks: TaskTable,
+    /// Stats sink.
+    pub stats: SchedStats,
+    /// Simulated-cycle meter.
+    pub meter: CycleMeter,
+    /// Cost table.
+    pub costs: CostModel,
+    /// Machine shape.
+    pub cfg: SchedConfig,
+    /// The scheduler under test.
+    pub sched: Box<dyn Scheduler>,
+    /// Idle task for CPU 0.
+    pub idle: Tid,
+    /// The task currently "running" (prev for the next schedule call).
+    pub current: Tid,
+}
+
+impl Rig {
+    /// Builds a rig with `n` runnable default-priority tasks.
+    pub fn new(kind: SchedKind, cfg: SchedConfig, n: usize) -> Rig {
+        let mut tasks = TaskTable::new();
+        let idle = tasks.spawn(&TaskSpec::named("idle").priority(1));
+        tasks.task_mut(idle).counter = 0;
+        tasks.task_mut(idle).has_cpu = true;
+        let mut rig = Rig {
+            tasks,
+            stats: SchedStats::new(cfg.nr_cpus),
+            meter: CycleMeter::new(),
+            costs: CostModel::default(),
+            cfg: cfg.clone(),
+            sched: kind.build(cfg.nr_cpus),
+            idle,
+            current: idle,
+        };
+        for i in 0..n {
+            let tid = rig
+                .tasks
+                .spawn(&TaskSpec::named("load").mm(MmId(1 + (i % 8) as u32)));
+            // Spread counters so static goodness varies across tasks.
+            rig.tasks.task_mut(tid).counter = 1 + (i % 20) as i32;
+            rig.tasks.task_mut(tid).processor = i % cfg.nr_cpus;
+            rig.add(tid);
+        }
+        rig
+    }
+
+    /// Adds a task to the run queue.
+    pub fn add(&mut self, tid: Tid) {
+        let mut ctx = SchedCtx {
+            tasks: &mut self.tasks,
+            stats: &mut self.stats,
+            meter: &mut self.meter,
+            costs: &self.costs,
+            cfg: &self.cfg,
+        };
+        self.sched.add_to_runqueue(&mut ctx, tid);
+    }
+
+    /// Removes a task from the run queue.
+    pub fn del(&mut self, tid: Tid) {
+        let mut ctx = SchedCtx {
+            tasks: &mut self.tasks,
+            stats: &mut self.stats,
+            meter: &mut self.meter,
+            costs: &self.costs,
+            cfg: &self.cfg,
+        };
+        self.sched.del_from_runqueue(&mut ctx, tid);
+    }
+
+    /// One `schedule()` call on CPU 0; the chosen task becomes `current`
+    /// (so repeated calls model a hot scheduling loop, with the scheduler
+    /// re-queuing the previous task itself).
+    pub fn schedule_once(&mut self) -> Tid {
+        let prev = self.current;
+        let idle = self.idle;
+        let mut ctx = SchedCtx {
+            tasks: &mut self.tasks,
+            stats: &mut self.stats,
+            meter: &mut self.meter,
+            costs: &self.costs,
+            cfg: &self.cfg,
+        };
+        let next = self.sched.schedule(&mut ctx, 0, prev, idle);
+        self.current = next;
+        next
+    }
+
+    /// Average simulated cycles per `schedule()` over `iters` calls.
+    pub fn simulated_cycles_per_schedule(&mut self, iters: usize) -> f64 {
+        self.meter.take();
+        let before_calls = self.stats.cpu(0).sched_calls;
+        for _ in 0..iters {
+            self.schedule_once();
+        }
+        let cycles = self.meter.take();
+        let calls = self.stats.cpu(0).sched_calls - before_calls;
+        cycles as f64 / calls as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_builds_and_schedules() {
+        for kind in SchedKind::ALL {
+            let mut rig = Rig::new(kind, SchedConfig::smp(2), 50);
+            assert_eq!(rig.sched.nr_running(), 50, "{}", kind.label());
+            let next = rig.schedule_once();
+            assert_ne!(next, rig.idle, "{}", kind.label());
+            // A second call keeps working with prev = the chosen task.
+            let again = rig.schedule_once();
+            assert_ne!(again, rig.idle);
+        }
+    }
+
+    #[test]
+    fn simulated_cost_reg_linear_elsc_flat() {
+        let cost = |kind: SchedKind, n: usize| {
+            let mut rig = Rig::new(kind, SchedConfig::up(), n);
+            rig.simulated_cycles_per_schedule(50)
+        };
+        let reg_1000 = cost(SchedKind::Reg, 1000);
+        let reg_10 = cost(SchedKind::Reg, 10);
+        let elsc_1000 = cost(SchedKind::Elsc, 1000);
+        assert!(reg_1000 > reg_10 * 10.0);
+        assert!(elsc_1000 < reg_1000 / 10.0);
+    }
+}

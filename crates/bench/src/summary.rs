@@ -1,0 +1,90 @@
+//! Small sample statistics for repeated benchmark runs.
+
+/// Mean / spread of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty — an experiment with no data is a
+    /// harness bug, not a result.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "no samples to summarize");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+            n,
+        }
+    }
+
+    /// Relative spread (stddev / mean), 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.stddev - 2.138).abs() < 0.01);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn cv_is_relative_spread() {
+        let s = Summary::of(&[90.0, 110.0]);
+        assert!((s.cv() - 0.1414).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_panics() {
+        Summary::of(&[]);
+    }
+}

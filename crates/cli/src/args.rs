@@ -1,0 +1,154 @@
+//! A small hand-rolled argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` pairs.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// The first positional argument (the workload).
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--key` given where a value was required but none followed.
+    MissingValue(String),
+    /// A positional argument after the command.
+    UnexpectedPositional(String),
+    /// A value failed to parse for its expected type.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The offending text.
+        value: String,
+    },
+}
+
+impl core::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            ArgError::BadValue { key, value } => {
+                write!(f, "invalid value '{value}' for --{key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option names that are boolean flags (no value).
+const FLAGS: &[&str] = &["up", "proc", "latency", "help", "quiet", "compare"];
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let key = key.to_string();
+                if FLAGS.contains(&key.as_str()) {
+                    out.flags.push(key);
+                } else {
+                    // `--key=value` or `--key value`.
+                    if let Some((k, v)) = key.split_once('=') {
+                        out.options.insert(k.to_string(), v.to_string());
+                    } else {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ArgError::MissingValue(key.clone()))?;
+                        out.options.insert(key, value);
+                    }
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// A parsed numeric (or other `FromStr`) option with a default.
+    pub fn get_or<T: core::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: name.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn command_and_options() {
+        let a = parse(&["volano", "--rooms", "10", "--cpus", "2"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("volano"));
+        assert_eq!(a.get("rooms"), Some("10"));
+        assert_eq!(a.get_or("cpus", 1usize).unwrap(), 2);
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&["stress", "--tasks=500"]).unwrap();
+        assert_eq!(a.get_or("tasks", 0usize).unwrap(), 500);
+    }
+
+    #[test]
+    fn flags_take_no_value() {
+        let a = parse(&["volano", "--up", "--proc"]).unwrap();
+        assert!(a.flag("up"));
+        assert!(a.flag("proc"));
+        assert!(!a.flag("latency"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse(&["volano", "--rooms"]).unwrap_err(),
+            ArgError::MissingValue("rooms".into())
+        );
+    }
+
+    #[test]
+    fn extra_positional_is_an_error() {
+        assert!(matches!(
+            parse(&["volano", "oops"]).unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn bad_numeric_value() {
+        let a = parse(&["volano", "--rooms", "many"]).unwrap();
+        assert!(matches!(
+            a.get_or::<usize>("rooms", 1).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+}

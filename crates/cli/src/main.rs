@@ -1,0 +1,337 @@
+//! `elsc-sim`: run any workload under any scheduler from the shell.
+//!
+//! ```text
+//! elsc-sim <workload> [options]
+//!
+//! workloads:
+//!   volano    VolanoMark chat benchmark (paper §4/§6)
+//!   kbuild    kernel compile, make -jN (paper Table 2)
+//!   httpd     Apache-like web server (paper §8)
+//!   stress    synthetic run-queue stress
+//!
+//! common options:
+//!   --sched LIST   comma list of reg,elsc,heap,aheap,mq  [reg,elsc]
+//!   --cpus N       processors                            [1]
+//!   --up           non-SMP kernel build (forces 1 CPU)
+//!   --seed N       simulation seed                       [23062]
+//!   --proc         print the /proc-style statistics table
+//!   --latency      print latency/queue-length distributions
+//!   --trace N      keep and summarize up to N trace records
+//!
+//! volano: --rooms N --users N --messages N
+//! kbuild: --jobs N --units N
+//! httpd:  --clients N --workers N --requests N
+//! stress: --tasks N --rounds N --burst CYCLES
+//! ```
+
+mod args;
+
+use args::Args;
+
+use elsc::ElscScheduler;
+use elsc_machine::{Machine, MachineConfig, RunReport};
+use elsc_sched_api::Scheduler;
+use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_linux::LinuxScheduler;
+use elsc_stats::render::render_proc;
+use elsc_workloads::{httpd, kbuild, rtmix, stress, volanomark};
+use elsc_workloads::{HttpdConfig, KbuildConfig, RtMixConfig, StressConfig, VolanoConfig};
+
+/// Builds one scheduler by name.
+fn scheduler(name: &str, nr_cpus: usize) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "reg" => Box::new(LinuxScheduler::new()),
+        "elsc" => Box::new(ElscScheduler::new()),
+        "heap" => Box::new(HeapScheduler::new()),
+        "aheap" => Box::new(AffinityHeapScheduler::new()),
+        "mq" => Box::new(MultiQueueScheduler::new(nr_cpus)),
+        other => return Err(format!("unknown scheduler '{other}'")),
+    })
+}
+
+/// Builds the machine configuration from the common options.
+fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
+    let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
+    let seed: u64 = a.get_or("seed", 23_062).map_err(|e| e.to_string())?;
+    let trace: usize = a.get_or("trace", 0).map_err(|e| e.to_string())?;
+    let mut cfg = if a.flag("up") {
+        MachineConfig::up()
+    } else {
+        MachineConfig::smp(cpus.max(1))
+    };
+    cfg = cfg
+        .with_seed(seed)
+        .with_trace(trace)
+        .with_max_secs(20_000.0);
+    Ok(cfg)
+}
+
+/// Runs one workload on one machine; returns the report plus a trace
+/// summary when tracing was requested.
+fn run_one(
+    a: &Args,
+    sched: Box<dyn Scheduler>,
+) -> Result<(RunReport, Option<String>, Option<String>), String> {
+    let cfg = machine_cfg(a)?;
+    let mut machine = Machine::new(cfg, sched);
+    let metric;
+    match a.command.as_deref().unwrap_or("") {
+        "volano" => {
+            let w = VolanoConfig {
+                rooms: a.get_or("rooms", 5).map_err(|e| e.to_string())?,
+                users_per_room: a.get_or("users", 20).map_err(|e| e.to_string())?,
+                messages_per_user: a.get_or("messages", 10).map_err(|e| e.to_string())?,
+                ..VolanoConfig::default()
+            };
+            volanomark::build(&mut machine, &w);
+            metric = Some("messages".to_string());
+        }
+        "kbuild" => {
+            let w = KbuildConfig {
+                jobs: a.get_or("jobs", 4).map_err(|e| e.to_string())?,
+                translation_units: a.get_or("units", 160).map_err(|e| e.to_string())?,
+                ..KbuildConfig::default()
+            };
+            kbuild::build(&mut machine, &w);
+            metric = None;
+        }
+        "httpd" => {
+            let w = HttpdConfig {
+                clients: a.get_or("clients", 64).map_err(|e| e.to_string())?,
+                workers: a.get_or("workers", 8).map_err(|e| e.to_string())?,
+                requests_per_client: a.get_or("requests", 10).map_err(|e| e.to_string())?,
+                ..HttpdConfig::default()
+            };
+            httpd::build(&mut machine, &w);
+            metric = Some("requests_served".to_string());
+        }
+        "stress" => {
+            let w = StressConfig {
+                tasks: a.get_or("tasks", 100).map_err(|e| e.to_string())?,
+                rounds: a.get_or("rounds", 50).map_err(|e| e.to_string())?,
+                burst: a.get_or("burst", 20_000).map_err(|e| e.to_string())?,
+                ..StressConfig::default()
+            };
+            stress::build(&mut machine, &w);
+            metric = None;
+        }
+        "rtmix" => {
+            rtmix::build(&mut machine, &RtMixConfig::default());
+            metric = None;
+        }
+        other => return Err(format!("unknown workload '{other}' (see --help)")),
+    }
+    let report = machine.run().map_err(|e| e.to_string())?;
+    let trace = if machine.trace().enabled() {
+        let mut out = String::new();
+        for r in machine.trace().records().iter().take(40) {
+            out.push_str(&format!("    {:>14} {:?}\n", r.at.get(), r.event));
+        }
+        let total = machine.trace().records().len();
+        out.push_str(&format!(
+            "    ({} records kept, {} dropped)\n",
+            total,
+            machine.trace().dropped()
+        ));
+        Some(out)
+    } else {
+        None
+    };
+    Ok((report, metric, trace))
+}
+
+/// Full run across the requested schedulers.
+fn run(a: &Args) -> Result<(), String> {
+    let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
+    let scheds = a.get("sched").unwrap_or("reg,elsc");
+    if a.flag("compare") {
+        return run_compare(a, scheds, cpus.max(1));
+    }
+    for name in scheds.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let sched = scheduler(name, cpus.max(1))?;
+        let (report, metric, trace) = run_one(a, sched)?;
+        if !a.flag("quiet") {
+            println!("{report}");
+            if let Some(metric) = metric {
+                println!("  {} = {:.0}/s", metric, report.per_sec(&metric));
+            }
+        }
+        if a.flag("proc") {
+            println!("{}", render_proc(&report.stats));
+        }
+        if a.flag("latency") {
+            for (k, h) in report.dists.iter() {
+                println!("  {k}: {}", h.summary());
+            }
+        }
+        if let Some(trace) = trace {
+            println!("  trace (first 40 events):");
+            print!("{trace}");
+        }
+    }
+    Ok(())
+}
+
+/// One-line-per-scheduler comparison table.
+fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
+    println!(
+        "{:<7} {:>10} {:>10} {:>12} {:>10} {:>9} {:>9}",
+        "sched", "elapsed_s", "cyc/sched", "exam/sched", "recalcs", "new_cpu", "metric/s"
+    );
+    for name in scheds.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let sched = scheduler(name, cpus)?;
+        let (report, metric, _) = run_one(a, sched)?;
+        let t = report.stats.total();
+        let rate = metric.as_deref().map(|m| report.per_sec(m)).unwrap_or(0.0);
+        println!(
+            "{:<7} {:>10.3} {:>10.0} {:>12.2} {:>10} {:>9} {:>9.0}",
+            name,
+            report.elapsed_secs(),
+            t.cycles_per_schedule(),
+            t.tasks_examined_per_schedule(),
+            t.recalc_entries,
+            t.picked_new_cpu,
+            rate
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let a = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if a.flag("help") || a.command.is_none() {
+        // The module doc at the top of this file is the manual.
+        print!("{}", USAGE);
+        return;
+    }
+    if let Err(e) = run(&a) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Help text.
+const USAGE: &str = "\
+elsc-sim: scheduler simulator for 'Scalable Linux Scheduling' (CITI TR 01-7)
+
+usage: elsc-sim <workload> [options]
+
+workloads:
+  volano    VolanoMark chat benchmark (paper sec. 4/6)
+  kbuild    kernel compile, make -jN (paper Table 2)
+  httpd     Apache-like web server (paper sec. 8)
+  stress    synthetic run-queue stress
+  rtmix     mixed SCHED_FIFO/SCHED_RR/SCHED_OTHER criticality
+
+common options:
+  --sched LIST   comma list of reg,elsc,heap,aheap,mq  [reg,elsc]
+  --cpus N       processors                            [1]
+  --up           non-SMP kernel build (forces 1 CPU)
+  --seed N       simulation seed                       [23062]
+  --proc         print the /proc-style statistics table
+  --latency      print latency/queue-length distributions
+  --trace N      keep up to N scheduling-trace records
+  --compare      one summary row per scheduler instead of full reports
+  --quiet        suppress the standard report
+
+volano: --rooms N --users N --messages N
+kbuild: --jobs N --units N
+httpd:  --clients N --workers N --requests N
+stress: --tasks N --rounds N --burst CYCLES
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn scheduler_factory_knows_all_names() {
+        for name in ["reg", "elsc", "heap", "aheap", "mq"] {
+            assert_eq!(scheduler(name, 2).unwrap().name(), name);
+        }
+        assert!(scheduler("cfs", 2).is_err());
+    }
+
+    #[test]
+    fn machine_cfg_respects_up_flag() {
+        let cfg = machine_cfg(&args(&["volano", "--up", "--cpus", "4"])).unwrap();
+        assert!(!cfg.sched.smp);
+        assert_eq!(cfg.nr_cpus(), 1);
+        let cfg = machine_cfg(&args(&["volano", "--cpus", "4"])).unwrap();
+        assert!(cfg.sched.smp);
+        assert_eq!(cfg.nr_cpus(), 4);
+    }
+
+    #[test]
+    fn small_volano_runs_end_to_end() {
+        let a = args(&[
+            "volano",
+            "--rooms",
+            "1",
+            "--users",
+            "3",
+            "--messages",
+            "2",
+            "--quiet",
+        ]);
+        let (report, metric, trace) = run_one(&a, scheduler("elsc", 1).unwrap()).unwrap();
+        assert_eq!(metric.as_deref(), Some("messages"));
+        assert_eq!(report.ledger.get("messages"), 1 * 3 * 3 * 2);
+        assert!(trace.is_none(), "tracing is off by default");
+    }
+
+    #[test]
+    fn small_stress_runs_end_to_end() {
+        let a = args(&["stress", "--tasks", "4", "--rounds", "3"]);
+        let (report, _, _) = run_one(&a, scheduler("reg", 1).unwrap()).unwrap();
+        assert_eq!(report.ledger.get("spins"), 12);
+    }
+
+    #[test]
+    fn trace_flag_produces_a_summary() {
+        let a = args(&["stress", "--tasks", "2", "--rounds", "2", "--trace", "100"]);
+        let (_, _, trace) = run_one(&a, scheduler("elsc", 1).unwrap()).unwrap();
+        let text = trace.expect("trace requested");
+        assert!(text.contains("Switch"));
+        assert!(text.contains("records kept"));
+    }
+
+    #[test]
+    fn compare_mode_runs_all_schedulers() {
+        let a = args(&[
+            "stress",
+            "--tasks",
+            "4",
+            "--rounds",
+            "2",
+            "--compare",
+            "--sched",
+            "reg,elsc,heap,aheap,mq",
+        ]);
+        assert!(run(&a).is_ok());
+    }
+
+    #[test]
+    fn rtmix_runs_end_to_end() {
+        let a = args(&["rtmix", "--quiet"]);
+        let (report, _, _) = run_one(&a, scheduler("elsc", 1).unwrap()).unwrap();
+        assert!(report.ledger.get("fifo_activations") > 0);
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let a = args(&["beleaguer"]);
+        assert!(run(&a).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests on the ELSC table: indexing bounds, the
+//! predicted-counter invariant, and structural integrity under arbitrary
+//! link/unlink/move sequences.
+
+use proptest::prelude::*;
+
+use elsc::table::{index_for, ElscTable, NR_LISTS, RT_BASE_LIST};
+use elsc_ktask::recalc::recalculated_counter;
+use elsc_ktask::{SchedClass, TaskSpec, TaskTable, Tid};
+
+/// Strategy for arbitrary (but legal) task parameters.
+fn task_params() -> impl Strategy<Value = (i32, i32, bool, i32)> {
+    // (counter, priority, realtime, rt_priority)
+    (0..=80i32, 1..=40i32, any::<bool>(), 0..=99i32)
+}
+
+fn spawn_task(
+    tasks: &mut TaskTable,
+    (counter, priority, rt, rt_priority): (i32, i32, bool, i32),
+) -> Tid {
+    let spec = if rt {
+        TaskSpec::default().realtime(SchedClass::Fifo, rt_priority)
+    } else {
+        TaskSpec::default().priority(priority)
+    };
+    let tid = tasks.spawn(&spec);
+    let t = tasks.task_mut(tid);
+    t.counter = counter.min(2 * t.priority);
+    tid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn index_is_always_in_bounds(p in task_params()) {
+        let mut tasks = TaskTable::new();
+        let tid = spawn_task(&mut tasks, p);
+        let (idx, zero) = index_for(tasks.task(tid));
+        prop_assert!(idx < NR_LISTS);
+        if p.2 {
+            // Real-time tasks live in the ten highest lists...
+            prop_assert!(idx >= RT_BASE_LIST);
+            prop_assert!(!zero);
+        } else {
+            // ...ordinary tasks strictly below them.
+            prop_assert!(idx < RT_BASE_LIST);
+            prop_assert_eq!(zero, tasks.task(tid).counter == 0);
+        }
+    }
+
+    #[test]
+    fn higher_static_goodness_never_lands_lower(
+        c1 in 1..=80i32, c2 in 1..=80i32, prio in 1..=40i32
+    ) {
+        // Within SCHED_OTHER at equal priority, a larger counter must
+        // index into an equal-or-higher list: the table is sorted.
+        let mut tasks = TaskTable::new();
+        let a = spawn_task(&mut tasks, (c1, prio, false, 0));
+        let b = spawn_task(&mut tasks, (c2, prio, false, 0));
+        let (ia, _) = index_for(tasks.task(a));
+        let (ib, _) = index_for(tasks.task(b));
+        if tasks.task(a).static_goodness() >= tasks.task(b).static_goodness() {
+            prop_assert!(ia >= ib);
+        }
+    }
+
+    #[test]
+    fn predicted_counter_invariant(prio in 1..=40i32) {
+        // The heart of the design: a zero-counter task parked at its
+        // *predicted* position needs no re-indexing after the global
+        // recalculation.
+        let mut tasks = TaskTable::new();
+        let tid = spawn_task(&mut tasks, (0, prio, false, 0));
+        let (before_idx, zero) = index_for(tasks.task(tid));
+        prop_assert!(zero);
+        // Recalculate, as the scheduler would.
+        let t = tasks.task_mut(tid);
+        t.counter = recalculated_counter(t);
+        let (after_idx, zero_after) = index_for(tasks.task(tid));
+        prop_assert!(!zero_after);
+        prop_assert_eq!(before_idx, after_idx, "recalc must not move the task");
+    }
+
+    #[test]
+    fn table_integrity_under_arbitrary_ops(
+        params in prop::collection::vec(task_params(), 1..24),
+        ops in prop::collection::vec((0usize..24, 0u8..4), 1..120),
+    ) {
+        let mut tasks = TaskTable::new();
+        let mut table = ElscTable::new();
+        let tids: Vec<Tid> = params
+            .iter()
+            .map(|&p| spawn_task(&mut tasks, p))
+            .collect();
+        let mut linked = vec![false; tids.len()];
+        for &(pick, kind) in &ops {
+            let i = pick % tids.len();
+            let tid = tids[i];
+            match kind {
+                0 => {
+                    if !linked[i] {
+                        table.link(&mut tasks, tid);
+                        linked[i] = true;
+                    }
+                }
+                1 => {
+                    if linked[i] {
+                        table.unlink(&mut tasks, tid);
+                        linked[i] = false;
+                    }
+                }
+                2 => {
+                    if linked[i] {
+                        table.move_first(&mut tasks, tid);
+                    }
+                }
+                _ => {
+                    if linked[i] {
+                        table.move_last(&mut tasks, tid);
+                    }
+                }
+            }
+            table.debug_check(&tasks);
+        }
+    }
+
+    #[test]
+    fn top_is_max_linked_usable_list(
+        params in prop::collection::vec(task_params(), 1..20),
+    ) {
+        let mut tasks = TaskTable::new();
+        let mut table = ElscTable::new();
+        let mut expected_top: Option<usize> = None;
+        let mut expected_next: Option<usize> = None;
+        for &p in &params {
+            let tid = spawn_task(&mut tasks, p);
+            let (idx, zero) = index_for(tasks.task(tid));
+            table.link(&mut tasks, tid);
+            if zero {
+                expected_next = Some(expected_next.map_or(idx, |v: usize| v.max(idx)));
+            } else {
+                expected_top = Some(expected_top.map_or(idx, |v: usize| v.max(idx)));
+            }
+        }
+        prop_assert_eq!(table.top(), expected_top);
+        prop_assert_eq!(table.next_top(), expected_next);
+    }
+
+    #[test]
+    fn unlink_keep_next_preserves_on_queue_appearance(p in task_params()) {
+        let mut tasks = TaskTable::new();
+        let mut table = ElscTable::new();
+        let tid = spawn_task(&mut tasks, p);
+        table.link(&mut tasks, tid);
+        table.unlink_keep_next(&mut tasks, tid);
+        let t = tasks.task(tid);
+        prop_assert!(t.on_runqueue());
+        prop_assert!(!t.in_list());
+        prop_assert_eq!(table.top(), None);
+        prop_assert_eq!(table.next_top(), None);
+        table.debug_check(&tasks);
+    }
+}

@@ -1,0 +1,126 @@
+//! Wait queues: where blocked tasks sleep.
+//!
+//! The socket substrate parks readers and writers here; waking returns the
+//! handles so the machine model can run `wake_up_process()` on them. FIFO
+//! order matches `wake_up` semantics for exclusive waiters in the kernel.
+
+use std::collections::VecDeque;
+
+use crate::tid::Tid;
+
+/// A FIFO queue of blocked tasks.
+#[derive(Clone, Debug, Default)]
+pub struct WaitQueue {
+    q: VecDeque<Tid>,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        WaitQueue::default()
+    }
+
+    /// Parks `tid` at the back of the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the task is already waiting here: a task cannot
+    /// block twice.
+    pub fn park(&mut self, tid: Tid) {
+        debug_assert!(
+            !self.q.contains(&tid),
+            "{tid:?} parked twice on the same wait queue"
+        );
+        self.q.push_back(tid);
+    }
+
+    /// Removes and returns the longest-waiting task (`wake_one`).
+    pub fn wake_one(&mut self) -> Option<Tid> {
+        self.q.pop_front()
+    }
+
+    /// Removes and returns all waiting tasks in FIFO order (`wake_up`,
+    /// the thundering herd).
+    pub fn wake_all(&mut self) -> Vec<Tid> {
+        self.q.drain(..).collect()
+    }
+
+    /// Removes a specific task (e.g. on exit or signal), returning whether
+    /// it was present.
+    pub fn unpark(&mut self, tid: Tid) -> bool {
+        if let Some(pos) = self.q.iter().position(|&t| t == tid) {
+            self.q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of waiters.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue has no waiters.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Whether `tid` is parked here.
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.q.contains(&tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> Tid {
+        Tid::from_raw(i, 0)
+    }
+
+    #[test]
+    fn wake_one_is_fifo() {
+        let mut w = WaitQueue::new();
+        w.park(tid(1));
+        w.park(tid(2));
+        w.park(tid(3));
+        assert_eq!(w.wake_one(), Some(tid(1)));
+        assert_eq!(w.wake_one(), Some(tid(2)));
+        assert_eq!(w.wake_one(), Some(tid(3)));
+        assert_eq!(w.wake_one(), None);
+    }
+
+    #[test]
+    fn wake_all_drains_in_order() {
+        let mut w = WaitQueue::new();
+        for i in 0..5 {
+            w.park(tid(i));
+        }
+        let woken = w.wake_all();
+        assert_eq!(woken, (0..5).map(tid).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn unpark_removes_specific_waiter() {
+        let mut w = WaitQueue::new();
+        w.park(tid(1));
+        w.park(tid(2));
+        assert!(w.unpark(tid(1)));
+        assert!(!w.unpark(tid(1)));
+        assert_eq!(w.len(), 1);
+        assert!(w.contains(tid(2)));
+        assert!(!w.contains(tid(1)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "parked twice")]
+    fn double_park_panics_in_debug() {
+        let mut w = WaitQueue::new();
+        w.park(tid(1));
+        w.park(tid(1));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: the intrusive list bank against a reference model.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use elsc_ktask::{ListNode, Lists, TaskSpec, TaskTable, Tid};
+
+const NR_LISTS: usize = 4;
+const NR_TASKS: usize = 16;
+
+#[derive(Clone, Debug)]
+enum ListOp {
+    InsertFront(usize, usize),
+    InsertBack(usize, usize),
+    Remove(usize),
+    RemoveKeepNext(usize),
+    MoveToOtherList(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        (0..NR_TASKS, 0..NR_LISTS).prop_map(|(t, l)| ListOp::InsertFront(t, l)),
+        (0..NR_TASKS, 0..NR_LISTS).prop_map(|(t, l)| ListOp::InsertBack(t, l)),
+        (0..NR_TASKS).prop_map(ListOp::Remove),
+        (0..NR_TASKS).prop_map(ListOp::RemoveKeepNext),
+        (0..NR_TASKS, 0..NR_LISTS).prop_map(|(t, l)| ListOp::MoveToOtherList(t, l)),
+    ]
+}
+
+struct Model {
+    lists: Lists,
+    tasks: TaskTable,
+    tids: Vec<Tid>,
+    /// Reference: each list as a deque of task indices.
+    model: Vec<VecDeque<usize>>,
+    /// Which list each task is in, if any.
+    member: Vec<Option<usize>>,
+}
+
+impl Model {
+    fn new() -> Model {
+        let lists = Lists::new(NR_LISTS);
+        let mut tasks = TaskTable::new();
+        let tids = (0..NR_TASKS)
+            .map(|_| tasks.spawn(&TaskSpec::default()))
+            .collect();
+        Model {
+            lists,
+            tasks,
+            tids,
+            model: vec![VecDeque::new(); NR_LISTS],
+            member: vec![None; NR_TASKS],
+        }
+    }
+
+    fn apply(&mut self, op: &ListOp) {
+        match *op {
+            ListOp::InsertFront(t, l) => {
+                if self.member[t].is_none() {
+                    // A marker from RemoveKeepNext must be cleared first,
+                    // as the schedulers do.
+                    self.tasks.task_mut(self.tids[t]).run_list = ListNode::detached();
+                    self.lists.insert_front(&mut self.tasks, l, self.tids[t]);
+                    self.model[l].push_front(t);
+                    self.member[t] = Some(l);
+                }
+            }
+            ListOp::InsertBack(t, l) => {
+                if self.member[t].is_none() {
+                    self.tasks.task_mut(self.tids[t]).run_list = ListNode::detached();
+                    self.lists.insert_back(&mut self.tasks, l, self.tids[t]);
+                    self.model[l].push_back(t);
+                    self.member[t] = Some(l);
+                }
+            }
+            ListOp::Remove(t) => {
+                if let Some(l) = self.member[t].take() {
+                    self.lists.remove(&mut self.tasks, self.tids[t]);
+                    self.model[l].retain(|&x| x != t);
+                    // Full detach clears both link directions.
+                    let task = self.tasks.task(self.tids[t]);
+                    assert!(!task.on_runqueue() && !task.in_list());
+                }
+            }
+            ListOp::RemoveKeepNext(t) => {
+                if let Some(l) = self.member[t].take() {
+                    self.lists.remove_keep_next(&mut self.tasks, self.tids[t]);
+                    self.model[l].retain(|&x| x != t);
+                    // The marker keeps the on-queue appearance.
+                    let task = self.tasks.task(self.tids[t]);
+                    assert!(task.on_runqueue() && !task.in_list());
+                }
+            }
+            ListOp::MoveToOtherList(t, l) => {
+                if let Some(cur) = self.member[t] {
+                    self.lists.remove(&mut self.tasks, self.tids[t]);
+                    self.model[cur].retain(|&x| x != t);
+                    self.lists.insert_back(&mut self.tasks, l, self.tids[t]);
+                    self.model[l].push_back(t);
+                    self.member[t] = Some(l);
+                }
+            }
+        }
+    }
+
+    fn check(&self) {
+        for l in 0..NR_LISTS {
+            self.lists.check(&self.tasks, l);
+            let got: Vec<usize> = self
+                .lists
+                .collect(&self.tasks, l)
+                .into_iter()
+                .map(|idx| {
+                    self.tids
+                        .iter()
+                        .position(|t| t.index() == idx as usize)
+                        .expect("known task")
+                })
+                .collect();
+            let want: Vec<usize> = self.model[l].iter().copied().collect();
+            assert_eq!(got, want, "list {l} order diverged from the model");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lists_match_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut m = Model::new();
+        for op in &ops {
+            m.apply(op);
+        }
+        m.check();
+    }
+
+    #[test]
+    fn lists_match_model_with_continuous_checks(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut m = Model::new();
+        for op in &ops {
+            m.apply(op);
+            m.check();
+        }
+    }
+
+    #[test]
+    fn membership_flags_always_consistent(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut m = Model::new();
+        for op in &ops {
+            m.apply(op);
+        }
+        for t in 0..NR_TASKS {
+            let task = m.tasks.task(m.tids[t]);
+            match m.member[t] {
+                Some(_) => assert!(task.in_list() && task.on_runqueue()),
+                None => assert!(!task.in_list()),
+            }
+        }
+    }
+}

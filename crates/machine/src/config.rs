@@ -1,0 +1,132 @@
+//! Machine configuration.
+
+use elsc_sched_api::SchedConfig;
+use elsc_simcore::CostModel;
+
+/// Full configuration of a simulated machine.
+///
+/// Defaults model the paper's testbeds: ~400 MHz Pentium II class CPUs
+/// (IBM Netfinity 5500/7000) with the Linux 2.3 10 ms timer tick.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Scheduler-visible configuration (CPU count, SMP build, limits).
+    pub sched: SchedConfig,
+    /// Simulated clock frequency, cycles per second.
+    pub cpu_hz: u64,
+    /// Cycles per timer tick (10 ms at `cpu_hz` by default).
+    pub tick_cycles: u64,
+    /// Per-primitive cycle costs.
+    pub costs: CostModel,
+    /// Watchdog: abort the run if virtual time passes this (a workload
+    /// bug such as a deadlock would otherwise spin forever).
+    pub max_cycles: u64,
+    /// Seed for all deterministic randomness in the run.
+    pub seed: u64,
+    /// How many times a blocking read/write poll-yields
+    /// (`sched_yield()` + retry) before actually sleeping — the
+    /// spin-then-block strategy of the era's JVM I/O and locking layers.
+    /// This is what produces the paper's yield storms: during lulls the
+    /// polling task is often *alone* on the run queue, and each of its
+    /// yields sends the baseline scheduler into the system-wide counter
+    /// recalculation loop (Figure 2).
+    pub io_poll_yields: u32,
+    /// Maximum scheduling-trace records to keep (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl MachineConfig {
+    /// Default frequency: 400 MHz.
+    pub const DEFAULT_HZ: u64 = 400_000_000;
+
+    fn with_sched(sched: SchedConfig) -> Self {
+        MachineConfig {
+            sched,
+            cpu_hz: Self::DEFAULT_HZ,
+            tick_cycles: Self::DEFAULT_HZ / 100,
+            costs: CostModel::default(),
+            max_cycles: 4_000_000_000_000, // 10 000 simulated seconds
+            seed: 0x5EED_CAFE,
+            io_poll_yields: 2,
+            trace_capacity: 0,
+        }
+    }
+
+    /// A uniprocessor machine running a non-SMP kernel build ("UP").
+    pub fn up() -> Self {
+        Self::with_sched(SchedConfig::up())
+    }
+
+    /// An SMP kernel build on `nr_cpus` processors ("1P", "2P", "4P").
+    pub fn smp(nr_cpus: usize) -> Self {
+        Self::with_sched(SchedConfig::smp(nr_cpus))
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style cost-model override.
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Builder-style watchdog override (in simulated seconds).
+    pub fn with_max_secs(mut self, secs: f64) -> Self {
+        self.max_cycles = (secs * self.cpu_hz as f64) as u64;
+        self
+    }
+
+    /// Builder-style override of the spin-then-block poll count.
+    pub fn with_poll_yields(mut self, polls: u32) -> Self {
+        self.io_poll_yields = polls;
+        self
+    }
+
+    /// Builder-style trace enablement.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Number of processors.
+    pub fn nr_cpus(&self) -> usize {
+        self.sched.nr_cpus
+    }
+
+    /// Report label ("UP", "2P", ...).
+    pub fn label(&self) -> String {
+        self.sched.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_defaults() {
+        let c = MachineConfig::up();
+        assert_eq!(c.nr_cpus(), 1);
+        assert!(!c.sched.smp);
+        assert_eq!(c.tick_cycles, c.cpu_hz / 100, "10 ms tick");
+        assert_eq!(c.label(), "UP");
+    }
+
+    #[test]
+    fn smp_labels_and_cpus() {
+        let c = MachineConfig::smp(4);
+        assert_eq!(c.nr_cpus(), 4);
+        assert!(c.sched.smp);
+        assert_eq!(c.label(), "4P");
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = MachineConfig::up().with_seed(42).with_max_secs(2.0);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.max_cycles, 2 * MachineConfig::DEFAULT_HZ);
+    }
+}

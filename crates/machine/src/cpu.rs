@@ -1,0 +1,81 @@
+//! Per-CPU simulation state.
+
+use elsc_ktask::{CpuId, MmId, Tid};
+use elsc_simcore::Cycles;
+
+/// The machine-side state of one processor.
+#[derive(Debug)]
+pub struct CpuState {
+    /// This CPU's id.
+    pub id: CpuId,
+    /// Its idle task (pid-0 equivalent; one per CPU, as in the kernel).
+    pub idle: Tid,
+    /// The task currently executing (the idle task when idle).
+    pub current: Tid,
+    /// The kernel's `need_resched` flag for this CPU.
+    pub need_resched: bool,
+    /// Generation of the outstanding `Resume` event; bumping it cancels
+    /// the event (stale generations are dropped on arrival).
+    pub gen: u64,
+    /// When the current compute segment ends (meaningful while a user
+    /// task is dispatched).
+    pub busy_until: Cycles,
+    /// When the current task was dispatched (for work accounting), or
+    /// `None` while idle.
+    pub running_since: Option<Cycles>,
+    /// When the CPU last became idle (for idle accounting).
+    pub idle_since: Cycles,
+    /// The address space currently loaded (lazy TLB: the idle task
+    /// borrows the previous task's mm, as `active_mm` does in the
+    /// kernel, so idle transitions never flush).
+    pub active_mm: MmId,
+}
+
+impl CpuState {
+    /// Creates a CPU that starts idle at time zero.
+    pub fn new(id: CpuId, idle: Tid) -> CpuState {
+        CpuState {
+            id,
+            idle,
+            current: idle,
+            need_resched: true,
+            gen: 0,
+            busy_until: Cycles::ZERO,
+            running_since: None,
+            idle_since: Cycles::ZERO,
+            active_mm: MmId::KERNEL,
+        }
+    }
+
+    /// Whether the CPU is running its idle task.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.current == self.idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_idle_and_wanting_resched() {
+        let idle = Tid::from_raw(0, 0);
+        let c = CpuState::new(3, idle);
+        assert_eq!(c.id, 3);
+        assert!(c.is_idle());
+        assert!(c.need_resched);
+        assert_eq!(c.running_since, None);
+    }
+
+    #[test]
+    fn idle_predicate_tracks_current() {
+        let idle = Tid::from_raw(0, 0);
+        let other = Tid::from_raw(1, 0);
+        let mut c = CpuState::new(0, idle);
+        c.current = other;
+        assert!(!c.is_idle());
+        c.current = idle;
+        assert!(c.is_idle());
+    }
+}

@@ -1,0 +1,1224 @@
+//! The machine: event loop, dispatch, syscalls, wakeups.
+
+use elsc_ktask::{CpuId, TaskSpec, TaskState, TaskTable, Tid};
+use elsc_netsim::{Msg, PipeError, PipeId, PipeTable};
+use elsc_sched_api::{reschedule_idle, CpuView, SchedCtx, Scheduler, WakeTarget};
+use elsc_simcore::{CostKind, CycleMeter, Cycles, EventQueue, SimRng, SimSpinLock};
+use elsc_stats::SchedStats;
+
+use crate::behavior::{Behavior, Op, SysView, Syscall};
+use crate::config::MachineConfig;
+use crate::cpu::CpuState;
+use crate::report::{Distributions, Ledger, RunReport};
+use crate::trace::{Trace, TraceEvent};
+
+/// Simulation events.
+#[derive(Debug)]
+enum Event {
+    /// Periodic 10 ms timer interrupt on one CPU.
+    Tick { cpu: CpuId },
+    /// The current compute segment of `cpu` ends (cancellable via `gen`).
+    Resume { cpu: CpuId, gen: u64 },
+    /// Reschedule interrupt (wakeup placement decided this CPU should
+    /// call `schedule()`).
+    Ipi { cpu: CpuId },
+    /// A sleeping task's timer expires.
+    Timer { tid: Tid },
+}
+
+impl Event {
+    fn is_tick(&self) -> bool {
+        matches!(self, Event::Tick { .. })
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Virtual time exceeded [`MachineConfig::max_cycles`].
+    Watchdog {
+        /// Time at which the watchdog fired.
+        at: Cycles,
+    },
+    /// Live tasks remain but none can ever run again.
+    Deadlock {
+        /// Time of detection.
+        at: Cycles,
+        /// Number of tasks stuck.
+        live: usize,
+    },
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RunError::Watchdog { at } => write!(f, "watchdog expired at {at:?}"),
+            RunError::Deadlock { at, live } => {
+                write!(f, "deadlock at {at:?}: {live} tasks blocked forever")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A task's in-flight work: remaining compute cycles, then a syscall.
+struct Pending {
+    remaining: u64,
+    syscall: Syscall,
+}
+
+/// Machine-side per-task state (parallel to the kernel's task struct).
+struct TaskRun {
+    behavior: Option<Box<dyn Behavior>>,
+    pending: Option<Pending>,
+    last_read: Option<Msg>,
+    last_spawned: Option<Tid>,
+    migrate_penalty: bool,
+    /// Remaining spin-then-block poll attempts for the current blocking
+    /// I/O operation (reset on every successful or parked operation).
+    polls_left: u32,
+    /// When the task was last woken, for wakeup-to-dispatch latency.
+    woken_at: Option<Cycles>,
+    rng: SimRng,
+}
+
+/// What the trampoline should do next (avoids unbounded recursion between
+/// `schedule` and task execution).
+enum Drive {
+    Schedule(Cycles),
+    RunCurrent(Cycles),
+}
+
+/// The simulated machine.
+///
+/// Construct with [`Machine::new`], create pipes and [`Machine::spawn`]
+/// tasks, then call [`Machine::run`] to completion. See the crate docs
+/// for the execution model.
+pub struct Machine {
+    cfg: MachineConfig,
+    tasks: TaskTable,
+    sched: Box<dyn Scheduler>,
+    stats: SchedStats,
+    pipes: PipeTable,
+    runs: Vec<Option<TaskRun>>,
+    cpus: Vec<CpuState>,
+    events: EventQueue<Event>,
+    /// Pending events that are not ticks (deadlock detection).
+    pending_wakeish: usize,
+    lock: SimSpinLock,
+    rng: SimRng,
+    ledger: Ledger,
+    dists: Distributions,
+    trace: Trace,
+    now: Cycles,
+    live_users: usize,
+    last_exit: Cycles,
+    to_free: Vec<Tid>,
+    ran: bool,
+}
+
+impl Machine {
+    /// Builds a machine with the given configuration and scheduler.
+    pub fn new(cfg: MachineConfig, sched: Box<dyn Scheduler>) -> Machine {
+        let mut tasks = TaskTable::new();
+        let mut runs: Vec<Option<TaskRun>> = Vec::new();
+        let mut rng = SimRng::new(cfg.seed);
+        let cpus = (0..cfg.nr_cpus())
+            .map(|id| {
+                let idle = tasks.spawn(&TaskSpec::named("idle").priority(1));
+                let t = tasks.task_mut(idle);
+                t.counter = 0;
+                t.processor = id;
+                t.has_cpu = true;
+                grow_to(&mut runs, idle.index());
+                runs[idle.index()] = Some(TaskRun {
+                    behavior: None,
+                    pending: None,
+                    last_read: None,
+                    last_spawned: None,
+                    migrate_penalty: false,
+                    polls_left: 0,
+                    woken_at: None,
+                    rng: rng.fork(),
+                });
+                CpuState::new(id, idle)
+            })
+            .collect();
+        let lock = SimSpinLock::new(cfg.costs.get(CostKind::LockTransfer));
+        let nr_cpus = cfg.nr_cpus();
+        let trace = Trace::new(cfg.trace_capacity);
+        Machine {
+            cfg,
+            tasks,
+            sched,
+            stats: SchedStats::new(nr_cpus),
+            pipes: PipeTable::new(),
+            runs,
+            cpus,
+            events: EventQueue::new(),
+            pending_wakeish: 0,
+            lock,
+            rng,
+            ledger: Ledger::new(),
+            dists: Distributions::new(),
+            trace,
+            now: Cycles::ZERO,
+            live_users: 0,
+            last_exit: Cycles::ZERO,
+            to_free: Vec::new(),
+            ran: false,
+        }
+    }
+
+    /// Creates a pipe with the given message capacity.
+    pub fn create_pipe(&mut self, capacity: usize) -> PipeId {
+        self.pipes.create(capacity)
+    }
+
+    /// Spawns a task before (or during) the run and makes it runnable.
+    pub fn spawn(&mut self, spec: &TaskSpec, behavior: Box<dyn Behavior>) -> Tid {
+        let tid = self.spawn_inner(spec, behavior);
+        let t = self.now;
+        self.make_runnable(tid, 0, t);
+        tid
+    }
+
+    fn spawn_inner(&mut self, spec: &TaskSpec, behavior: Box<dyn Behavior>) -> Tid {
+        let tid = self.tasks.spawn(spec);
+        // Spread initial affinity round-robin, as fork balancing would.
+        let cpu = (self.tasks.total_spawned() as usize) % self.cfg.nr_cpus();
+        self.tasks.task_mut(tid).processor = cpu;
+        grow_to(&mut self.runs, tid.index());
+        let rng = self.rng.fork();
+        self.runs[tid.index()] = Some(TaskRun {
+            behavior: Some(behavior),
+            pending: None,
+            last_read: None,
+            last_spawned: None,
+            migrate_penalty: false,
+            polls_left: self.cfg.io_poll_yields,
+            woken_at: None,
+            rng,
+        });
+        self.live_users += 1;
+        tid
+    }
+
+    /// Read access to the scheduler statistics (live during a run).
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Read access to the task table.
+    pub fn tasks(&self) -> &TaskTable {
+        &self.tasks
+    }
+
+    /// Read access to the workload ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The scheduler's name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
+    }
+
+    /// Read access to the scheduling trace (empty unless
+    /// [`MachineConfig::trace_capacity`] was set).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn run_ref(&self, tid: Tid) -> &TaskRun {
+        self.runs[tid.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no run state for {tid:?}"))
+    }
+
+    fn run_mut(&mut self, tid: Tid) -> &mut TaskRun {
+        self.runs[tid.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("no run state for {tid:?}"))
+    }
+
+    fn push_event(&mut self, at: Cycles, ev: Event) {
+        if !ev.is_tick() {
+            self.pending_wakeish += 1;
+        }
+        self.events.push(at, ev);
+    }
+
+    /// Runs the machine until every spawned task has exited.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Watchdog`] if virtual time exceeds the configured
+    /// limit; [`RunError::Deadlock`] if live tasks can never run again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn run(&mut self) -> Result<RunReport, RunError> {
+        assert!(!self.ran, "Machine::run() may only be called once");
+        self.ran = true;
+        for cpu in 0..self.cfg.nr_cpus() {
+            self.push_event(self.cfg.tick_cycles.into(), Event::Tick { cpu });
+            self.push_event(Cycles::ZERO, Event::Ipi { cpu });
+            self.cpus[cpu].need_resched = true;
+        }
+        while self.live_users > 0 {
+            let Some((t, ev)) = self.events.pop() else {
+                return Err(RunError::Deadlock {
+                    at: self.now,
+                    live: self.live_users,
+                });
+            };
+            if !ev.is_tick() {
+                self.pending_wakeish -= 1;
+            }
+            debug_assert!(t >= self.now, "time ran backwards");
+            self.now = t;
+            if t.get() > self.cfg.max_cycles {
+                return Err(RunError::Watchdog { at: t });
+            }
+            match ev {
+                Event::Tick { cpu } => self.on_tick(cpu),
+                Event::Resume { cpu, gen } => self.on_resume(cpu, gen),
+                Event::Ipi { cpu } => self.on_ipi(cpu),
+                Event::Timer { tid } => {
+                    self.wake_up(tid, 0, self.now);
+                }
+            }
+            if self.live_users > 0 && self.is_wedged() {
+                return Err(RunError::Deadlock {
+                    at: self.now,
+                    live: self.live_users,
+                });
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// True when no task can ever run again: all CPUs idle, nothing on
+    /// the run queue, and no pending wake-ish events.
+    fn is_wedged(&self) -> bool {
+        self.pending_wakeish == 0
+            && self.sched.nr_running() == 0
+            && self.cpus.iter().all(|c| c.is_idle())
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            scheduler: self.sched.name(),
+            config: self.cfg.label(),
+            elapsed: self.last_exit,
+            cpu_hz: self.cfg.cpu_hz,
+            stats: self.stats.clone(),
+            ledger: self.ledger.clone(),
+            lock_spin: self.lock.total_spin(),
+            lock_acquisitions: self.lock.acquisitions(),
+            tasks_spawned: self.tasks.total_spawned() - self.cfg.nr_cpus() as u64,
+            messages_read: self.pipes.total_read(),
+            dists: self.dists.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_tick(&mut self, cpu: CpuId) {
+        let now = self.now;
+        self.stats.cpu_mut(cpu).ticks += 1;
+        // Re-arm the periodic tick.
+        self.events
+            .push(now + self.cfg.tick_cycles, Event::Tick { cpu });
+        let cur = self.cpus[cpu].current;
+        if !self.cpus[cpu].is_idle() {
+            // Quantum accounting: the timer interrupt decrements the
+            // running task's counter (update_process_times).
+            let task = self.tasks.task_mut(cur);
+            if task.counter > 0 {
+                task.counter -= 1;
+            }
+            if task.counter == 0 && !task.policy.class.is_realtime() {
+                self.cpus[cpu].need_resched = true;
+            } else if task.policy.class == elsc_ktask::SchedClass::Rr && task.counter == 0 {
+                self.cpus[cpu].need_resched = true;
+            }
+        } else if self.has_waiting_work() {
+            // Idle loop poll: runnable work exists somewhere.
+            self.cpus[cpu].need_resched = true;
+        }
+        if self.cpus[cpu].need_resched {
+            self.preempt(cpu);
+            self.drive(cpu, Drive::Schedule(now));
+        }
+    }
+
+    /// Whether the run queue holds tasks beyond those currently running.
+    fn has_waiting_work(&self) -> bool {
+        let running = self.cpus.iter().filter(|c| !c.is_idle()).count();
+        self.sched.nr_running() > running
+    }
+
+    /// Saves the preempted task's remaining compute so it resumes where
+    /// it left off.
+    fn preempt(&mut self, cpu: CpuId) {
+        let cur = self.cpus[cpu].current;
+        if cur == self.cpus[cpu].idle {
+            return;
+        }
+        let remaining = self.cpus[cpu].busy_until.saturating_sub(self.now).get();
+        if let Some(p) = self.run_mut(cur).pending.as_mut() {
+            if p.remaining > 0 {
+                p.remaining = remaining.max(1);
+            }
+        }
+    }
+
+    fn on_resume(&mut self, cpu: CpuId, gen: u64) {
+        if gen != self.cpus[cpu].gen {
+            return; // cancelled by a preemption or reschedule
+        }
+        let cur = self.cpus[cpu].current;
+        if cur == self.cpus[cpu].idle {
+            return;
+        }
+        if let Some(p) = self.run_mut(cur).pending.as_mut() {
+            p.remaining = 0;
+        }
+        self.drive(cpu, Drive::RunCurrent(self.now));
+    }
+
+    fn on_ipi(&mut self, cpu: CpuId) {
+        if !self.cpus[cpu].need_resched {
+            return;
+        }
+        self.preempt(cpu);
+        self.drive(cpu, Drive::Schedule(self.now));
+    }
+
+    // ------------------------------------------------------------------
+    // The trampoline: schedule <-> run without recursion
+    // ------------------------------------------------------------------
+
+    fn drive(&mut self, cpu: CpuId, start: Drive) {
+        let mut step = Some(start);
+        while let Some(s) = step.take() {
+            step = match s {
+                Drive::Schedule(t) => {
+                    let next = self.do_schedule(cpu, t);
+                    // Free any task that exited under this schedule.
+                    while let Some(tid) = self.to_free.pop() {
+                        self.runs[tid.index()] = None;
+                        self.tasks.free(tid);
+                    }
+                    next.map(Drive::RunCurrent)
+                }
+                Drive::RunCurrent(t) => self.run_segments(cpu, t).map(Drive::Schedule),
+            };
+        }
+    }
+
+    /// One `schedule()` call: lock, decide, switch. Returns the time at
+    /// which a dispatched user task starts running, or `None` if the CPU
+    /// went idle.
+    fn do_schedule(&mut self, cpu: CpuId, t: Cycles) -> Option<Cycles> {
+        let prev = self.cpus[cpu].current;
+        let idle = self.cpus[cpu].idle;
+        // CPU time accounting for the outgoing occupancy.
+        if prev != idle {
+            if let Some(s) = self.cpus[cpu].running_since.take() {
+                self.stats.cpu_mut(cpu).work_cycles += t.saturating_sub(s).get();
+            }
+        } else {
+            let s = self.cpus[cpu].idle_since;
+            self.stats.cpu_mut(cpu).idle_cycles += t.saturating_sub(s).get();
+        }
+
+        // The global runqueue_lock covers the whole decision (SMP builds).
+        self.dists
+            .record("runqueue_len", self.sched.nr_running() as u64);
+        let t_acq = if self.cfg.sched.smp {
+            let a = self.lock.acquire(t, cpu);
+            self.stats.cpu_mut(cpu).lock_spin_cycles += a.saturating_sub(t).get();
+            a
+        } else {
+            t
+        };
+        let mut meter = CycleMeter::new();
+        let next = {
+            let mut ctx = SchedCtx {
+                tasks: &mut self.tasks,
+                stats: &mut self.stats,
+                meter: &mut meter,
+                costs: &self.cfg.costs,
+                cfg: &self.cfg.sched,
+            };
+            self.sched.schedule(&mut ctx, cpu, prev, idle)
+        };
+        let cycles = meter.take();
+        let t_done = t_acq + cycles;
+        if self.cfg.sched.smp {
+            self.lock.release(t_done);
+        }
+        self.stats.cpu_mut(cpu).sched_cycles += cycles;
+        self.cpus[cpu].need_resched = false;
+        self.cpus[cpu].gen += 1; // cancel any outstanding Resume
+
+        let mut t2 = t_done;
+        if next != prev {
+            self.trace.record(
+                t_done,
+                TraceEvent::Switch {
+                    cpu,
+                    from: prev,
+                    to: next,
+                },
+            );
+            self.stats.cpu_mut(cpu).ctx_switches += 1;
+            t2 += self.cfg.costs.get(CostKind::CtxSwitch);
+            // Lazy TLB: the idle task borrows the outgoing mm
+            // (`active_mm`), so only a switch to a *different user mm*
+            // flushes.
+            let next_mm = self.tasks.task(next).mm;
+            if next != idle && next_mm != self.cpus[cpu].active_mm {
+                self.stats.cpu_mut(cpu).mm_switches += 1;
+                t2 += self.cfg.costs.get(CostKind::MmSwitch);
+                self.cpus[cpu].active_mm = next_mm;
+            }
+        }
+        self.cpus[cpu].current = next;
+        if next == idle {
+            self.cpus[cpu].idle_since = t2;
+            return None;
+        }
+        // Migration detection: the scheduler left `processor` untouched.
+        let migrated = {
+            let nt = self.tasks.task_mut(next);
+            let m = nt.processor != cpu;
+            nt.processor = cpu;
+            m
+        };
+        if migrated {
+            self.trace.record(
+                t2,
+                TraceEvent::Migrate {
+                    tid: next,
+                    to_cpu: cpu,
+                },
+            );
+            self.stats.cpu_mut(cpu).picked_new_cpu += 1;
+            self.run_mut(next).migrate_penalty = true;
+        }
+        if let Some(w) = self.run_mut(next).woken_at.take() {
+            self.dists
+                .record("wake_latency", t2.saturating_sub(w).get());
+        }
+        self.cpus[cpu].running_since = Some(t2);
+        Some(t2)
+    }
+
+    /// Runs the current task: dispatch compute segments and execute
+    /// completed syscalls until an event is scheduled or the task stops.
+    /// Returns `Some(t)` when the CPU must call `schedule()` at `t`.
+    fn run_segments(&mut self, cpu: CpuId, mut t: Cycles) -> Option<Cycles> {
+        loop {
+            if self.cpus[cpu].need_resched {
+                return Some(t);
+            }
+            let cur = self.cpus[cpu].current;
+            debug_assert_ne!(cur, self.cpus[cpu].idle, "running the idle task");
+            if self.run_ref(cur).pending.is_none() {
+                let op = self.call_behavior(cur, t);
+                self.run_mut(cur).pending = Some(Pending {
+                    remaining: op.compute.max(1),
+                    syscall: op.then,
+                });
+            }
+            // Dispatch the compute segment if any cycles remain.
+            let remaining = self
+                .run_ref(cur)
+                .pending
+                .as_ref()
+                .map_or(0, |p| p.remaining);
+            if remaining > 0 {
+                if self.run_ref(cur).migrate_penalty {
+                    // Cold caches after migrating: the first segment runs
+                    // longer (paper: the 15-point bonus exists to avoid
+                    // exactly this cost).
+                    let penalty = self.cfg.costs.get(CostKind::MigrationPenalty);
+                    let run = self.run_mut(cur);
+                    run.migrate_penalty = false;
+                    if let Some(p) = run.pending.as_mut() {
+                        p.remaining += penalty;
+                    }
+                }
+                let remaining = self.run_ref(cur).pending.as_ref().unwrap().remaining;
+                let end = t + remaining;
+                self.cpus[cpu].gen += 1;
+                let gen = self.cpus[cpu].gen;
+                self.cpus[cpu].busy_until = end;
+                self.push_event(end, Event::Resume { cpu, gen });
+                return None;
+            }
+            // Segment complete: perform the syscall.
+            let Pending { syscall, .. } = self.run_mut(cur).pending.take().expect("pending");
+            let base = self.cfg.costs.get(CostKind::SyscallBase);
+            match syscall {
+                Syscall::Nop => {}
+                Syscall::Yield => {
+                    t += base;
+                    self.tasks.task_mut(cur).policy.yielded = true;
+                    self.stats.cpu_mut(cpu).yields += 1;
+                    return Some(t);
+                }
+                Syscall::Exit => {
+                    t += base + self.cfg.costs.get(CostKind::Exit);
+                    self.trace.record(t, TraceEvent::Exit { tid: cur });
+                    self.tasks.task_mut(cur).state = TaskState::Zombie;
+                    self.live_users -= 1;
+                    self.last_exit = t;
+                    self.to_free.push(cur);
+                    return Some(t);
+                }
+                Syscall::Sleep(d) => {
+                    t += base;
+                    self.trace.record(t, TraceEvent::Block { tid: cur, cpu });
+                    self.tasks.task_mut(cur).state = TaskState::Interruptible;
+                    self.push_event(t + d, Event::Timer { tid: cur });
+                    return Some(t);
+                }
+                Syscall::Read(pipe) => {
+                    t += base + self.cfg.costs.get(CostKind::PipeOp);
+                    match self.pipes.pipe_mut(pipe).try_read() {
+                        Ok((msg, waker)) => {
+                            let polls = self.cfg.io_poll_yields;
+                            let run = self.run_mut(cur);
+                            run.last_read = Some(msg);
+                            run.polls_left = polls;
+                            if let Some(w) = waker {
+                                t = self.wake_up(w, cpu, t);
+                            }
+                        }
+                        Err(PipeError::WouldBlock) => {
+                            self.run_mut(cur).pending = Some(Pending {
+                                remaining: 0,
+                                syscall: Syscall::Read(pipe),
+                            });
+                            if self.poll_or_park(cur, cpu, |pipes| {
+                                pipes.pipe_mut(pipe).readers.park(cur)
+                            }) {
+                                return Some(t);
+                            }
+                            return Some(t);
+                        }
+                        Err(PipeError::Closed) => {
+                            self.run_mut(cur).last_read = None;
+                        }
+                    }
+                }
+                Syscall::Write(pipe, msg) => {
+                    t += base + self.cfg.costs.get(CostKind::PipeOp);
+                    match self.pipes.pipe_mut(pipe).try_write(msg) {
+                        Ok(waker) => {
+                            self.run_mut(cur).polls_left = self.cfg.io_poll_yields;
+                            if let Some(w) = waker {
+                                t = self.wake_up(w, cpu, t);
+                            }
+                        }
+                        Err(PipeError::WouldBlock) => {
+                            self.run_mut(cur).pending = Some(Pending {
+                                remaining: 0,
+                                syscall: Syscall::Write(pipe, msg),
+                            });
+                            self.poll_or_park(cur, cpu, |pipes| {
+                                pipes.pipe_mut(pipe).writers.park(cur)
+                            });
+                            return Some(t);
+                        }
+                        Err(PipeError::Closed) => {
+                            // Writing to a closed pipe: message dropped.
+                        }
+                    }
+                }
+                Syscall::Spawn(req) => {
+                    t += base + self.cfg.costs.get(CostKind::Fork);
+                    let child = self.spawn_inner(&req.spec, req.behavior);
+                    t = self.make_runnable(child, cpu, t);
+                    self.run_mut(cur).last_spawned = Some(child);
+                }
+            }
+        }
+    }
+
+    /// Spin-then-block on a would-block I/O operation: while the task has
+    /// poll budget left, consume one unit and `sched_yield()` (the
+    /// pending syscall retries when the task next runs); once the budget
+    /// is spent, park the task via `park` and block. Returns `true` when
+    /// it polled.
+    fn poll_or_park<F: FnOnce(&mut PipeTable)>(&mut self, cur: Tid, cpu: CpuId, park: F) -> bool {
+        let polls_left = self.run_ref(cur).polls_left;
+        if polls_left > 0 {
+            self.run_mut(cur).polls_left = polls_left - 1;
+            self.tasks.task_mut(cur).policy.yielded = true;
+            self.stats.cpu_mut(cpu).yields += 1;
+            true
+        } else {
+            self.run_mut(cur).polls_left = self.cfg.io_poll_yields;
+            park(&mut self.pipes);
+            self.trace
+                .record(self.now, TraceEvent::Block { tid: cur, cpu });
+            self.tasks.task_mut(cur).state = TaskState::Interruptible;
+            false
+        }
+    }
+
+    /// Calls the task's behaviour to get its next op.
+    fn call_behavior(&mut self, tid: Tid, now: Cycles) -> Op {
+        let idx = tid.index();
+        let mut behavior = self.runs[idx]
+            .as_mut()
+            .expect("no run state")
+            .behavior
+            .take()
+            .expect("idle task has no behavior to run");
+        let op = {
+            let run = self.runs[idx].as_mut().expect("no run state");
+            let mut sys = SysView {
+                tid,
+                now,
+                last_read: run.last_read.take(),
+                last_spawned: run.last_spawned.take(),
+                rng: &mut run.rng,
+                ledger: &mut self.ledger,
+                dists: &mut self.dists,
+            };
+            behavior.resume(&mut sys)
+        };
+        self.runs[idx].as_mut().expect("no run state").behavior = Some(behavior);
+        op
+    }
+
+    // ------------------------------------------------------------------
+    // Wakeups
+    // ------------------------------------------------------------------
+
+    /// `wake_up_process()`: make a blocked task runnable and decide where
+    /// it should run. Returns the caller's advanced time cursor.
+    fn wake_up(&mut self, tid: Tid, waker_cpu: CpuId, t: Cycles) -> Cycles {
+        let Some(task) = self.tasks.get(tid) else {
+            return t; // stale timer on an exited task
+        };
+        if !task.state.is_blocked() {
+            return t; // already runnable (or a zombie)
+        }
+        self.tasks.task_mut(tid).state = TaskState::Running;
+        self.trace.record(
+            t,
+            TraceEvent::Wakeup {
+                tid,
+                by_cpu: waker_cpu,
+            },
+        );
+        self.stats.cpu_mut(waker_cpu).wakeups += 1;
+        self.run_mut(tid).woken_at = Some(t);
+        self.make_runnable(tid, waker_cpu, t)
+    }
+
+    /// Enqueues a runnable task and runs `reschedule_idle()` placement.
+    fn make_runnable(&mut self, tid: Tid, waker_cpu: CpuId, t: Cycles) -> Cycles {
+        debug_assert!(self.tasks.task(tid).state.is_runnable());
+        // add_to_runqueue under the run-queue lock.
+        let t_acq = if self.cfg.sched.smp {
+            let a = self.lock.acquire(t, waker_cpu);
+            self.stats.cpu_mut(waker_cpu).lock_spin_cycles += a.saturating_sub(t).get();
+            a
+        } else {
+            t
+        };
+        let mut meter = CycleMeter::new();
+        {
+            let mut ctx = SchedCtx {
+                tasks: &mut self.tasks,
+                stats: &mut self.stats,
+                meter: &mut meter,
+                costs: &self.cfg.costs,
+                cfg: &self.cfg.sched,
+            };
+            self.sched.add_to_runqueue(&mut ctx, tid);
+        }
+        // reschedule_idle() runs under the run-queue lock in the kernel:
+        // it reads every CPU's current task, so it is charged one
+        // goodness evaluation per CPU plus its fixed cost, all while
+        // holding the lock — a major serialization point on SMP.
+        meter.charge(&self.cfg.costs, CostKind::RescheduleIdle);
+        meter.charge_n(
+            &self.cfg.costs,
+            CostKind::GoodnessEval,
+            self.cfg.nr_cpus() as u64,
+        );
+        let t2 = t_acq + meter.take();
+        if self.cfg.sched.smp {
+            self.lock.release(t2);
+        }
+        let mut t3 = t2;
+
+        let views: Vec<CpuView> = self
+            .cpus
+            .iter()
+            .map(|c| CpuView {
+                id: c.id,
+                idle: c.is_idle(),
+                current: c.current,
+            })
+            .collect();
+        match reschedule_idle(&self.tasks, &self.cfg.sched, &views, tid) {
+            WakeTarget::IpiIdle(target) => {
+                self.cpus[target].need_resched = true;
+                self.stats.cpu_mut(waker_cpu).ipis_sent += 1;
+                t3 += 1;
+                self.push_event(
+                    t3 + self.cfg.costs.get(CostKind::IpiLatency),
+                    Event::Ipi { cpu: target },
+                );
+            }
+            WakeTarget::Preempt(target) => {
+                self.cpus[target].need_resched = true;
+                if target != waker_cpu {
+                    self.stats.cpu_mut(waker_cpu).ipis_sent += 1;
+                    self.push_event(
+                        t3 + self.cfg.costs.get(CostKind::IpiLatency),
+                        Event::Ipi { cpu: target },
+                    );
+                }
+                // target == waker_cpu: the need_resched check at the top
+                // of run_segments picks this up at the syscall boundary.
+            }
+            WakeTarget::None => {}
+        }
+        t3
+    }
+}
+
+/// Grows a vector of options so `idx` is addressable.
+fn grow_to<T>(v: &mut Vec<Option<T>>, idx: usize) {
+    while v.len() <= idx {
+        v.push(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Script;
+    use elsc_ktask::MmId;
+
+    fn up_machine() -> Machine {
+        // Small watchdog so a broken test fails fast.
+        let cfg = MachineConfig::up().with_max_secs(50.0);
+        Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()))
+    }
+
+    fn smp_machine(n: usize) -> Machine {
+        let cfg = MachineConfig::smp(n).with_max_secs(50.0);
+        Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()))
+    }
+
+    fn elsc_machine(n: usize, smp: bool) -> Machine {
+        let cfg = if smp {
+            MachineConfig::smp(n)
+        } else {
+            MachineConfig::up()
+        }
+        .with_max_secs(50.0);
+        Machine::new(cfg, Box::new(elsc::ElscScheduler::new()))
+    }
+
+    #[test]
+    fn single_task_computes_and_exits() {
+        let mut m = up_machine();
+        m.spawn(
+            &TaskSpec::named("solo"),
+            Box::new(Script::new(vec![Op::compute(100_000, Syscall::Nop)])),
+        );
+        let r = m.run().expect("completes");
+        assert!(r.elapsed.get() >= 100_000);
+        assert_eq!(r.tasks_spawned, 1);
+        let t = r.stats.total();
+        assert!(t.sched_calls >= 2, "at least dispatch + exit");
+        assert!(t.ctx_switches >= 1);
+    }
+
+    #[test]
+    fn run_twice_panics() {
+        let mut m = up_machine();
+        m.spawn(&TaskSpec::named("x"), Box::new(Script::new(vec![])));
+        let _ = m.run();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.run()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn two_tasks_share_one_cpu() {
+        let mut m = up_machine();
+        let burst = 30_000_000; // 3 quanta at 400MHz/100Hz ticks? ticks are 4M cycles; 30M = 7.5 ticks
+        m.spawn(
+            &TaskSpec::named("a").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::compute(burst, Syscall::Nop)])),
+        );
+        m.spawn(
+            &TaskSpec::named("b").mm(MmId(2)),
+            Box::new(Script::new(vec![Op::compute(burst, Syscall::Nop)])),
+        );
+        let r = m.run().expect("completes");
+        // Serialized on one CPU: at least the sum of both bursts.
+        assert!(r.elapsed.get() >= 2 * burst);
+        // Quantum expiry forces preemptions between them.
+        let t = r.stats.total();
+        assert!(t.ticks > 0);
+    }
+
+    #[test]
+    fn smp_runs_tasks_in_parallel() {
+        let burst = 40_000_000u64;
+        let elapsed_on = |cpus: usize| {
+            let mut m = smp_machine(cpus);
+            for i in 0..4u64 {
+                m.spawn(
+                    &TaskSpec::named("w").mm(MmId(i as u32 + 1)),
+                    Box::new(Script::new(vec![Op::compute(burst, Syscall::Nop)])),
+                );
+            }
+            m.run().expect("completes").elapsed.get()
+        };
+        let one = elapsed_on(1);
+        let four = elapsed_on(4);
+        assert!(
+            (four as f64) < (one as f64) * 0.5,
+            "4 CPUs ({four}) should be much faster than 1 ({one})"
+        );
+    }
+
+    #[test]
+    fn pipe_roundtrip_between_tasks() {
+        // Poll-yields disabled so the reader genuinely blocks and the
+        // write must wake it.
+        let cfg = MachineConfig::up().with_max_secs(50.0).with_poll_yields(0);
+        let mut m = Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()));
+        let pipe = m.create_pipe(4);
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(1)),
+            Box::new(Script::new(vec![
+                Op::write_after(10_000, pipe, Msg::tagged(1)),
+                Op::write_after(10_000, pipe, Msg::tagged(2)),
+            ])),
+        );
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(2)),
+            Box::new(Script::new(vec![
+                Op::read_after(1_000, pipe),
+                Op::read_after(1_000, pipe),
+            ])),
+        );
+        let r = m.run().expect("completes");
+        assert_eq!(r.messages_read, 2);
+        let t = r.stats.total();
+        assert!(t.wakeups >= 1, "reader must be woken by the writer");
+    }
+
+    #[test]
+    fn reader_blocks_until_writer_writes() {
+        let mut m = up_machine();
+        let pipe = m.create_pipe(1);
+        // Reader starts immediately; writer computes a long time first.
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::read_after(1, pipe)])),
+        );
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(2)),
+            Box::new(Script::new(vec![Op::write_after(
+                5_000_000,
+                pipe,
+                Msg::tagged(9),
+            )])),
+        );
+        let r = m.run().expect("completes");
+        // The run can't end before the writer's compute phase.
+        assert!(r.elapsed.get() >= 5_000_000);
+        assert_eq!(r.messages_read, 1);
+    }
+
+    #[test]
+    fn bounded_pipe_blocks_writer() {
+        let mut m = up_machine();
+        let pipe = m.create_pipe(1);
+        // Writer floods a capacity-1 pipe; reader drains slowly.
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(1)),
+            Box::new(Script::new(
+                (0..5)
+                    .map(|i| Op::write_after(100, pipe, Msg::tagged(i)))
+                    .collect(),
+            )),
+        );
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(2)),
+            Box::new(Script::new(
+                (0..5).map(|_| Op::read_after(200_000, pipe)).collect(),
+            )),
+        );
+        let r = m.run().expect("completes");
+        assert_eq!(r.messages_read, 5);
+    }
+
+    #[test]
+    fn sleep_delays_exit() {
+        let mut m = up_machine();
+        m.spawn(
+            &TaskSpec::named("sleeper"),
+            Box::new(Script::new(vec![Op::sleep_after(1_000, 8_000_000)])),
+        );
+        let r = m.run().expect("completes");
+        assert!(r.elapsed.get() >= 8_000_000);
+        assert!(r.stats.total().wakeups >= 1);
+    }
+
+    #[test]
+    fn spawn_syscall_creates_running_child() {
+        let mut m = up_machine();
+        m.spawn(
+            &TaskSpec::named("parent").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::compute(
+                1_000,
+                Syscall::Spawn(crate::behavior::SpawnReq {
+                    spec: TaskSpec::named("child").mm(MmId(2)),
+                    behavior: Box::new(Script::new(vec![Op::compute(50_000, Syscall::Nop)])),
+                }),
+            )])),
+        );
+        let r = m.run().expect("completes");
+        assert_eq!(r.tasks_spawned, 2);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut m = up_machine();
+        let pipe = m.create_pipe(1);
+        // A reader on a pipe nobody ever writes.
+        m.spawn(
+            &TaskSpec::named("stuck"),
+            Box::new(Script::new(vec![Op::read_after(1_000, pipe)])),
+        );
+        match m.run() {
+            Err(RunError::Deadlock { live, .. }) => assert_eq!(live, 1),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_on_endless_work() {
+        let cfg = MachineConfig::up().with_max_secs(0.05);
+        let mut m = Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()));
+        m.spawn(
+            &TaskSpec::named("forever"),
+            Box::new(crate::behavior::Spinner { burst: 1_000_000 }),
+        );
+        match m.run() {
+            Err(RunError::Watchdog { .. }) => {}
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn yield_ping_pong_alternates_tasks() {
+        let mut m = up_machine();
+        for name in ["a", "b"] {
+            m.spawn(
+                &TaskSpec::named(name).mm(MmId(1)),
+                Box::new(Script::new(
+                    (0..10).map(|_| Op::yield_after(1_000)).collect(),
+                )),
+            );
+        }
+        let r = m.run().expect("completes");
+        let t = r.stats.total();
+        assert_eq!(t.yields, 20);
+        // Yields force schedule() calls.
+        assert!(t.sched_calls >= 20);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let mut m = elsc_machine(2, true);
+            let pipe = m.create_pipe(4);
+            m.spawn(
+                &TaskSpec::named("w").mm(MmId(1)),
+                Box::new(Script::new(
+                    (0..20)
+                        .map(|i| Op::write_after(5_000, pipe, Msg::tagged(i)))
+                        .collect(),
+                )),
+            );
+            m.spawn(
+                &TaskSpec::named("r").mm(MmId(2)),
+                Box::new(Script::new(
+                    (0..20).map(|_| Op::read_after(3_000, pipe)).collect(),
+                )),
+            );
+            let r = m.run().expect("completes");
+            (r.elapsed, r.stats.total().sched_calls, r.messages_read)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn elsc_machine_runs_same_workload() {
+        let mut m = elsc_machine(1, false);
+        let pipe = m.create_pipe(4);
+        m.spawn(
+            &TaskSpec::named("w").mm(MmId(1)),
+            Box::new(Script::new(
+                (0..5)
+                    .map(|i| Op::write_after(2_000, pipe, Msg::tagged(i)))
+                    .collect(),
+            )),
+        );
+        m.spawn(
+            &TaskSpec::named("r").mm(MmId(2)),
+            Box::new(Script::new(
+                (0..5).map(|_| Op::read_after(2_000, pipe)).collect(),
+            )),
+        );
+        let r = m.run().expect("completes");
+        assert_eq!(r.scheduler, "elsc");
+        assert_eq!(r.messages_read, 5);
+    }
+
+    #[test]
+    fn migration_penalty_charged_once() {
+        // A 2-CPU machine with one task that blocks and wakes: if it gets
+        // placed on the other CPU, picked_new_cpu increments. We at least
+        // verify the counter stays consistent (no negative logic).
+        let mut m = smp_machine(2);
+        let pipe = m.create_pipe(1);
+        m.spawn(
+            &TaskSpec::named("a").mm(MmId(1)),
+            Box::new(Script::new(vec![
+                Op::write_after(10_000, pipe, Msg::tagged(1)),
+                Op::compute(50_000, Syscall::Nop),
+            ])),
+        );
+        m.spawn(
+            &TaskSpec::named("b").mm(MmId(2)),
+            Box::new(Script::new(vec![Op::read_after(10_000, pipe)])),
+        );
+        let r = m.run().expect("completes");
+        let t = r.stats.total();
+        assert!(t.picked_new_cpu <= t.sched_calls);
+    }
+
+    #[test]
+    fn work_and_idle_cycles_are_accounted() {
+        let mut m = up_machine();
+        m.spawn(
+            &TaskSpec::named("worker"),
+            Box::new(Script::new(vec![Op::compute(1_000_000, Syscall::Nop)])),
+        );
+        let r = m.run().expect("completes");
+        let t = r.stats.total();
+        assert!(t.work_cycles >= 1_000_000, "work {}", t.work_cycles);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::behavior::Script;
+    use crate::trace::TraceEvent;
+    use elsc_ktask::MmId;
+
+    #[test]
+    fn trace_captures_the_causal_chain() {
+        let cfg = MachineConfig::up()
+            .with_max_secs(50.0)
+            .with_poll_yields(0)
+            .with_trace(10_000);
+        let mut m = Machine::new(cfg, Box::new(elsc::ElscScheduler::new()));
+        let pipe = m.create_pipe(1);
+        // Spawn the writer first: adds insert at the front of the list,
+        // so the *reader* runs first and genuinely blocks.
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(2)),
+            Box::new(Script::new(vec![Op::write_after(
+                2_000_000,
+                pipe,
+                Msg::tagged(1),
+            )])),
+        );
+        let reader = m.spawn(
+            &TaskSpec::named("reader").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::read_after(1_000, pipe)])),
+        );
+        let report = m.run().expect("completes");
+        let trace = m.trace();
+        trace.check_monotone();
+        assert_eq!(trace.dropped(), 0);
+        // The reader blocks, is woken, and exits — in that order.
+        let block_at = trace
+            .filter(|e| matches!(e, TraceEvent::Block { tid, .. } if *tid == reader))
+            .next()
+            .expect("reader blocked")
+            .at;
+        let wake_at = trace
+            .filter(|e| matches!(e, TraceEvent::Wakeup { tid, .. } if *tid == reader))
+            .next()
+            .expect("reader woken")
+            .at;
+        let exit_at = trace
+            .filter(|e| matches!(e, TraceEvent::Exit { tid } if *tid == reader))
+            .next()
+            .expect("reader exited")
+            .at;
+        assert!(block_at < wake_at && wake_at < exit_at);
+        // Trace switch records match the stats counter.
+        let switches = trace
+            .filter(|e| matches!(e, TraceEvent::Switch { .. }))
+            .count() as u64;
+        assert_eq!(switches, report.stats.total().ctx_switches);
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_schedule() {
+        let run = |trace_cap: usize| {
+            let cfg = MachineConfig::smp(2)
+                .with_max_secs(50.0)
+                .with_trace(trace_cap);
+            let mut m = Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()));
+            let pipe = m.create_pipe(2);
+            for i in 0..3u32 {
+                m.spawn(
+                    &TaskSpec::named("w").mm(MmId(i + 1)),
+                    Box::new(Script::new(
+                        (0..10)
+                            .map(|k| Op::write_after(10_000, pipe, Msg::tagged(k)))
+                            .collect(),
+                    )),
+                );
+            }
+            m.spawn(
+                &TaskSpec::named("r").mm(MmId(9)),
+                Box::new(Script::new(
+                    (0..30).map(|_| Op::read_after(5_000, pipe)).collect(),
+                )),
+            );
+            m.run().expect("completes").elapsed
+        };
+        assert_eq!(run(0), run(100_000), "tracing must be observation-only");
+    }
+}

@@ -1,0 +1,231 @@
+//! Run reports and the workload metric ledger.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use elsc_simcore::{Cycles, Histogram};
+use elsc_stats::SchedStats;
+
+/// Named counters workloads increment from inside behaviours
+/// (e.g. `"messages"` for VolanoMark throughput).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ledger {
+    map: BTreeMap<&'static str, u64>,
+}
+
+/// Named sample distributions workloads record from inside behaviours
+/// (e.g. `"response_latency"` for the httpd experiment). The machine adds
+/// its own built-in distributions: `"wake_latency"` (wakeup to dispatch)
+/// and `"runqueue_len"` (run-queue length sampled at every `schedule()`).
+#[derive(Clone, Debug, Default)]
+pub struct Distributions {
+    map: BTreeMap<&'static str, Histogram>,
+}
+
+impl Distributions {
+    /// Creates an empty bank.
+    pub fn new() -> Distributions {
+        Distributions::default()
+    }
+
+    /// Records a sample into distribution `key`.
+    pub fn record(&mut self, key: &'static str, v: u64) {
+        self.map.entry(key).or_default().record(v);
+    }
+
+    /// Reads a distribution; `None` if nothing was recorded under `key`.
+    pub fn get(&self, key: &str) -> Option<&Histogram> {
+        self.map.get(key)
+    }
+
+    /// Iterates over `(name, histogram)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.map.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Adds `n` to counter `key`.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.map.entry(key).or_insert(0) += n;
+    }
+
+    /// Reads counter `key` (0 if never written).
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether no counter was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The outcome of one machine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scheduler name ("reg", "elsc", ...).
+    pub scheduler: &'static str,
+    /// Machine label ("UP", "2P", ...).
+    pub config: String,
+    /// Virtual time at which the last user task exited.
+    pub elapsed: Cycles,
+    /// Clock frequency, for second conversions.
+    pub cpu_hz: u64,
+    /// Scheduler statistics accumulated over the run.
+    pub stats: SchedStats,
+    /// Workload metrics.
+    pub ledger: Ledger,
+    /// Cycles CPUs spent spinning on the run-queue lock.
+    pub lock_spin: Cycles,
+    /// Run-queue lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Tasks created over the run.
+    pub tasks_spawned: u64,
+    /// Total messages delivered through pipes.
+    pub messages_read: u64,
+    /// Sample distributions: machine built-ins (`wake_latency`,
+    /// `runqueue_len`) plus whatever the workload recorded.
+    pub dists: Distributions,
+}
+
+impl RunReport {
+    /// Elapsed virtual seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed.as_secs(self.cpu_hz)
+    }
+
+    /// Throughput of a ledger counter in events per virtual second.
+    pub fn per_sec(&self, key: &str) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ledger.get(key) as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{} / {}] elapsed {:.3}s ({} cycles)",
+            self.scheduler,
+            self.config,
+            self.elapsed_secs(),
+            self.elapsed
+        )?;
+        let t = self.stats.total();
+        writeln!(
+            f,
+            "  sched: calls={} cyc/call={:.0} examined/call={:.2} recalcs={} new_cpu={}",
+            t.sched_calls,
+            t.cycles_per_schedule(),
+            t.tasks_examined_per_schedule(),
+            t.recalc_entries,
+            t.picked_new_cpu
+        )?;
+        writeln!(
+            f,
+            "  lock: spin={} acq={}  tasks={}  msgs={}",
+            self.lock_spin, self.lock_acquisitions, self.tasks_spawned, self.messages_read
+        )?;
+        for (k, v) in self.ledger.iter() {
+            writeln!(f, "  {k} = {v}")?;
+        }
+        for (k, h) in self.dists.iter() {
+            writeln!(f, "  {k}: {}", h.summary())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut l = Ledger::new();
+        assert_eq!(l.get("x"), 0);
+        l.add("x", 3);
+        l.add("x", 4);
+        l.add("y", 1);
+        assert_eq!(l.get("x"), 7);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![("x", 7), ("y", 1)]);
+        assert!(!l.is_empty());
+    }
+
+    fn report() -> RunReport {
+        let mut ledger = Ledger::new();
+        ledger.add("messages", 4000);
+        RunReport {
+            scheduler: "elsc",
+            config: "2P".into(),
+            elapsed: Cycles(800_000_000),
+            cpu_hz: 400_000_000,
+            stats: SchedStats::new(2),
+            ledger,
+            lock_spin: Cycles(123),
+            lock_acquisitions: 9,
+            tasks_spawned: 5,
+            messages_read: 4000,
+            dists: Distributions::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report();
+        assert_eq!(r.elapsed_secs(), 2.0);
+        assert_eq!(r.per_sec("messages"), 2000.0);
+        assert_eq!(r.per_sec("missing"), 0.0);
+    }
+
+    #[test]
+    fn distributions_record_and_iterate() {
+        let mut d = Distributions::new();
+        assert!(d.is_empty());
+        d.record("lat", 10);
+        d.record("lat", 30);
+        d.record("other", 1);
+        assert_eq!(d.get("lat").unwrap().count(), 2);
+        assert_eq!(d.get("lat").unwrap().mean(), 20.0);
+        assert!(d.get("missing").is_none());
+        let names: Vec<_> = d.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["lat", "other"]);
+    }
+
+    #[test]
+    fn display_includes_distributions() {
+        let mut r = report();
+        r.dists.record("wake_latency", 500);
+        let text = r.to_string();
+        assert!(text.contains("wake_latency"));
+        assert!(text.contains("n=1"));
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let text = report().to_string();
+        assert!(text.contains("elsc"));
+        assert!(text.contains("2P"));
+        assert!(text.contains("messages = 4000"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests on the machine: determinism, time monotonicity, and
+//! accounting consistency over randomly generated workloads.
+
+use proptest::prelude::*;
+
+use elsc_ktask::{MmId, TaskSpec};
+use elsc_machine::behavior::Script;
+use elsc_machine::{Machine, MachineConfig, Op, RunReport, Syscall};
+use elsc_netsim::Msg;
+
+/// Builds a random-but-reproducible producer/consumer workload from the
+/// proptest-generated shape parameters.
+fn build_machine(
+    seed: u64,
+    cpus: usize,
+    pairs: usize,
+    msgs: usize,
+    burst: u64,
+    elsc: bool,
+) -> Machine {
+    let cfg = MachineConfig::smp(cpus)
+        .with_seed(seed)
+        .with_max_secs(2_000.0);
+    let sched: Box<dyn elsc_sched_api::Scheduler> = if elsc {
+        Box::new(elsc::ElscScheduler::new())
+    } else {
+        Box::new(elsc_sched_linux::LinuxScheduler::new())
+    };
+    let mut m = Machine::new(cfg, sched);
+    for p in 0..pairs {
+        let pipe = m.create_pipe(2);
+        m.spawn(
+            &TaskSpec::named("producer").mm(MmId(1 + p as u32)),
+            Box::new(Script::new(
+                (0..msgs)
+                    .map(|i| Op::write_after(burst, pipe, Msg::tagged(i as u64)))
+                    .collect(),
+            )),
+        );
+        m.spawn(
+            &TaskSpec::named("consumer").mm(MmId(100 + p as u32)),
+            Box::new(Script::new(
+                (0..msgs).map(|_| Op::read_after(burst / 2, pipe)).collect(),
+            )),
+        );
+        m.spawn(
+            &TaskSpec::named("cruncher").mm(MmId(200 + p as u32)),
+            Box::new(Script::new(vec![
+                Op::compute(burst * 4, Syscall::Nop),
+                Op::yield_after(burst),
+                Op::sleep_after(burst, 100_000),
+            ])),
+        );
+    }
+    m
+}
+
+fn run(seed: u64, cpus: usize, pairs: usize, msgs: usize, burst: u64, elsc: bool) -> RunReport {
+    build_machine(seed, cpus, pairs, msgs, burst, elsc)
+        .run()
+        .expect("workload completes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn runs_are_deterministic(
+        seed in any::<u64>(),
+        cpus in 1usize..4,
+        pairs in 1usize..4,
+        msgs in 1usize..6,
+        burst in 1_000u64..200_000,
+        elsc in any::<bool>(),
+    ) {
+        let a = run(seed, cpus, pairs, msgs, burst, elsc);
+        let b = run(seed, cpus, pairs, msgs, burst, elsc);
+        prop_assert_eq!(a.elapsed, b.elapsed);
+        prop_assert_eq!(a.stats.total().sched_calls, b.stats.total().sched_calls);
+        prop_assert_eq!(a.stats.total().ctx_switches, b.stats.total().ctx_switches);
+        prop_assert_eq!(a.messages_read, b.messages_read);
+    }
+
+    #[test]
+    fn all_work_completes_and_time_is_sane(
+        seed in any::<u64>(),
+        cpus in 1usize..5,
+        pairs in 1usize..5,
+        msgs in 1usize..5,
+        burst in 1_000u64..100_000,
+        elsc in any::<bool>(),
+    ) {
+        let r = run(seed, cpus, pairs, msgs, burst, elsc);
+        // Every message makes it through.
+        prop_assert_eq!(r.messages_read, (pairs * msgs) as u64);
+        // Elapsed covers at least the producer's serial compute.
+        prop_assert!(r.elapsed.get() >= burst * msgs as u64);
+        // Exactly 3 tasks per pair were created and all exited.
+        prop_assert_eq!(r.tasks_spawned, (pairs * 3) as u64);
+        let t = r.stats.total();
+        // Scheduler accounting is internally consistent.
+        prop_assert!(t.ctx_switches <= t.sched_calls);
+        prop_assert!(t.idle_scheduled <= t.sched_calls);
+        prop_assert!(t.recalc_tasks >= t.recalc_entries);
+    }
+
+    #[test]
+    fn work_conservation_across_cpu_counts(
+        seed in any::<u64>(),
+        pairs in 1usize..4,
+        msgs in 2usize..5,
+    ) {
+        // The same workload must deliver the same messages regardless of
+        // machine shape — only timing may differ.
+        let one = run(seed, 1, pairs, msgs, 50_000, true);
+        let four = run(seed, 4, pairs, msgs, 50_000, true);
+        prop_assert_eq!(one.messages_read, four.messages_read);
+    }
+}

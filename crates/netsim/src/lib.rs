@@ -1,0 +1,18 @@
+//! The loopback socket substrate.
+//!
+//! VolanoMark runs over loopback TCP connections with *blocking* reads and
+//! writes — "Because Java does not provide non-blocking read and write,
+//! VolanoMark uses a pair of threads on each end of each socket
+//! connection" (paper §4). This crate models exactly that surface: a
+//! [`Pipe`] is one direction of a connection — a bounded message queue
+//! whose full/empty conditions park tasks on wait queues. The machine
+//! model turns `WouldBlock` results into task sleeps and the returned
+//! wake lists into `wake_up_process()` calls.
+//!
+//! Nothing here advances time; all costs (copying, syscall overhead) are
+//! charged by the machine's syscall layer.
+#![warn(missing_docs)]
+
+pub mod pipe;
+
+pub use pipe::{Msg, Pipe, PipeError, PipeId, PipeTable};

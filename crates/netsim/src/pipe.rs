@@ -1,0 +1,313 @@
+//! Bounded blocking message pipes.
+
+use std::collections::VecDeque;
+
+use elsc_ktask::{Tid, WaitQueue};
+
+/// A message travelling through a pipe.
+///
+/// Payload contents never matter to the scheduler; the fields exist so
+/// workloads can label and size their traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Msg {
+    /// Message size in bytes (drives copy costs in workload models).
+    pub len: u32,
+    /// Free-form tag (e.g. sender id, sequence number).
+    pub tag: u64,
+}
+
+impl Msg {
+    /// A small fixed-size message with the given tag.
+    pub fn tagged(tag: u64) -> Msg {
+        Msg { len: 64, tag }
+    }
+}
+
+/// Identifier of a pipe in a [`PipeTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PipeId(pub u32);
+
+/// Errors from pipe operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipeError {
+    /// The operation would block (queue empty on read / full on write).
+    WouldBlock,
+    /// The other end has been closed and the queue is drained.
+    Closed,
+}
+
+/// One direction of a connection: a bounded FIFO of messages plus the
+/// wait queues of blocked readers and writers.
+#[derive(Debug)]
+pub struct Pipe {
+    capacity: usize,
+    queue: VecDeque<Msg>,
+    /// Tasks blocked in `read()`.
+    pub readers: WaitQueue,
+    /// Tasks blocked in `write()`.
+    pub writers: WaitQueue,
+    closed: bool,
+    total_written: u64,
+    total_read: u64,
+}
+
+impl Pipe {
+    /// Creates a pipe holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (a zero-capacity pipe can never move a
+    /// message under blocking semantics without a rendezvous model).
+    pub fn new(capacity: usize) -> Pipe {
+        assert!(capacity > 0, "pipe capacity must be positive");
+        Pipe {
+            capacity,
+            queue: VecDeque::with_capacity(capacity),
+            readers: WaitQueue::new(),
+            writers: WaitQueue::new(),
+            closed: false,
+            total_written: 0,
+            total_read: 0,
+        }
+    }
+
+    /// Attempts to enqueue a message. On success returns the reader to
+    /// wake (if one was blocked).
+    pub fn try_write(&mut self, msg: Msg) -> Result<Option<Tid>, PipeError> {
+        if self.closed {
+            return Err(PipeError::Closed);
+        }
+        if self.queue.len() >= self.capacity {
+            return Err(PipeError::WouldBlock);
+        }
+        self.queue.push_back(msg);
+        self.total_written += 1;
+        Ok(self.readers.wake_one())
+    }
+
+    /// Attempts to dequeue a message. On success returns the message and
+    /// the writer to wake (if one was blocked on a full queue).
+    pub fn try_read(&mut self) -> Result<(Msg, Option<Tid>), PipeError> {
+        match self.queue.pop_front() {
+            Some(msg) => {
+                self.total_read += 1;
+                Ok((msg, self.writers.wake_one()))
+            }
+            None => {
+                if self.closed {
+                    Err(PipeError::Closed)
+                } else {
+                    Err(PipeError::WouldBlock)
+                }
+            }
+        }
+    }
+
+    /// Closes the pipe: subsequent writes fail, reads drain then fail.
+    /// Returns every task that was blocked on it (they must be woken to
+    /// observe the close).
+    pub fn close(&mut self) -> Vec<Tid> {
+        self.closed = true;
+        let mut woken = self.readers.wake_all();
+        woken.extend(self.writers.wake_all());
+        woken
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Whether the pipe has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Lifetime messages written.
+    pub fn total_written(&self) -> u64 {
+        self.total_written
+    }
+
+    /// Lifetime messages read.
+    pub fn total_read(&self) -> u64 {
+        self.total_read
+    }
+}
+
+/// All pipes in the simulated machine.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    pipes: Vec<Pipe>,
+}
+
+impl PipeTable {
+    /// Creates an empty table.
+    pub fn new() -> PipeTable {
+        PipeTable::default()
+    }
+
+    /// Creates a pipe and returns its id.
+    pub fn create(&mut self, capacity: usize) -> PipeId {
+        let id = PipeId(u32::try_from(self.pipes.len()).expect("pipe table overflow"));
+        self.pipes.push(Pipe::new(capacity));
+        id
+    }
+
+    /// Access a pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id (ids are never reused, so this is a bug).
+    pub fn pipe(&self, id: PipeId) -> &Pipe {
+        &self.pipes[id.0 as usize]
+    }
+
+    /// Mutable access to a pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn pipe_mut(&mut self, id: PipeId) -> &mut Pipe {
+        &mut self.pipes[id.0 as usize]
+    }
+
+    /// Number of pipes created.
+    pub fn len(&self) -> usize {
+        self.pipes.len()
+    }
+
+    /// Whether no pipes exist.
+    pub fn is_empty(&self) -> bool {
+        self.pipes.is_empty()
+    }
+
+    /// Total messages delivered (read) across all pipes.
+    pub fn total_read(&self) -> u64 {
+        self.pipes.iter().map(|p| p.total_read()).sum()
+    }
+
+    /// Total messages still in flight (conservation checks).
+    pub fn total_queued(&self) -> usize {
+        self.pipes.iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> Tid {
+        Tid::from_raw(i, 0)
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut p = Pipe::new(4);
+        assert_eq!(p.try_write(Msg::tagged(7)), Ok(None));
+        let (msg, waker) = p.try_read().unwrap();
+        assert_eq!(msg.tag, 7);
+        assert_eq!(waker, None);
+        assert_eq!(p.total_written(), 1);
+        assert_eq!(p.total_read(), 1);
+    }
+
+    #[test]
+    fn read_empty_would_block() {
+        let mut p = Pipe::new(1);
+        assert_eq!(p.try_read().unwrap_err(), PipeError::WouldBlock);
+    }
+
+    #[test]
+    fn write_full_would_block() {
+        let mut p = Pipe::new(2);
+        p.try_write(Msg::tagged(1)).unwrap();
+        p.try_write(Msg::tagged(2)).unwrap();
+        assert!(p.is_full());
+        assert_eq!(
+            p.try_write(Msg::tagged(3)).unwrap_err(),
+            PipeError::WouldBlock
+        );
+    }
+
+    #[test]
+    fn write_wakes_blocked_reader() {
+        let mut p = Pipe::new(1);
+        p.readers.park(tid(5));
+        assert_eq!(p.try_write(Msg::tagged(1)), Ok(Some(tid(5))));
+    }
+
+    #[test]
+    fn read_wakes_blocked_writer() {
+        let mut p = Pipe::new(1);
+        p.try_write(Msg::tagged(1)).unwrap();
+        p.writers.park(tid(9));
+        let (_, waker) = p.try_read().unwrap();
+        assert_eq!(waker, Some(tid(9)));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut p = Pipe::new(8);
+        for i in 0..5 {
+            p.try_write(Msg::tagged(i)).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(p.try_read().unwrap().0.tag, i);
+        }
+    }
+
+    #[test]
+    fn close_wakes_everyone_and_fails_ops() {
+        let mut p = Pipe::new(1);
+        p.try_write(Msg::tagged(1)).unwrap();
+        p.readers.park(tid(1));
+        p.writers.park(tid(2));
+        let woken = p.close();
+        assert_eq!(woken, vec![tid(1), tid(2)]);
+        assert_eq!(p.try_write(Msg::tagged(2)).unwrap_err(), PipeError::Closed);
+        // Draining reads still succeed, then fail with Closed.
+        assert!(p.try_read().is_ok());
+        assert_eq!(p.try_read().unwrap_err(), PipeError::Closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Pipe::new(0);
+    }
+
+    #[test]
+    fn table_creates_distinct_pipes() {
+        let mut t = PipeTable::new();
+        let a = t.create(1);
+        let b = t.create(2);
+        assert_ne!(a, b);
+        t.pipe_mut(a).try_write(Msg::tagged(1)).unwrap();
+        assert_eq!(t.pipe(a).len(), 1);
+        assert_eq!(t.pipe(b).len(), 0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_aggregates() {
+        let mut t = PipeTable::new();
+        let a = t.create(4);
+        let b = t.create(4);
+        t.pipe_mut(a).try_write(Msg::tagged(1)).unwrap();
+        t.pipe_mut(a).try_write(Msg::tagged(2)).unwrap();
+        t.pipe_mut(b).try_write(Msg::tagged(3)).unwrap();
+        t.pipe_mut(a).try_read().unwrap();
+        assert_eq!(t.total_read(), 1);
+        assert_eq!(t.total_queued(), 2);
+    }
+}

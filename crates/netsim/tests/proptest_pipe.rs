@@ -1,0 +1,118 @@
+//! Property tests: pipes behave like a bounded FIFO with correct
+//! wake-list bookkeeping.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use elsc_ktask::Tid;
+use elsc_netsim::{Msg, Pipe, PipeError};
+
+#[derive(Clone, Debug)]
+enum PipeOp {
+    Write(u64),
+    Read,
+    ParkReader(u32),
+    ParkWriter(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = PipeOp> {
+    prop_oneof![
+        any::<u64>().prop_map(PipeOp::Write),
+        Just(PipeOp::Read),
+        (0u32..8).prop_map(PipeOp::ParkReader),
+        (8u32..16).prop_map(PipeOp::ParkWriter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pipe_matches_bounded_fifo_model(
+        cap in 1usize..8,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut pipe = Pipe::new(cap);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut parked_readers: VecDeque<u32> = VecDeque::new();
+        let mut parked_writers: VecDeque<u32> = VecDeque::new();
+        for op in &ops {
+            match *op {
+                PipeOp::Write(tag) => {
+                    let res = pipe.try_write(Msg::tagged(tag));
+                    if model.len() < cap {
+                        let woken = res.expect("space available");
+                        model.push_back(tag);
+                        // A successful write wakes the oldest reader.
+                        prop_assert_eq!(
+                            woken.map(|t| t.index() as u32),
+                            parked_readers.pop_front()
+                        );
+                    } else {
+                        prop_assert_eq!(res.unwrap_err(), PipeError::WouldBlock);
+                    }
+                }
+                PipeOp::Read => {
+                    let res = pipe.try_read();
+                    match model.pop_front() {
+                        Some(tag) => {
+                            let (msg, woken) = res.expect("message available");
+                            prop_assert_eq!(msg.tag, tag);
+                            prop_assert_eq!(
+                                woken.map(|t| t.index() as u32),
+                                parked_writers.pop_front()
+                            );
+                        }
+                        None => {
+                            prop_assert_eq!(res.unwrap_err(), PipeError::WouldBlock);
+                        }
+                    }
+                }
+                PipeOp::ParkReader(id) => {
+                    let tid = Tid::from_raw(id, 0);
+                    if !pipe.readers.contains(tid) {
+                        pipe.readers.park(tid);
+                        parked_readers.push_back(id);
+                    }
+                }
+                PipeOp::ParkWriter(id) => {
+                    let tid = Tid::from_raw(id, 0);
+                    if !pipe.writers.contains(tid) {
+                        pipe.writers.park(tid);
+                        parked_writers.push_back(id);
+                    }
+                }
+            }
+            prop_assert_eq!(pipe.len(), model.len());
+            prop_assert_eq!(pipe.is_empty(), model.is_empty());
+            prop_assert_eq!(pipe.is_full(), model.len() >= cap);
+        }
+        // Conservation: everything written is either read or queued.
+        prop_assert_eq!(pipe.total_written(), pipe.total_read() + model.len() as u64);
+    }
+
+    #[test]
+    fn close_drains_then_fails(
+        cap in 1usize..6,
+        tags in prop::collection::vec(any::<u64>(), 0..6),
+    ) {
+        let mut pipe = Pipe::new(cap);
+        let mut accepted = 0;
+        for &tag in &tags {
+            if pipe.try_write(Msg::tagged(tag)).is_ok() {
+                accepted += 1;
+            }
+        }
+        pipe.close();
+        for i in 0..accepted {
+            let (msg, _) = pipe.try_read().expect("drain");
+            prop_assert_eq!(msg.tag, tags[i]);
+        }
+        prop_assert_eq!(pipe.try_read().unwrap_err(), PipeError::Closed);
+        prop_assert_eq!(
+            pipe.try_write(Msg::tagged(0)).unwrap_err(),
+            PipeError::Closed
+        );
+    }
+}

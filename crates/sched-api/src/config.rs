@@ -1,0 +1,107 @@
+//! Scheduler-visible machine configuration.
+
+/// Configuration shared by the machine model and the schedulers.
+///
+/// The paper distinguishes "UP" kernels (compiled without SMP support: no
+/// run-queue lock, no IPIs) from "1P" kernels (SMP build running on one
+/// processor); [`SchedConfig::smp`] captures that build-time switch
+/// independently of [`SchedConfig::nr_cpus`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Number of processors.
+    pub nr_cpus: usize,
+    /// Whether this is an SMP build (lock costs, `reschedule_idle` IPIs,
+    /// `has_cpu` checks in the scan loops).
+    pub smp: bool,
+    /// ELSC's per-list search limit; `None` means the paper's default of
+    /// `nr_cpus / 2 + 5` (§5.2).
+    pub elsc_search_limit: Option<usize>,
+}
+
+impl SchedConfig {
+    /// A uniprocessor (non-SMP build) configuration.
+    pub fn up() -> Self {
+        SchedConfig {
+            nr_cpus: 1,
+            smp: false,
+            elsc_search_limit: None,
+        }
+    }
+
+    /// An SMP build running on `nr_cpus` processors (`nr_cpus = 1` is the
+    /// paper's "1P" configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nr_cpus == 0`.
+    pub fn smp(nr_cpus: usize) -> Self {
+        assert!(nr_cpus > 0, "a machine has at least one CPU");
+        SchedConfig {
+            nr_cpus,
+            smp: true,
+            elsc_search_limit: None,
+        }
+    }
+
+    /// The effective ELSC per-list examination limit:
+    /// "half the number of processors in the system plus five" (§5.2).
+    pub fn search_limit(&self) -> usize {
+        self.elsc_search_limit.unwrap_or(self.nr_cpus / 2 + 5)
+    }
+
+    /// Short label used in reports ("UP", "1P", "2P", ...).
+    pub fn label(&self) -> String {
+        if self.smp {
+            format!("{}P", self.nr_cpus)
+        } else {
+            "UP".to_string()
+        }
+    }
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig::up()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_config() {
+        let c = SchedConfig::up();
+        assert_eq!(c.nr_cpus, 1);
+        assert!(!c.smp);
+        assert_eq!(c.label(), "UP");
+    }
+
+    #[test]
+    fn smp_labels() {
+        assert_eq!(SchedConfig::smp(1).label(), "1P");
+        assert_eq!(SchedConfig::smp(2).label(), "2P");
+        assert_eq!(SchedConfig::smp(4).label(), "4P");
+    }
+
+    #[test]
+    fn paper_search_limit_formula() {
+        assert_eq!(SchedConfig::up().search_limit(), 5);
+        assert_eq!(SchedConfig::smp(1).search_limit(), 5);
+        assert_eq!(SchedConfig::smp(2).search_limit(), 6);
+        assert_eq!(SchedConfig::smp(4).search_limit(), 7);
+    }
+
+    #[test]
+    fn explicit_search_limit_overrides() {
+        let mut c = SchedConfig::smp(4);
+        c.elsc_search_limit = Some(3);
+        assert_eq!(c.search_limit(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_panics() {
+        SchedConfig::smp(0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The `goodness()` heuristic (paper §3.3.1).
+//!
+//! For real-time tasks goodness is `1000 + rt_priority`, putting them above
+//! every `SCHED_OTHER` task. For ordinary tasks, a zero `counter` means
+//! "runnable but out of quantum" (goodness 0); otherwise goodness is
+//! `counter + priority` plus two *dynamic* bonuses that depend on the
+//! calling context: +15 for last having run on the deciding CPU
+//! (`PROC_CHANGE_PENALTY`) and +1 for sharing the previous task's address
+//! space (cheap context switch).
+//!
+//! ELSC's key observation (§5): `counter + priority` is *static* while a
+//! task waits on the run queue, so the run queue can be kept sorted by it;
+//! only the two small bonuses need evaluating at decision time.
+
+use elsc_ktask::{CpuId, MmId, Task};
+
+/// Goodness floor for real-time tasks (`SCHED_FIFO`/`SCHED_RR`).
+pub const RT_GOODNESS_BASE: i32 = 1000;
+
+/// Affinity bonus for tasks whose last run was on the deciding CPU.
+pub const PROC_CHANGE_PENALTY: i32 = 15;
+
+/// Bonus for sharing the previous task's memory map.
+pub const MM_BONUS: i32 = 1;
+
+/// Goodness of a real-time task.
+#[inline]
+pub fn rt_goodness(task: &Task) -> i32 {
+    debug_assert!(task.policy.class.is_realtime());
+    RT_GOODNESS_BASE + task.rt_priority
+}
+
+/// Full `goodness()` as the baseline scheduler computes it, *ignoring* the
+/// `SCHED_YIELD` bit (the caller handles yield specially, as `schedule()`
+/// does for the previous task).
+#[inline]
+pub fn goodness_ignoring_yield(task: &Task, this_cpu: CpuId, prev_mm: MmId) -> i32 {
+    if task.policy.class.is_realtime() {
+        return rt_goodness(task);
+    }
+    if task.counter == 0 {
+        // Runnable, but its time slice is used up.
+        return 0;
+    }
+    let mut weight = task.counter + task.priority;
+    if task.processor == this_cpu {
+        weight += PROC_CHANGE_PENALTY;
+    }
+    if task.mm == prev_mm {
+        weight += MM_BONUS;
+    }
+    weight
+}
+
+/// Full `goodness()` including the yield rule: a task that called
+/// `sys_sched_yield()` evaluates to 0 once (paper §3.3.2).
+#[inline]
+pub fn goodness(task: &Task, this_cpu: CpuId, prev_mm: MmId) -> i32 {
+    if task.policy.yielded {
+        return 0;
+    }
+    goodness_ignoring_yield(task, this_cpu, prev_mm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsc_ktask::{SchedClass, TaskSpec, TaskTable, Tid};
+
+    fn other_task(counter: i32, priority: i32, processor: CpuId, mm: MmId) -> Task {
+        let mut t = Task::new(
+            Tid::from_raw(0, 0),
+            &TaskSpec::default().priority(priority).mm(mm),
+        );
+        t.counter = counter;
+        t.processor = processor;
+        t
+    }
+
+    #[test]
+    fn zero_counter_means_zero_goodness() {
+        let t = other_task(0, 20, 0, MmId(1));
+        assert_eq!(goodness(&t, 0, MmId(1)), 0);
+    }
+
+    #[test]
+    fn base_weight_is_counter_plus_priority() {
+        let t = other_task(7, 20, 5, MmId(1));
+        // CPU 0 deciding, task last ran on CPU 5, different mm: no bonus.
+        assert_eq!(goodness(&t, 0, MmId(2)), 27);
+    }
+
+    #[test]
+    fn affinity_bonus_is_fifteen() {
+        let t = other_task(7, 20, 3, MmId(1));
+        assert_eq!(goodness(&t, 3, MmId(2)), 27 + PROC_CHANGE_PENALTY);
+    }
+
+    #[test]
+    fn mm_bonus_is_one() {
+        let t = other_task(7, 20, 5, MmId(1));
+        assert_eq!(goodness(&t, 0, MmId(1)), 27 + MM_BONUS);
+    }
+
+    #[test]
+    fn both_bonuses_stack() {
+        let t = other_task(7, 20, 0, MmId(1));
+        assert_eq!(
+            goodness(&t, 0, MmId(1)),
+            27 + PROC_CHANGE_PENALTY + MM_BONUS
+        );
+    }
+
+    #[test]
+    fn realtime_beats_any_other() {
+        let mut table = TaskTable::new();
+        let rt = table.spawn(&TaskSpec::default().realtime(SchedClass::Fifo, 0));
+        let best_other = other_task(80, 40, 0, MmId(1));
+        let g_rt = goodness(table.task(rt), 0, MmId(1));
+        let g_other = goodness(&best_other, 0, MmId(1));
+        assert_eq!(g_rt, RT_GOODNESS_BASE);
+        assert!(g_rt > g_other);
+    }
+
+    #[test]
+    fn realtime_goodness_adds_rt_priority() {
+        let mut table = TaskTable::new();
+        let rt = table.spawn(&TaskSpec::default().realtime(SchedClass::Rr, 55));
+        assert_eq!(goodness(table.task(rt), 0, MmId::KERNEL), 1055);
+    }
+
+    #[test]
+    fn realtime_ignores_zero_counter() {
+        let mut table = TaskTable::new();
+        let rt = table.spawn(&TaskSpec::default().realtime(SchedClass::Rr, 10));
+        table.task_mut(rt).counter = 0;
+        assert_eq!(goodness(table.task(rt), 0, MmId::KERNEL), 1010);
+    }
+
+    #[test]
+    fn yielded_task_evaluates_to_zero() {
+        let mut t = other_task(7, 20, 0, MmId(1));
+        t.policy.yielded = true;
+        assert_eq!(goodness(&t, 0, MmId(1)), 0);
+        // But the yield-ignoring variant sees through it.
+        assert!(goodness_ignoring_yield(&t, 0, MmId(1)) > 0);
+    }
+
+    #[test]
+    fn static_part_matches_task_helper() {
+        let t = other_task(9, 20, 99, MmId(7));
+        // With no bonuses, goodness equals the static goodness.
+        assert_eq!(goodness(&t, 0, MmId(8)), t.static_goodness());
+    }
+}

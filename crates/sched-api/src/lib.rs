@@ -1,0 +1,32 @@
+//! The scheduler interface shared by every run-queue design in this
+//! reproduction.
+//!
+//! The paper's design goal 1 is "keep changes local to the scheduler; do
+//! not change current interfaces" (§5). This crate *is* that interface:
+//!
+//! * [`mod@goodness`] — the selection heuristic of `kernel/sched.c` (§3.3.1),
+//!   split into its static and dynamic parts the way ELSC exploits (§5).
+//! * [`Scheduler`] — the five entry points the kernel exposes:
+//!   `add_to_runqueue`, `del_from_runqueue`, `move_first_runqueue`,
+//!   `move_last_runqueue`, and `schedule` itself.
+//! * [`resched::reschedule_idle`] — the wakeup placement logic shared by
+//!   all schedulers (the paper keeps it unchanged).
+//! * [`SchedConfig`] — machine-level knobs the schedulers see (CPU count,
+//!   SMP vs UP build, ELSC search limit).
+//!
+//! The baseline lives in `elsc-sched-linux`, the paper's contribution in
+//! the `elsc` crate, and the §8 future-work designs in `elsc-sched-ext`;
+//! all are interchangeable behind this trait.
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod goodness;
+pub mod resched;
+pub mod scheduler;
+
+pub use config::SchedConfig;
+pub use goodness::{
+    goodness, goodness_ignoring_yield, rt_goodness, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE,
+};
+pub use resched::{reschedule_idle, CpuView, WakeTarget};
+pub use scheduler::{SchedCtx, Scheduler};

@@ -1,0 +1,146 @@
+//! The `Scheduler` trait: the kernel's scheduling entry points.
+//!
+//! The paper changed exactly five functions (§5.1): the four run-queue
+//! manipulators and `schedule()` itself. This trait is that surface, so
+//! the baseline and ELSC (and the §8 future-work designs) plug into the
+//! same machine unchanged — the paper's design goal 1.
+
+use elsc_ktask::{CpuId, TaskTable, Tid};
+use elsc_simcore::{CostModel, CycleMeter};
+use elsc_stats::SchedStats;
+
+use crate::config::SchedConfig;
+
+/// Everything a scheduler may touch during one call.
+///
+/// Bundling the borrows keeps trait method signatures stable and mirrors
+/// the kernel, where all of this is ambient global state guarded by
+/// `runqueue_lock`.
+pub struct SchedCtx<'a> {
+    /// All tasks in the system (`for_each_task` domain).
+    pub tasks: &'a mut TaskTable,
+    /// Statistics counters (the paper's proc-exported instrumentation).
+    pub stats: &'a mut SchedStats,
+    /// Cycle accumulator: every primitive the scheduler performs is
+    /// charged here and later advances the CPU's virtual clock.
+    pub meter: &'a mut CycleMeter,
+    /// Per-primitive cycle costs.
+    pub costs: &'a CostModel,
+    /// Machine configuration.
+    pub cfg: &'a SchedConfig,
+}
+
+/// A pluggable scheduler: the baseline, ELSC, or an experimental design.
+///
+/// # Contract
+///
+/// * `add_to_runqueue(t)` — `t` is runnable and not on the run queue;
+///   afterwards `t.on_runqueue()` holds.
+/// * `del_from_runqueue(t)` — `t` is on the run queue (possibly in the
+///   ELSC "marked on-queue but off-list" state); afterwards
+///   `t.on_runqueue()` is false.
+/// * `move_first_runqueue` / `move_last_runqueue` — bias `t` within its
+///   goodness ties (paper §5.1); `t` must be on the run queue *and*
+///   currently linked in a list.
+/// * `schedule(cpu, prev, idle)` — `prev` is the task leaving the CPU
+///   (its `state` already reflects whether it remains runnable; its
+///   `has_cpu` is still true). Returns the next task to run, which may be
+///   `prev` or `idle`. On return the chosen task has `has_cpu == true`,
+///   every other task has had a fair evaluation per the design's rules,
+///   and all cycles consumed were charged to `ctx.meter`. The machine
+///   sets `processor` afterwards (so it can detect migrations).
+pub trait Scheduler {
+    /// Human-readable name ("reg", "elsc", ...), used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Places a newly-runnable task on the run queue.
+    fn add_to_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid);
+
+    /// Removes a task from the run queue.
+    fn del_from_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid);
+
+    /// Moves a task to the front of its goodness tie-break region.
+    fn move_first_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid);
+
+    /// Moves a task to the back of its goodness tie-break region.
+    fn move_last_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid);
+
+    /// Picks the next task to run on `cpu`.
+    fn schedule(&mut self, ctx: &mut SchedCtx<'_>, cpu: CpuId, prev: Tid, idle: Tid) -> Tid;
+
+    /// Number of runnable tasks currently accounted to the run queue
+    /// (including tasks running on CPUs).
+    fn nr_running(&self) -> usize;
+
+    /// Verifies internal invariants (tests/debug only). Default: no-op.
+    fn debug_check(&self, _tasks: &TaskTable) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsc_ktask::TaskSpec;
+
+    /// A trivial scheduler used to exercise the trait object surface.
+    struct NullSched {
+        n: usize,
+    }
+
+    impl Scheduler for NullSched {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+
+        fn add_to_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid) {
+            let t = ctx.tasks.task_mut(tid);
+            t.run_list.next = elsc_ktask::Link::Head(0);
+            t.run_list.prev = elsc_ktask::Link::Head(0);
+            self.n += 1;
+        }
+
+        fn del_from_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid) {
+            let t = ctx.tasks.task_mut(tid);
+            t.run_list = elsc_ktask::ListNode::detached();
+            self.n -= 1;
+        }
+
+        fn move_first_runqueue(&mut self, _ctx: &mut SchedCtx<'_>, _tid: Tid) {}
+
+        fn move_last_runqueue(&mut self, _ctx: &mut SchedCtx<'_>, _tid: Tid) {}
+
+        fn schedule(&mut self, _ctx: &mut SchedCtx<'_>, _cpu: CpuId, prev: Tid, _idle: Tid) -> Tid {
+            prev
+        }
+
+        fn nr_running(&self) -> usize {
+            self.n
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let mut tasks = TaskTable::new();
+        let tid = tasks.spawn(&TaskSpec::default());
+        let mut stats = SchedStats::new(1);
+        let mut meter = CycleMeter::new();
+        let costs = CostModel::free();
+        let cfg = SchedConfig::up();
+        let mut ctx = SchedCtx {
+            tasks: &mut tasks,
+            stats: &mut stats,
+            meter: &mut meter,
+            costs: &costs,
+            cfg: &cfg,
+        };
+        let mut sched: Box<dyn Scheduler> = Box::new(NullSched { n: 0 });
+        assert_eq!(sched.name(), "null");
+        sched.add_to_runqueue(&mut ctx, tid);
+        assert_eq!(sched.nr_running(), 1);
+        assert!(ctx.tasks.task(tid).on_runqueue());
+        let next = sched.schedule(&mut ctx, 0, tid, tid);
+        assert_eq!(next, tid);
+        sched.del_from_runqueue(&mut ctx, tid);
+        assert_eq!(sched.nr_running(), 0);
+        sched.debug_check(ctx.tasks);
+    }
+}

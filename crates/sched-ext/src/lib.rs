@@ -1,0 +1,27 @@
+//! Alternative scheduler designs from the paper's §8 ("Future Work").
+//!
+//! The paper closes by sketching two directions beyond the table-based
+//! design:
+//!
+//! * "sorting tasks by static goodness within heaps ... One could choose
+//!   the absolute best task available simply by examining the top of each
+//!   heap" — [`heap::HeapScheduler`] (one global ordered structure) and
+//!   [`affinity_heap::AffinityHeapScheduler`] (a heap per
+//!   processor × address-space pair, giving *exact* selection).
+//! * "perhaps a multi-priority-queue solution would be more beneficial to
+//!   help the scheduler scale to multiple processors" —
+//!   [`multiqueue::MultiQueueScheduler`], per-CPU run queues with work
+//!   stealing (the direction Linux eventually took with the O(1)
+//!   scheduler).
+//!
+//! Both plug into the same [`elsc_sched_api::Scheduler`] trait and are
+//! compared against `reg` and `elsc` by the ablation benchmarks.
+#![warn(missing_docs)]
+
+pub mod affinity_heap;
+pub mod heap;
+pub mod multiqueue;
+
+pub use affinity_heap::AffinityHeapScheduler;
+pub use heap::HeapScheduler;
+pub use multiqueue::MultiQueueScheduler;

@@ -1,0 +1,363 @@
+//! The §8 "multi-priority-queue" design: per-CPU run queues.
+//!
+//! "Perhaps a multi-priority-queue solution would be more beneficial to
+//! help the scheduler scale to multiple processors well." This prototype
+//! gives each CPU its own (baseline-style, unsorted) run queue: wakeups
+//! enqueue on the task's last processor, `schedule()` scans only its own
+//! queue — an O(n / nr_cpus) scan — and steals the best task from the
+//! busiest other queue when its own is empty. This is the direction the
+//! Linux O(1) scheduler later took.
+//!
+//! The machine model still serializes scheduler entry under the global
+//! `runqueue_lock` (changing the locking regime is outside the paper's
+//! scope), so the benefit visible in ablations is the shorter scan, not
+//! reduced lock contention.
+
+use elsc_ktask::recalc::recalculate_counters;
+use elsc_ktask::{CpuId, Lists, SchedClass, TaskTable, Tid};
+use elsc_sched_api::{goodness_ignoring_yield, SchedCtx, Scheduler};
+use elsc_simcore::CostKind;
+
+/// Goodness of the idle task.
+const IDLE_GOODNESS: i32 = -1000;
+
+/// Per-CPU run queues with stealing.
+#[derive(Debug)]
+pub struct MultiQueueScheduler {
+    /// One list per CPU.
+    lists: Lists,
+    /// Tasks per queue.
+    counts: Vec<usize>,
+    nr_running: usize,
+}
+
+impl MultiQueueScheduler {
+    /// Creates queues for `nr_cpus` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nr_cpus == 0`.
+    pub fn new(nr_cpus: usize) -> Self {
+        assert!(nr_cpus > 0, "need at least one queue");
+        MultiQueueScheduler {
+            lists: Lists::new(nr_cpus),
+            counts: vec![0; nr_cpus],
+            nr_running: 0,
+        }
+    }
+
+    /// Which queue a task belongs to.
+    fn home_queue(&self, tasks: &TaskTable, tid: Tid) -> usize {
+        tasks.task(tid).processor % self.counts.len()
+    }
+
+    /// Scans queue `q`, returning the best candidate and its goodness.
+    /// `prev` is skipped (the caller evaluates it separately).
+    fn scan_queue(
+        &self,
+        ctx: &mut SchedCtx<'_>,
+        q: usize,
+        cpu: CpuId,
+        prev: Tid,
+        prev_mm: elsc_ktask::MmId,
+    ) -> (i32, Option<Tid>) {
+        let mut best = (IDLE_GOODNESS, None);
+        let mut cur = self.lists.first(q);
+        while let Some(idx) = cur {
+            let p = ctx.tasks.by_index(idx as usize);
+            let tid = p.tid;
+            let skip = if ctx.cfg.smp { p.has_cpu } else { tid == prev };
+            if !skip {
+                ctx.meter.charge(ctx.costs, CostKind::GoodnessEval);
+                ctx.stats.cpu_mut(cpu).tasks_examined += 1;
+                let w = goodness_ignoring_yield(p, cpu, prev_mm);
+                if w > best.0 {
+                    best = (w, Some(tid));
+                }
+            }
+            cur = self.lists.next_task(ctx.tasks, idx);
+        }
+        best
+    }
+}
+
+impl Scheduler for MultiQueueScheduler {
+    fn name(&self) -> &'static str {
+        "mq"
+    }
+
+    fn add_to_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid) {
+        ctx.meter.charge(ctx.costs, CostKind::ListOp);
+        let q = self.home_queue(ctx.tasks, tid);
+        ctx.tasks.task_mut(tid).rq_hint = q as u8;
+        self.lists.insert_front(ctx.tasks, q, tid);
+        self.counts[q] += 1;
+        self.nr_running += 1;
+    }
+
+    fn del_from_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid) {
+        ctx.meter.charge(ctx.costs, CostKind::ListOp);
+        let q = ctx.tasks.task(tid).rq_hint as usize;
+        self.lists.remove(ctx.tasks, tid);
+        self.counts[q] -= 1;
+        self.nr_running -= 1;
+    }
+
+    fn move_first_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid) {
+        ctx.meter.charge_n(ctx.costs, CostKind::ListOp, 2);
+        let q = ctx.tasks.task(tid).rq_hint as usize;
+        self.lists.remove(ctx.tasks, tid);
+        self.lists.insert_front(ctx.tasks, q, tid);
+    }
+
+    fn move_last_runqueue(&mut self, ctx: &mut SchedCtx<'_>, tid: Tid) {
+        ctx.meter.charge_n(ctx.costs, CostKind::ListOp, 2);
+        let q = ctx.tasks.task(tid).rq_hint as usize;
+        self.lists.remove(ctx.tasks, tid);
+        self.lists.insert_back(ctx.tasks, q, tid);
+    }
+
+    fn schedule(&mut self, ctx: &mut SchedCtx<'_>, cpu: CpuId, prev: Tid, idle: Tid) -> Tid {
+        ctx.meter.charge(ctx.costs, CostKind::SchedBase);
+        ctx.stats.cpu_mut(cpu).sched_calls += 1;
+        let my_q = cpu % self.counts.len();
+
+        // Previous-task handling, as in the baseline.
+        {
+            let prev_task = ctx.tasks.task(prev);
+            if prev != idle && !prev_task.state.is_runnable() && prev_task.on_runqueue() {
+                self.del_from_runqueue(ctx, prev);
+            }
+        }
+        {
+            let prev_task = ctx.tasks.task_mut(prev);
+            if prev_task.policy.class == SchedClass::Rr && prev_task.counter == 0 {
+                prev_task.counter = prev_task.priority;
+                if prev_task.on_runqueue() {
+                    self.move_last_runqueue(ctx, prev);
+                }
+            }
+        }
+        let prev_mm = ctx.tasks.task(prev).mm;
+        let mut prev_yielded = {
+            let t = ctx.tasks.task_mut(prev);
+            let y = t.policy.yielded;
+            t.policy.yielded = false;
+            y
+        };
+
+        let next = loop {
+            let mut c = IDLE_GOODNESS;
+            let mut next = idle;
+            {
+                let prev_task = ctx.tasks.task(prev);
+                if prev != idle && prev_task.state.is_runnable() {
+                    ctx.meter.charge(ctx.costs, CostKind::GoodnessEval);
+                    ctx.stats.cpu_mut(cpu).tasks_examined += 1;
+                    c = if prev_yielded {
+                        prev_yielded = false;
+                        0
+                    } else {
+                        goodness_ignoring_yield(prev_task, cpu, prev_mm)
+                    };
+                    next = prev;
+                }
+            }
+            // Own queue first.
+            let (w, cand) = self.scan_queue(ctx, my_q, cpu, prev, prev_mm);
+            if w > c {
+                c = w;
+                next = cand.expect("goodness above idle implies a task");
+            }
+            // Steal from the fullest other queue when ours is empty of
+            // candidates.
+            if next == idle && self.counts.len() > 1 {
+                if let Some(victim) = (0..self.counts.len())
+                    .filter(|&q| q != my_q && self.counts[q] > 0)
+                    .max_by_key(|&q| self.counts[q])
+                {
+                    let (w, cand) = self.scan_queue(ctx, victim, cpu, prev, prev_mm);
+                    if w > c {
+                        c = w;
+                        next = cand.expect("goodness above idle implies a task");
+                    }
+                }
+            }
+            if c != 0 {
+                break next;
+            }
+            ctx.stats.cpu_mut(cpu).recalc_entries += 1;
+            let n = recalculate_counters(ctx.tasks);
+            ctx.stats.cpu_mut(cpu).recalc_tasks += n as u64;
+            ctx.meter
+                .charge_n(ctx.costs, CostKind::RecalcPerTask, n as u64);
+        };
+
+        if next == idle {
+            ctx.stats.cpu_mut(cpu).idle_scheduled += 1;
+        } else if next != prev {
+            // Migrate a stolen task to this CPU's queue so future wakeups
+            // land here.
+            let q = ctx.tasks.task(next).rq_hint as usize;
+            if q != my_q && ctx.tasks.task(next).in_list() {
+                ctx.meter.charge_n(ctx.costs, CostKind::ListOp, 2);
+                self.lists.remove(ctx.tasks, next);
+                self.counts[q] -= 1;
+                ctx.tasks.task_mut(next).rq_hint = my_q as u8;
+                self.lists.insert_front(ctx.tasks, my_q, next);
+                self.counts[my_q] += 1;
+            }
+        }
+        if next != prev {
+            ctx.tasks.task_mut(prev).has_cpu = false;
+        }
+        ctx.tasks.task_mut(next).has_cpu = true;
+        next
+    }
+
+    fn nr_running(&self) -> usize {
+        self.nr_running
+    }
+
+    fn debug_check(&self, tasks: &TaskTable) {
+        let mut total = 0;
+        for q in 0..self.counts.len() {
+            self.lists.check(tasks, q);
+            assert_eq!(self.lists.len(tasks, q), self.counts[q], "count on {q}");
+            total += self.counts[q];
+        }
+        assert_eq!(total, self.nr_running, "nr_running out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsc_ktask::TaskSpec;
+    use elsc_sched_api::SchedConfig;
+    use elsc_simcore::{CostModel, CycleMeter};
+    use elsc_stats::SchedStats;
+
+    struct Rig {
+        tasks: TaskTable,
+        stats: SchedStats,
+        meter: CycleMeter,
+        costs: CostModel,
+        cfg: SchedConfig,
+        sched: MultiQueueScheduler,
+        idles: Vec<Tid>,
+    }
+
+    impl Rig {
+        fn new(nr_cpus: usize) -> Rig {
+            let cfg = SchedConfig::smp(nr_cpus);
+            let mut tasks = TaskTable::new();
+            let idles = (0..nr_cpus)
+                .map(|c| {
+                    let t = tasks.spawn(&TaskSpec::named("idle").priority(1));
+                    tasks.task_mut(t).counter = 0;
+                    tasks.task_mut(t).processor = c;
+                    tasks.task_mut(t).has_cpu = true;
+                    t
+                })
+                .collect();
+            Rig {
+                tasks,
+                stats: SchedStats::new(nr_cpus),
+                meter: CycleMeter::new(),
+                costs: CostModel::default(),
+                cfg,
+                sched: MultiQueueScheduler::new(nr_cpus),
+                idles,
+            }
+        }
+
+        fn spawn_on(&mut self, name: &'static str, cpu: CpuId) -> Tid {
+            let tid = self.tasks.spawn(&TaskSpec::named(name));
+            self.tasks.task_mut(tid).processor = cpu;
+            let mut ctx = SchedCtx {
+                tasks: &mut self.tasks,
+                stats: &mut self.stats,
+                meter: &mut self.meter,
+                costs: &self.costs,
+                cfg: &self.cfg,
+            };
+            self.sched.add_to_runqueue(&mut ctx, tid);
+            tid
+        }
+
+        fn schedule(&mut self, cpu: CpuId) -> Tid {
+            let idle = self.idles[cpu];
+            let mut ctx = SchedCtx {
+                tasks: &mut self.tasks,
+                stats: &mut self.stats,
+                meter: &mut self.meter,
+                costs: &self.costs,
+                cfg: &self.cfg,
+            };
+            let next = self.sched.schedule(&mut ctx, cpu, idle, idle);
+            self.sched.debug_check(&self.tasks);
+            next
+        }
+    }
+
+    #[test]
+    fn tasks_land_on_their_home_queue() {
+        let mut rig = Rig::new(2);
+        let a = rig.spawn_on("a", 0);
+        let b = rig.spawn_on("b", 1);
+        assert_eq!(rig.schedule(0), a);
+        assert_eq!(rig.schedule(1), b);
+    }
+
+    #[test]
+    fn own_queue_scan_ignores_other_queues() {
+        let mut rig = Rig::new(2);
+        let _a = rig.spawn_on("a", 0);
+        let _b = rig.spawn_on("b", 0);
+        rig.meter.take();
+        rig.schedule(1); // steals, but only after scanning its empty queue
+                         // Examined tasks should be the steal scan only (2 tasks).
+        assert_eq!(rig.stats.cpu(1).tasks_examined, 2);
+    }
+
+    #[test]
+    fn stealing_takes_from_busiest_queue() {
+        let mut rig = Rig::new(2);
+        let _a = rig.spawn_on("a", 0);
+        let _b = rig.spawn_on("b", 0);
+        let stolen = rig.schedule(1);
+        assert_ne!(stolen, rig.idles[1]);
+        // The stolen task now belongs to queue 1.
+        assert_eq!(rig.tasks.task(stolen).rq_hint, 1);
+    }
+
+    #[test]
+    fn idle_when_everything_empty() {
+        let mut rig = Rig::new(2);
+        assert_eq!(rig.schedule(0), rig.idles[0]);
+        assert_eq!(rig.stats.cpu(0).idle_scheduled, 1);
+    }
+
+    #[test]
+    fn scan_cost_divides_by_cpu_count() {
+        // 40 tasks spread over 4 queues: a schedule() on one CPU scans
+        // ~10 tasks, not 40.
+        let mut rig = Rig::new(4);
+        for i in 0..40 {
+            rig.spawn_on("t", i % 4);
+        }
+        rig.schedule(0);
+        assert_eq!(rig.stats.cpu(0).tasks_examined, 10);
+    }
+
+    #[test]
+    fn exhausted_queue_triggers_recalc() {
+        let mut rig = Rig::new(1);
+        let a = rig.spawn_on("a", 0);
+        rig.tasks.task_mut(a).counter = 0;
+        let next = rig.schedule(0);
+        assert_eq!(next, a);
+        assert_eq!(rig.stats.cpu(0).recalc_entries, 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! The cycle cost model.
+//!
+//! Every primitive the simulated kernel performs — evaluating
+//! `goodness()`, unlinking a run-queue node, recalculating one task's
+//! counter, switching contexts — has a per-operation cycle cost drawn from
+//! a [`CostModel`] table. Schedulers charge their work to a [`CycleMeter`];
+//! the machine model then advances the CPU's virtual clock by the metered
+//! amount, so scheduler overhead directly delays the workload, exactly the
+//! causal chain the paper measures.
+//!
+//! Default values are calibrated for a ~400 MHz Pentium II class machine
+//! (the paper's IBM Netfinity testbeds); `EXPERIMENTS.md` documents the
+//! calibration.
+
+use core::fmt;
+
+/// Kinds of primitive operation that consume simulated CPU cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(usize)]
+pub enum CostKind {
+    /// Fixed `schedule()` entry overhead: bottom halves + administrative
+    /// work common to both schedulers.
+    SchedBase,
+    /// Evaluating `goodness()` for one candidate task.
+    GoodnessEval,
+    /// One intrusive-list manipulation (link/unlink/move).
+    ListOp,
+    /// Computing an ELSC table index from priority/counter.
+    TableIndex,
+    /// Recalculating one task's `counter` in the recalculation loop.
+    RecalcPerTask,
+    /// A context switch between two tasks.
+    CtxSwitch,
+    /// Extra cost when the switch also changes the address space (TLB).
+    MmSwitch,
+    /// Cache-refill penalty charged to a task's first run after migrating
+    /// to a different CPU.
+    MigrationPenalty,
+    /// One invocation of the `reschedule_idle()` wakeup placement logic.
+    RescheduleIdle,
+    /// Timer-tick interrupt handling.
+    Tick,
+    /// Fixed syscall entry/exit overhead.
+    SyscallBase,
+    /// Copying a message into or out of a socket buffer.
+    PipeOp,
+    /// Latency from sending an IPI to the target CPU acting on it.
+    IpiLatency,
+    /// Cache-line transfer when lock ownership moves between CPUs.
+    LockTransfer,
+    /// Process creation (fork + exec, for the kbuild workload).
+    Fork,
+    /// Process teardown.
+    Exit,
+}
+
+/// Number of cost kinds (size of the model table).
+pub const COST_KINDS: usize = 16;
+
+const ALL_KINDS: [CostKind; COST_KINDS] = [
+    CostKind::SchedBase,
+    CostKind::GoodnessEval,
+    CostKind::ListOp,
+    CostKind::TableIndex,
+    CostKind::RecalcPerTask,
+    CostKind::CtxSwitch,
+    CostKind::MmSwitch,
+    CostKind::MigrationPenalty,
+    CostKind::RescheduleIdle,
+    CostKind::Tick,
+    CostKind::SyscallBase,
+    CostKind::PipeOp,
+    CostKind::IpiLatency,
+    CostKind::LockTransfer,
+    CostKind::Fork,
+    CostKind::Exit,
+];
+
+impl CostKind {
+    /// All cost kinds, in table order.
+    pub fn all() -> &'static [CostKind; COST_KINDS] {
+        &ALL_KINDS
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostKind::SchedBase => "sched_base",
+            CostKind::GoodnessEval => "goodness_eval",
+            CostKind::ListOp => "list_op",
+            CostKind::TableIndex => "table_index",
+            CostKind::RecalcPerTask => "recalc_per_task",
+            CostKind::CtxSwitch => "ctx_switch",
+            CostKind::MmSwitch => "mm_switch",
+            CostKind::MigrationPenalty => "migration_penalty",
+            CostKind::RescheduleIdle => "reschedule_idle",
+            CostKind::Tick => "tick",
+            CostKind::SyscallBase => "syscall_base",
+            CostKind::PipeOp => "pipe_op",
+            CostKind::IpiLatency => "ipi_latency",
+            CostKind::LockTransfer => "lock_transfer",
+            CostKind::Fork => "fork",
+            CostKind::Exit => "exit",
+        }
+    }
+}
+
+/// A table mapping each [`CostKind`] to a cycle cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    table: [u64; COST_KINDS],
+}
+
+impl Default for CostModel {
+    /// The calibrated default model (~400 MHz Pentium II class; see
+    /// `EXPERIMENTS.md` for how these were chosen).
+    fn default() -> Self {
+        let mut m = CostModel {
+            table: [0; COST_KINDS],
+        };
+        m.set(CostKind::SchedBase, 1_200);
+        m.set(CostKind::GoodnessEval, 60);
+        m.set(CostKind::ListOp, 30);
+        m.set(CostKind::TableIndex, 15);
+        m.set(CostKind::RecalcPerTask, 80);
+        m.set(CostKind::CtxSwitch, 1_200);
+        m.set(CostKind::MmSwitch, 400);
+        m.set(CostKind::MigrationPenalty, 8_000);
+        m.set(CostKind::RescheduleIdle, 150);
+        m.set(CostKind::Tick, 200);
+        m.set(CostKind::SyscallBase, 300);
+        m.set(CostKind::PipeOp, 250);
+        m.set(CostKind::IpiLatency, 500);
+        m.set(CostKind::LockTransfer, 600);
+        m.set(CostKind::Fork, 30_000);
+        m.set(CostKind::Exit, 10_000);
+        m
+    }
+}
+
+impl CostModel {
+    /// A model where every primitive is free. Useful in unit tests that
+    /// check algorithmic behaviour rather than timing.
+    pub fn free() -> Self {
+        CostModel {
+            table: [0; COST_KINDS],
+        }
+    }
+
+    /// Returns the cost of one operation of `kind`.
+    #[inline]
+    pub fn get(&self, kind: CostKind) -> u64 {
+        self.table[kind as usize]
+    }
+
+    /// Overrides the cost of `kind`.
+    pub fn set(&mut self, kind: CostKind, cycles: u64) -> &mut Self {
+        self.table[kind as usize] = cycles;
+        self
+    }
+
+    /// Builder-style override.
+    pub fn with(mut self, kind: CostKind, cycles: u64) -> Self {
+        self.set(kind, cycles);
+        self
+    }
+
+    /// Scales every cost by `factor` (e.g. for sensitivity sweeps).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        for v in &mut self.table {
+            *v = (*v as f64 * factor).round() as u64;
+        }
+        self
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cost model (cycles):")?;
+        for &k in CostKind::all() {
+            writeln!(f, "  {:<18} {}", k.name(), self.get(k))?;
+        }
+        Ok(())
+    }
+}
+
+/// An accumulator of cycles charged during one operation (typically one
+/// `schedule()` invocation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleMeter {
+    cycles: u64,
+    charges: u64,
+}
+
+impl CycleMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one operation of `kind` against `model`.
+    #[inline]
+    pub fn charge(&mut self, model: &CostModel, kind: CostKind) {
+        self.cycles += model.get(kind);
+        self.charges += 1;
+    }
+
+    /// Charges `n` operations of `kind` against `model`.
+    #[inline]
+    pub fn charge_n(&mut self, model: &CostModel, kind: CostKind, n: u64) {
+        self.cycles += model.get(kind) * n;
+        self.charges += n;
+    }
+
+    /// Charges a raw cycle amount (for workload compute, not primitives).
+    #[inline]
+    pub fn charge_raw(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Total cycles accumulated.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of individual charges (for sanity checks).
+    #[inline]
+    pub fn charges(&self) -> u64 {
+        self.charges
+    }
+
+    /// Resets the meter to zero and returns the cycles it had accumulated.
+    pub fn take(&mut self) -> u64 {
+        let c = self.cycles;
+        self.cycles = 0;
+        self.charges = 0;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nonzero() {
+        let m = CostModel::default();
+        for &k in CostKind::all() {
+            assert!(m.get(k) > 0, "{} should have a default cost", k.name());
+        }
+    }
+
+    #[test]
+    fn free_model_is_all_zero() {
+        let m = CostModel::free();
+        for &k in CostKind::all() {
+            assert_eq!(m.get(k), 0);
+        }
+    }
+
+    #[test]
+    fn set_and_with_override() {
+        let m = CostModel::default().with(CostKind::GoodnessEval, 7);
+        assert_eq!(m.get(CostKind::GoodnessEval), 7);
+        let mut m2 = m.clone();
+        m2.set(CostKind::ListOp, 3);
+        assert_eq!(m2.get(CostKind::ListOp), 3);
+        assert_eq!(m.get(CostKind::ListOp), 30);
+    }
+
+    #[test]
+    fn scaling_applies_to_all_entries() {
+        let m = CostModel::default().scaled(2.0);
+        assert_eq!(m.get(CostKind::SchedBase), 2400);
+        assert_eq!(m.get(CostKind::GoodnessEval), 120);
+    }
+
+    #[test]
+    fn meter_accumulates_and_takes() {
+        let m = CostModel::default();
+        let mut meter = CycleMeter::new();
+        meter.charge(&m, CostKind::SchedBase);
+        meter.charge_n(&m, CostKind::GoodnessEval, 10);
+        meter.charge_raw(5);
+        assert_eq!(meter.cycles(), 1_200 + 60 * 10 + 5);
+        assert_eq!(meter.charges(), 11);
+        let taken = meter.take();
+        assert_eq!(taken, 1805);
+        assert_eq!(meter.cycles(), 0);
+        assert_eq!(meter.charges(), 0);
+    }
+
+    #[test]
+    fn all_kinds_have_unique_indices() {
+        let mut seen = [false; COST_KINDS];
+        for &k in CostKind::all() {
+            assert!(!seen[k as usize], "duplicate index for {}", k.name());
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_lists_every_kind() {
+        let text = CostModel::default().to_string();
+        for &k in CostKind::all() {
+            assert!(text.contains(k.name()), "missing {}", k.name());
+        }
+    }
+}

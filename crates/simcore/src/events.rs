@@ -1,0 +1,204 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: events scheduled for the same
+//! virtual instant pop in the order they were pushed. This tie-breaking is
+//! what makes whole-machine simulations bit-for-bit reproducible, which the
+//! determinism property tests rely on.
+
+use core::cmp::Ordering;
+use core::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycles;
+
+/// An entry in the queue: payload plus its (time, seq) sort key.
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Only the key participates in ordering; payloads need not be Ord.
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A min-ordered event queue keyed by virtual time with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use elsc_simcore::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycles(10), "late");
+/// q.push(Cycles(5), "early");
+/// q.push(Cycles(5), "early-second");
+/// assert_eq!(q.pop(), Some((Cycles(5), "early")));
+/// assert_eq!(q.pop(), Some((Cycles(5), "early-second")));
+/// assert_eq!(q.pop(), Some((Cycles(10), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` at virtual time `time`.
+    ///
+    /// Pushing an event in the past relative to already-popped events is
+    /// not detected here; the machine model guards against it because a
+    /// time-travelling event would corrupt causality silently.
+    pub fn push(&mut self, time: Cycles, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.event))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events pushed over the queue's lifetime (for reports).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events popped over the queue's lifetime (for reports).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(30), 3);
+        q.push(Cycles(10), 1);
+        q.push(Cycles(20), 2);
+        assert_eq!(q.pop(), Some((Cycles(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles(30), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycles(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(7), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(5), ());
+        assert_eq!(q.peek_time(), Some(Cycles(5)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycles(5), ())));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(10), "a");
+        q.push(Cycles(5), "b");
+        assert_eq!(q.pop(), Some((Cycles(5), "b")));
+        q.push(Cycles(7), "c");
+        q.push(Cycles(7), "d");
+        assert_eq!(q.pop(), Some((Cycles(7), "c")));
+        assert_eq!(q.pop(), Some((Cycles(7), "d")));
+        assert_eq!(q.pop(), Some((Cycles(10), "a")));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(1), ());
+        q.push(Cycles(2), ());
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        // Clear drops pending events but preserves lifetime counters.
+        assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn payload_need_not_be_ord() {
+        // f64 is not Ord; ordering must come solely from the key.
+        let mut q = EventQueue::new();
+        q.push(Cycles(2), 2.0f64);
+        q.push(Cycles(1), 1.0f64);
+        assert_eq!(q.pop().unwrap().1, 1.0);
+    }
+}

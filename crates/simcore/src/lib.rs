@@ -1,0 +1,31 @@
+//! Discrete-event simulation core for the ELSC scheduler reproduction.
+//!
+//! This crate holds the substrate every other simulation crate builds on:
+//!
+//! * [`clock::Cycles`] — the virtual time unit (CPU cycles).
+//! * [`events::EventQueue`] — a stable, deterministic discrete-event queue.
+//! * [`rng::SimRng`] — a small, fully deterministic xoshiro256** PRNG so
+//!   that simulation runs are reproducible from a seed alone.
+//! * [`spinlock::SimSpinLock`] — a busy-interval model of a contended
+//!   kernel spinlock (the global `runqueue_lock` of Linux 2.3.99).
+//! * [`cost::CostModel`] / [`cost::CycleMeter`] — a table of per-primitive
+//!   cycle costs and an accumulator used by the schedulers to charge their
+//!   own work to the simulated CPU.
+//!
+//! Nothing in this crate knows about tasks or scheduling; it is a generic
+//! deterministic simulation toolkit.
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod cost;
+pub mod events;
+pub mod histogram;
+pub mod rng;
+pub mod spinlock;
+
+pub use clock::Cycles;
+pub use cost::{CostKind, CostModel, CycleMeter};
+pub use events::EventQueue;
+pub use histogram::Histogram;
+pub use rng::SimRng;
+pub use spinlock::SimSpinLock;

@@ -1,0 +1,131 @@
+//! Property tests for the simulation core: event ordering, histogram
+//! consistency, and spinlock accounting.
+
+use proptest::prelude::*;
+
+use elsc_simcore::{Cycles, EventQueue, Histogram, SimRng, SimSpinLock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in prop::collection::vec(0u64..1_000, 1..200)
+    ) {
+        // Model: sort by (time, insertion index) — the queue must agree.
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycles(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().zip(0..).map(|(t, i)| (t, i)).collect();
+        expected.sort();
+        for (t, i) in expected {
+            let (got_t, got_i) = q.pop().expect("queue has the element");
+            prop_assert_eq!(got_t, Cycles(t));
+            prop_assert_eq!(got_i, i);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn event_queue_interleaved_pops_never_regress(
+        ops in prop::collection::vec((0u64..1_000, any::<bool>()), 1..200)
+    ) {
+        // Pops may interleave with pushes; popped times must never go
+        // below the previous pop when pushes respect current time.
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        for &(dt, push) in &ops {
+            if push || q.is_empty() {
+                q.push(Cycles(now + dt), ());
+            } else if let Some((t, ())) = q.pop() {
+                prop_assert!(t.get() >= now, "time went backwards");
+                now = t.get();
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_count_and_bounds_match_inputs(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..300)
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+        // Percentile approximation: within one power-of-two bucket of the
+        // exact percentile, and never above the max.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact_p50 = sorted[(sorted.len() - 1) / 2];
+        let approx = h.percentile(50.0);
+        prop_assert!(approx <= h.max());
+        prop_assert!(approx.saturating_mul(2) + 1 >= exact_p50);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &s in &a { ha.record(s); }
+        let mut hb = Histogram::new();
+        for &s in &b { hb.record(s); }
+        ha.merge(&hb);
+        let mut hc = Histogram::new();
+        for &s in a.iter().chain(&b) { hc.record(s); }
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.sum(), hc.sum());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        prop_assert_eq!(ha.percentile(90.0), hc.percentile(90.0));
+    }
+
+    #[test]
+    fn spinlock_serializes_and_accounts(
+        holds in prop::collection::vec((0u64..500, 1u64..500), 1..100)
+    ) {
+        // Acquire/release with arbitrary arrival gaps and hold times:
+        // ownership intervals must never overlap and spin accounting must
+        // equal the waiting implied by the serialization.
+        let mut lock = SimSpinLock::new(0);
+        let mut now = Cycles::ZERO;
+        let mut last_release = Cycles::ZERO;
+        let mut expected_spin = 0u64;
+        for (i, &(gap, hold)) in holds.iter().enumerate() {
+            now += gap;
+            let acquired = lock.acquire(now, i % 3);
+            prop_assert!(acquired >= last_release, "overlapping ownership");
+            prop_assert!(acquired >= now);
+            expected_spin += acquired.saturating_sub(now).get();
+            last_release = acquired + hold;
+            lock.release(last_release);
+        }
+        prop_assert_eq!(lock.total_spin().get(), expected_spin);
+        prop_assert_eq!(lock.acquisitions(), holds.len() as u64);
+    }
+
+    #[test]
+    fn rng_below_is_always_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! `/proc`-style scheduler statistics.
+//!
+//! The paper instrumented both schedulers and exported counters through the
+//! proc file system ("we also collected statistics about what the scheduler
+//! was doing and exposed them through the proc file system", §6). This
+//! crate is that instrumentation: per-CPU counters incremented from inside
+//! the schedulers and the machine model, with snapshot/delta support and a
+//! `/proc/elscstat`-like text rendering.
+//!
+//! Figures 2, 5, and 6 of the paper are pure functions of these counters:
+//!
+//! * Figure 2 — [`CpuStats::recalc_entries`]
+//! * Figure 5 — [`CpuStats::sched_cycles`] / [`CpuStats::sched_calls`] and
+//!   [`CpuStats::tasks_examined`] / [`CpuStats::sched_calls`]
+//! * Figure 6 — [`CpuStats::sched_calls`] and [`CpuStats::picked_new_cpu`]
+#![warn(missing_docs)]
+
+pub mod percpu;
+pub mod render;
+
+pub use percpu::{CpuStats, SchedStats};

@@ -1,0 +1,327 @@
+//! An Apache-like web server (the paper's §8 future work).
+//!
+//! "In the future, we would like to see how the ELSC scheduler performs in
+//! other multithreaded environments. One such example is a web server
+//! running Apache."
+//!
+//! Model: a pool of worker tasks blocks on a shared accept queue; client
+//! tasks issue requests (write to the accept queue, read their private
+//! response pipe) with think times in between. After every client
+//! finishes, a coordinator feeds the workers poison pills so the run
+//! terminates cleanly.
+
+use elsc_ktask::{MmId, TaskSpec};
+use elsc_machine::{Behavior, Machine, MachineConfig, Op, RunReport, SysView};
+use elsc_netsim::{Msg, PipeId};
+use elsc_sched_api::Scheduler;
+
+/// Tag marking a worker shutdown message.
+const POISON: u64 = u64::MAX;
+
+/// Web-server workload parameters.
+#[derive(Clone, Debug)]
+pub struct HttpdConfig {
+    /// Worker pool size (Apache `MaxClients` style).
+    pub workers: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Server cycles to handle one request.
+    pub handle_work: u64,
+    /// Client cycles to build a request / consume a response.
+    pub client_work: u64,
+    /// Mean client think time between requests (sleep, cycles).
+    pub think_cycles: u64,
+    /// Accept-queue capacity.
+    pub backlog: usize,
+    /// Jitter fraction.
+    pub jitter: f64,
+}
+
+impl Default for HttpdConfig {
+    fn default() -> Self {
+        HttpdConfig {
+            workers: 8,
+            clients: 64,
+            requests_per_client: 10,
+            handle_work: 150_000,
+            client_work: 20_000,
+            think_cycles: 2_000_000,
+            backlog: 32,
+            jitter: 0.3,
+        }
+    }
+}
+
+impl HttpdConfig {
+    /// Total requests the run serves.
+    pub fn total_requests(&self) -> u64 {
+        (self.clients * self.requests_per_client) as u64
+    }
+}
+
+/// A client: think, request, await response; finally report completion.
+struct Client {
+    accept: PipeId,
+    response: PipeId,
+    done: PipeId,
+    id: u64,
+    left: usize,
+    awaiting: bool,
+    reported: bool,
+    work: u64,
+    think: u64,
+    jitter: f64,
+    /// When the in-flight request was issued, for response latency.
+    sent_at: Option<elsc_simcore::Cycles>,
+}
+
+impl Behavior for Client {
+    fn resume(&mut self, sys: &mut SysView<'_>) -> Op {
+        if self.awaiting {
+            // A response just arrived.
+            debug_assert!(sys.last_read.is_some());
+            self.awaiting = false;
+            sys.ledger.add("responses", 1);
+            if let Some(sent) = self.sent_at.take() {
+                sys.dists
+                    .record("response_latency", sys.now.saturating_sub(sent).get());
+            }
+            let think = sys.rng.exp(self.think as f64) as u64;
+            return Op::sleep_after(sys.rng.jitter(self.work, self.jitter), think.max(1));
+        }
+        if self.left > 0 {
+            self.left -= 1;
+            self.awaiting = true;
+            self.sent_at = Some(sys.now);
+            let work = sys.rng.jitter(self.work, self.jitter);
+            // Request, then (next resume is triggered by the read below
+            // completing; issue write now, read chained via pending).
+            return Op::write_after(work, self.accept, Msg::tagged(self.id));
+        }
+        if !self.reported {
+            self.reported = true;
+            return Op::write_after(1_000, self.done, Msg::tagged(self.id));
+        }
+        Op::exit()
+    }
+}
+
+/// After a request write completes the client must read its response;
+/// that chaining needs a second step, so `Client` alternates via the
+/// `awaiting` flag and this helper behavior is not needed — but the write
+/// completion resumes the behavior *before* the response exists. To keep
+/// the state machine honest the client reads immediately after writing:
+/// the read blocks until a worker responds.
+struct ClientRead {
+    inner: Client,
+}
+
+impl Behavior for ClientRead {
+    fn resume(&mut self, sys: &mut SysView<'_>) -> Op {
+        if self.inner.awaiting && sys.last_read.is_none() {
+            // The request write completed; now wait for the response.
+            return Op::read_after(1_000, self.inner.response);
+        }
+        self.inner.resume(sys)
+    }
+}
+
+/// A worker: serve requests from the accept queue until poisoned.
+struct Worker {
+    accept: PipeId,
+    responses: Vec<PipeId>,
+    work: u64,
+    jitter: f64,
+    /// Response to send, if a request was just read.
+    serving: Option<u64>,
+}
+
+impl Behavior for Worker {
+    fn resume(&mut self, sys: &mut SysView<'_>) -> Op {
+        if let Some(msg) = sys.last_read {
+            if msg.tag == POISON {
+                return Op::exit();
+            }
+            self.serving = Some(msg.tag);
+        }
+        if let Some(client) = self.serving.take() {
+            sys.ledger.add("requests_served", 1);
+            let work = sys.rng.jitter(self.work, self.jitter);
+            return Op::write_after(work, self.responses[client as usize], Msg::tagged(client));
+        }
+        Op::read_after(2_000, self.accept)
+    }
+}
+
+/// Waits for all clients, then poisons the workers.
+struct Coordinator {
+    done: PipeId,
+    accept: PipeId,
+    clients_left: usize,
+    poisons_left: usize,
+}
+
+impl Behavior for Coordinator {
+    fn resume(&mut self, _sys: &mut SysView<'_>) -> Op {
+        if self.clients_left > 0 {
+            self.clients_left -= 1;
+            return Op::read_after(1_000, self.done);
+        }
+        if self.poisons_left > 0 {
+            self.poisons_left -= 1;
+            return Op::write_after(500, self.accept, Msg::tagged(POISON));
+        }
+        Op::exit()
+    }
+}
+
+/// Address spaces: one server process, one per client.
+const HTTPD_MM: MmId = MmId(1);
+
+/// Populates a machine with the web-server workload.
+pub fn build(m: &mut Machine, cfg: &HttpdConfig) {
+    assert!(cfg.workers > 0 && cfg.clients > 0);
+    let accept = m.create_pipe(cfg.backlog);
+    let done = m.create_pipe(cfg.clients.max(1));
+    let responses: Vec<PipeId> = (0..cfg.clients).map(|_| m.create_pipe(4)).collect();
+    for _ in 0..cfg.workers {
+        m.spawn(
+            &TaskSpec::named("httpd").mm(HTTPD_MM),
+            Box::new(Worker {
+                accept,
+                responses: responses.clone(),
+                work: cfg.handle_work,
+                jitter: cfg.jitter,
+                serving: None,
+            }),
+        );
+    }
+    for id in 0..cfg.clients {
+        m.spawn(
+            &TaskSpec::named("client").mm(MmId(100 + id as u32)),
+            Box::new(ClientRead {
+                inner: Client {
+                    accept,
+                    response: responses[id],
+                    done,
+                    id: id as u64,
+                    left: cfg.requests_per_client,
+                    awaiting: false,
+                    reported: false,
+                    work: cfg.client_work,
+                    think: cfg.think_cycles,
+                    jitter: cfg.jitter,
+                    sent_at: None,
+                },
+            }),
+        );
+    }
+    m.spawn(
+        &TaskSpec::named("apachectl").mm(HTTPD_MM),
+        Box::new(Coordinator {
+            done,
+            accept,
+            clients_left: cfg.clients,
+            poisons_left: cfg.workers,
+        }),
+    );
+}
+
+/// Builds and runs the web server on a fresh machine.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks or times out (a harness bug).
+pub fn run(machine_cfg: MachineConfig, sched: Box<dyn Scheduler>, cfg: &HttpdConfig) -> RunReport {
+    let mut m = Machine::new(machine_cfg, sched);
+    build(&mut m, cfg);
+    m.run().expect("httpd run must complete")
+}
+
+/// Requests served per simulated second.
+pub fn throughput(report: &RunReport) -> f64 {
+    report.per_sec("requests_served")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsc::ElscScheduler;
+    use elsc_sched_linux::LinuxScheduler;
+
+    fn tiny() -> HttpdConfig {
+        HttpdConfig {
+            workers: 2,
+            clients: 4,
+            requests_per_client: 3,
+            handle_work: 50_000,
+            client_work: 10_000,
+            think_cycles: 100_000,
+            backlog: 4,
+            jitter: 0.2,
+        }
+    }
+
+    #[test]
+    fn serves_every_request_reg() {
+        let cfg = tiny();
+        let r = run(
+            MachineConfig::up().with_max_secs(60.0),
+            Box::new(LinuxScheduler::new()),
+            &cfg,
+        );
+        assert_eq!(r.ledger.get("requests_served"), cfg.total_requests());
+        assert_eq!(r.ledger.get("responses"), cfg.total_requests());
+    }
+
+    #[test]
+    fn serves_every_request_elsc_smp() {
+        let cfg = tiny();
+        let r = run(
+            MachineConfig::smp(2).with_max_secs(60.0),
+            Box::new(ElscScheduler::new()),
+            &cfg,
+        );
+        assert_eq!(r.ledger.get("requests_served"), cfg.total_requests());
+    }
+
+    #[test]
+    fn worker_pool_terminates_via_poison() {
+        let cfg = tiny();
+        let r = run(
+            MachineConfig::up().with_max_secs(60.0),
+            Box::new(LinuxScheduler::new()),
+            &cfg,
+        );
+        // workers + clients + coordinator all exited.
+        assert_eq!(r.tasks_spawned as usize, cfg.workers + cfg.clients + 1);
+    }
+
+    #[test]
+    fn response_latency_is_recorded() {
+        let cfg = tiny();
+        let r = run(
+            MachineConfig::up().with_max_secs(60.0),
+            Box::new(LinuxScheduler::new()),
+            &cfg,
+        );
+        let lat = r.dists.get("response_latency").expect("latency recorded");
+        assert_eq!(lat.count(), cfg.total_requests());
+        assert!(lat.mean() > 0.0);
+        // Built-in machine distributions exist as well.
+        assert!(r.dists.get("wake_latency").is_some());
+        assert!(r.dists.get("runqueue_len").is_some());
+    }
+
+    #[test]
+    fn throughput_positive() {
+        let r = run(
+            MachineConfig::smp(2).with_max_secs(60.0),
+            Box::new(ElscScheduler::new()),
+            &tiny(),
+        );
+        assert!(throughput(&r) > 0.0);
+    }
+}

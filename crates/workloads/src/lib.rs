@@ -1,0 +1,28 @@
+//! Workload generators for the scheduler experiments.
+//!
+//! * [`volanomark`] — the paper's stress test (§4, §6): a chat-room
+//!   benchmark with four threads per connection over blocking loopback
+//!   sockets, including the JVM's `sched_yield()`-based locking behaviour.
+//! * [`kbuild`] — the paper's light-load test (Table 2): `make -jN` over a
+//!   DAG of compile processes with fork/exec/exit and I/O blocking.
+//! * [`httpd`] — the §8 future-work scenario: an Apache-like worker-pool
+//!   web server with many concurrent clients.
+//! * [`rtmix`] — mixed `SCHED_FIFO`/`SCHED_RR`/`SCHED_OTHER` criticality
+//!   (the real-time semantics the paper promises to preserve, §5).
+//! * [`stress`] — synthetic run-queue-length stress for microbenchmarks.
+//!
+//! Each module exposes a config struct, a `build` function that populates
+//! a [`elsc_machine::Machine`], and a convenience `run` wrapper.
+#![warn(missing_docs)]
+
+pub mod httpd;
+pub mod kbuild;
+pub mod rtmix;
+pub mod stress;
+pub mod volanomark;
+
+pub use httpd::HttpdConfig;
+pub use kbuild::KbuildConfig;
+pub use rtmix::RtMixConfig;
+pub use stress::StressConfig;
+pub use volanomark::VolanoConfig;

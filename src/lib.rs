@@ -1,0 +1,20 @@
+//! Umbrella crate for the ELSC scheduler reproduction.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; it re-exports the member crates under short names so that
+//! examples and integration tests can write `elsc_repro::machine::...`.
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+#![warn(missing_docs)]
+
+pub use elsc as core;
+pub use elsc_ktask as ktask;
+pub use elsc_machine as machine;
+pub use elsc_netsim as netsim;
+pub use elsc_sched_api as sched_api;
+pub use elsc_sched_ext as sched_ext;
+pub use elsc_sched_linux as sched_linux;
+pub use elsc_simcore as simcore;
+pub use elsc_stats as stats;
+pub use elsc_workloads as workloads;

@@ -1,0 +1,135 @@
+//! Conservation laws: every message sent is delivered exactly once, every
+//! unit of work completes, regardless of scheduler or machine shape.
+
+use elsc::ElscScheduler;
+use elsc_machine::MachineConfig;
+use elsc_sched_api::Scheduler;
+use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_linux::LinuxScheduler;
+use elsc_workloads::httpd::{self, HttpdConfig};
+use elsc_workloads::kbuild::{self, KbuildConfig};
+use elsc_workloads::volanomark::{self, VolanoConfig};
+
+fn all_schedulers(nr_cpus: usize) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(LinuxScheduler::new()),
+        Box::new(ElscScheduler::new()),
+        Box::new(HeapScheduler::new()),
+        Box::new(AffinityHeapScheduler::new()),
+        Box::new(MultiQueueScheduler::new(nr_cpus)),
+    ]
+}
+
+#[test]
+fn volano_delivers_every_message_on_every_scheduler() {
+    let cfg = VolanoConfig {
+        rooms: 2,
+        users_per_room: 6,
+        messages_per_user: 3,
+        ..VolanoConfig::default()
+    };
+    for cpus in [1, 2, 4] {
+        for sched in all_schedulers(cpus) {
+            let name = sched.name();
+            let report =
+                volanomark::run(MachineConfig::smp(cpus).with_max_secs(2_000.0), sched, &cfg);
+            assert_eq!(
+                report.ledger.get("messages"),
+                cfg.total_deliveries(),
+                "{name} on {cpus}P lost messages"
+            );
+            assert_eq!(
+                report.messages_read,
+                report.ledger.get("messages")
+                    + cfg.total_deliveries() / cfg.users_per_room as u64 // c2s reads
+                    + cfg.total_deliveries(), // outbox reads
+                "{name} on {cpus}P pipe accounting off"
+            );
+        }
+    }
+}
+
+#[test]
+fn volano_up_build_matches_smp_semantics() {
+    let cfg = VolanoConfig {
+        rooms: 1,
+        users_per_room: 5,
+        messages_per_user: 4,
+        ..VolanoConfig::default()
+    };
+    for sched in all_schedulers(1) {
+        let name = sched.name();
+        let report = volanomark::run(MachineConfig::up().with_max_secs(2_000.0), sched, &cfg);
+        assert_eq!(
+            report.ledger.get("messages"),
+            cfg.total_deliveries(),
+            "{name} on UP lost messages"
+        );
+    }
+}
+
+#[test]
+fn kbuild_compiles_every_unit_on_every_scheduler() {
+    let cfg = KbuildConfig {
+        jobs: 3,
+        translation_units: 10,
+        compile_cycles: 1_000_000,
+        io_blocks_per_unit: 2,
+        io_block_cycles: 100_000,
+        link_cycles: 2_000_000,
+        jitter: 0.3,
+    };
+    for cpus in [1, 2] {
+        for sched in all_schedulers(cpus) {
+            let name = sched.name();
+            let report = kbuild::run(MachineConfig::smp(cpus).with_max_secs(2_000.0), sched, &cfg);
+            assert_eq!(
+                report.ledger.get("units_compiled"),
+                cfg.translation_units as u64,
+                "{name} on {cpus}P dropped compile jobs"
+            );
+            assert_eq!(report.ledger.get("linked"), 1, "{name} must link once");
+        }
+    }
+}
+
+#[test]
+fn httpd_serves_every_request_on_every_scheduler() {
+    let cfg = HttpdConfig {
+        workers: 3,
+        clients: 8,
+        requests_per_client: 4,
+        ..HttpdConfig::default()
+    };
+    for cpus in [1, 4] {
+        for sched in all_schedulers(cpus) {
+            let name = sched.name();
+            let report = httpd::run(MachineConfig::smp(cpus).with_max_secs(2_000.0), sched, &cfg);
+            assert_eq!(
+                report.ledger.get("requests_served"),
+                cfg.total_requests(),
+                "{name} on {cpus}P dropped requests"
+            );
+            assert_eq!(
+                report.ledger.get("responses"),
+                cfg.total_requests(),
+                "{name} on {cpus}P lost responses"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_spawned_task_exits() {
+    let cfg = VolanoConfig {
+        rooms: 1,
+        users_per_room: 4,
+        messages_per_user: 2,
+        ..VolanoConfig::default()
+    };
+    for sched in all_schedulers(2) {
+        let report = volanomark::run(MachineConfig::smp(2).with_max_secs(2_000.0), sched, &cfg);
+        // 4 threads per user.
+        assert_eq!(report.tasks_spawned, (cfg.users_per_room * 4) as u64);
+    }
+}

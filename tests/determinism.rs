@@ -1,0 +1,89 @@
+//! Determinism: a run is a pure function of (seed, config, scheduler).
+
+use elsc::ElscScheduler;
+use elsc_machine::{MachineConfig, RunReport};
+use elsc_sched_api::Scheduler;
+use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_linux::LinuxScheduler;
+use elsc_workloads::volanomark::{self, VolanoConfig};
+
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, u64) {
+    let t = r.stats.total();
+    (
+        r.elapsed.get(),
+        t.sched_calls,
+        t.tasks_examined,
+        t.ctx_switches,
+        t.wakeups,
+    )
+}
+
+fn run_with(seed: u64, cpus: usize, sched: Box<dyn Scheduler>) -> RunReport {
+    let cfg = VolanoConfig {
+        rooms: 2,
+        users_per_room: 5,
+        messages_per_user: 3,
+        ..VolanoConfig::default()
+    };
+    volanomark::run(
+        MachineConfig::smp(cpus)
+            .with_seed(seed)
+            .with_max_secs(2_000.0),
+        sched,
+        &cfg,
+    )
+}
+
+#[test]
+fn same_seed_same_trace_reg() {
+    let a = run_with(11, 2, Box::new(LinuxScheduler::new()));
+    let b = run_with(11, 2, Box::new(LinuxScheduler::new()));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn same_seed_same_trace_elsc() {
+    let a = run_with(11, 2, Box::new(ElscScheduler::new()));
+    let b = run_with(11, 2, Box::new(ElscScheduler::new()));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn same_seed_same_trace_heap_and_mq() {
+    let a = run_with(11, 2, Box::new(HeapScheduler::new()));
+    let b = run_with(11, 2, Box::new(HeapScheduler::new()));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    let a = run_with(11, 2, Box::new(MultiQueueScheduler::new(2)));
+    let b = run_with(11, 2, Box::new(MultiQueueScheduler::new(2)));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    let a = run_with(11, 2, Box::new(AffinityHeapScheduler::new()));
+    let b = run_with(11, 2, Box::new(AffinityHeapScheduler::new()));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seed_different_trace() {
+    let a = run_with(1, 2, Box::new(ElscScheduler::new()));
+    let b = run_with(2, 2, Box::new(ElscScheduler::new()));
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_schedulers_different_traces() {
+    let a = run_with(11, 2, Box::new(LinuxScheduler::new()));
+    let b = run_with(11, 2, Box::new(ElscScheduler::new()));
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "the schedulers must actually make different decisions"
+    );
+}
+
+#[test]
+fn determinism_holds_across_cpu_counts() {
+    for cpus in [1, 3, 4] {
+        let a = run_with(99, cpus, Box::new(ElscScheduler::new()));
+        let b = run_with(99, cpus, Box::new(ElscScheduler::new()));
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{cpus} CPUs");
+    }
+}
