@@ -5,7 +5,8 @@
 //! two run-queue depths for every design, plus a short end-to-end
 //! simulated VolanoMark slice to compare whole-system behaviour.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elsc_bench::harness::{BenchmarkId, Criterion};
+use elsc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use elsc_bench::rig::Rig;

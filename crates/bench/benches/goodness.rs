@@ -6,7 +6,8 @@
 //! — the per-call cost is tiny; the baseline's problem is the
 //! multiplication by n.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elsc_bench::harness::Criterion;
+use elsc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use elsc::index_for;

@@ -4,7 +4,8 @@
 //! paper's design goal is that this must not make add/del slower in any
 //! meaningful way ("maintain existing performance for light loads").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elsc_bench::harness::{BenchmarkId, Criterion};
+use elsc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use elsc_bench::rig::Rig;
@@ -47,6 +48,7 @@ fn move_ops(c: &mut Criterion) {
                     meter: &mut rig.meter,
                     costs: &rig.costs,
                     cfg: &rig.cfg,
+                    probe: None,
                 };
                 rig.sched.move_last_runqueue(&mut ctx, black_box(probe));
                 rig.sched.move_first_runqueue(&mut ctx, black_box(probe));

@@ -5,7 +5,8 @@
 //! measures the real (host) cost of the algorithms; the simulated-cycle
 //! figures come from the `figure*` binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elsc_bench::harness::{BenchmarkId, Criterion};
+use elsc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use elsc_bench::rig::Rig;

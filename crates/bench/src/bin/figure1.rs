@@ -43,6 +43,7 @@ fn main() {
             meter: &mut meter,
             costs: &costs,
             cfg: &cfg,
+            probe: None,
         };
         // Insert in reverse so the figure's order (40 first) comes out.
         for &sg in GOODNESS.iter().rev() {
@@ -76,6 +77,7 @@ fn main() {
             meter: &mut meter,
             costs: &costs,
             cfg: &cfg,
+            probe: None,
         };
         for &sg in GOODNESS.iter().rev() {
             let tid = spawn(ctx.tasks, sg);

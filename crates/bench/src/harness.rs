@@ -1,0 +1,212 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! The Criterion crate is unavailable in offline/vendored builds, so the
+//! `[[bench]]` targets run on this hand-rolled harness instead. It mirrors
+//! the small slice of Criterion's API the benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`), measures wall time with
+//! [`std::time::Instant`], and prints one `ns/iter` line per benchmark.
+//!
+//! The measurements are intentionally simple — median of a handful of
+//! timed batches after a short warm-up — which is plenty to see the O(n)
+//! vs O(1) separation the paper is about. Statistical rigor (outlier
+//! rejection, confidence intervals) is out of scope; install Criterion in
+//! a networked environment if you need it.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark.
+const TARGET: Duration = Duration::from_millis(40);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(8);
+/// Number of timed batches; the median is reported.
+const BATCHES: usize = 5;
+
+/// A benchmark identifier: `label/parameter`, Criterion-style.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `label/parameter`.
+    pub fn new(label: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{label}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Hands the routine to the timing loop.
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing an iteration count so cheap
+    /// routines are batched and expensive ones (whole simulated runs) are
+    /// executed only a few times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One probe iteration decides the batch size.
+        let probe = Instant::now();
+        let _ = routine();
+        let t1 = probe.elapsed();
+        let per_batch = TARGET.checked_div(BATCHES as u32).unwrap_or(TARGET);
+        let iters = if t1.is_zero() {
+            1024
+        } else {
+            (per_batch.as_nanos() / t1.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+        // Warm up.
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP && t1 < WARMUP {
+            let _ = routine();
+        }
+        // Timed batches; keep the median.
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let _ = routine();
+            }
+            let dt = start.elapsed();
+            samples.push(dt.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.ns_per_iter = Some(samples[BATCHES / 2]);
+    }
+}
+
+/// The top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn report(group: Option<&str>, name: &str, ns: Option<f64>) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    match ns {
+        Some(ns) => println!("bench  {full:<44} {ns:>14.1} ns/iter"),
+        None => println!("bench  {full:<44} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: None };
+        f(&mut b);
+        report(None, &name.to_string(), b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for Criterion compatibility; the hand-rolled harness
+    /// sizes batches adaptively instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: None };
+        f(&mut b);
+        report(Some(&self.name), &id.to_string(), b.ns_per_iter);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: None };
+        f(&mut b, input);
+        report(Some(&self.name), &id.to_string(), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark suite: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: None };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        let ns = b.ns_per_iter.expect("measured");
+        assert!(ns >= 0.0 && ns.is_finite());
+    }
+
+    #[test]
+    fn group_api_is_chainable() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("one", |b| b.iter(|| 1 + 1))
+            .bench_with_input(BenchmarkId::new("two", 5), &5, |b, &n| {
+                b.iter(|| n * 2);
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("reg", 100).to_string(), "reg/100");
+    }
+}

@@ -12,10 +12,13 @@
 //! | `figure6` | Figure 6 — `schedule()` calls and cross-CPU placements |
 //! | `kernel_share` | §4 claim — scheduler share of kernel time |
 //!
-//! Criterion benches (`cargo bench`) measure the *real* (host) cost of the
+//! Microbenches (`cargo bench`) measure the *real* (host) cost of the
 //! scheduler algorithms themselves: `schedule()` latency vs run-queue
 //! length, run-queue operation costs, `goodness()` evaluation, and an
-//! ablation across all four scheduler designs.
+//! ablation across all four scheduler designs. They run on the
+//! dependency-free [`harness`] module so offline builds work; the API
+//! mirrors Criterion's, so swapping Criterion back in (with network
+//! access) is a one-line import change per bench.
 #![warn(missing_docs)]
 
 use elsc::ElscScheduler;
@@ -25,6 +28,7 @@ use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
 use elsc_sched_linux::LinuxScheduler;
 use elsc_workloads::VolanoConfig;
 
+pub mod harness;
 pub mod rig;
 pub mod summary;
 

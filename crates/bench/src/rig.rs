@@ -66,6 +66,7 @@ impl Rig {
             meter: &mut self.meter,
             costs: &self.costs,
             cfg: &self.cfg,
+            probe: None,
         };
         self.sched.add_to_runqueue(&mut ctx, tid);
     }
@@ -78,6 +79,7 @@ impl Rig {
             meter: &mut self.meter,
             costs: &self.costs,
             cfg: &self.cfg,
+            probe: None,
         };
         self.sched.del_from_runqueue(&mut ctx, tid);
     }
@@ -94,6 +96,7 @@ impl Rig {
             meter: &mut self.meter,
             costs: &self.costs,
             cfg: &self.cfg,
+            probe: None,
         };
         let next = self.sched.schedule(&mut ctx, 0, prev, idle);
         self.current = next;

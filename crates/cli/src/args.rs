@@ -32,6 +32,9 @@ impl core::fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            ArgError::BadValue { key, value } if *value == format!("--{key}") => {
+                write!(f, "unknown option --{key}")
+            }
             ArgError::BadValue { key, value } => {
                 write!(f, "invalid value '{value}' for --{key}")
             }
@@ -42,7 +45,31 @@ impl core::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean flags (no value).
-const FLAGS: &[&str] = &["up", "proc", "latency", "help", "quiet", "compare"];
+const FLAGS: &[&str] = &[
+    "up", "proc", "latency", "help", "quiet", "compare", "profile", "diff",
+];
+
+/// Option names that take a value. Anything not listed here or in
+/// [`FLAGS`] is rejected instead of silently accepted.
+const OPTIONS: &[&str] = &[
+    "sched",
+    "cpus",
+    "seed",
+    "trace",
+    "rooms",
+    "users",
+    "messages",
+    "jobs",
+    "units",
+    "clients",
+    "workers",
+    "requests",
+    "tasks",
+    "rounds",
+    "burst",
+    "trace-out",
+    "report-json",
+];
 
 impl Args {
     /// Parses an iterator of raw arguments (without the program name).
@@ -51,19 +78,31 @@ impl Args {
         let mut it = raw.into_iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let key = key.to_string();
+                // `--key=value` or `--key [value]`.
+                let (key, inline) = match key.split_once('=') {
+                    Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                    None => (key.to_string(), None),
+                };
                 if FLAGS.contains(&key.as_str()) {
-                    out.flags.push(key);
-                } else {
-                    // `--key=value` or `--key value`.
-                    if let Some((k, v)) = key.split_once('=') {
-                        out.options.insert(k.to_string(), v.to_string());
-                    } else {
-                        let value = it
-                            .next()
-                            .ok_or_else(|| ArgError::MissingValue(key.clone()))?;
-                        out.options.insert(key, value);
+                    if let Some(v) = inline {
+                        // A flag takes no value: `--quiet=yes` is an error.
+                        return Err(ArgError::BadValue { key, value: v });
                     }
+                    out.flags.push(key);
+                } else if OPTIONS.contains(&key.as_str()) {
+                    let value = match inline {
+                        Some(v) => v,
+                        None => it
+                            .next()
+                            .ok_or_else(|| ArgError::MissingValue(key.clone()))?,
+                    };
+                    out.options.insert(key, value);
+                } else {
+                    // Unknown option: reject instead of silently accepting.
+                    return Err(ArgError::BadValue {
+                        value: format!("--{key}"),
+                        key,
+                    });
                 }
             } else if out.command.is_none() {
                 out.command = Some(arg);
@@ -140,6 +179,40 @@ mod tests {
         assert!(matches!(
             parse(&["volano", "oops"]).unwrap_err(),
             ArgError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let err = parse(&["volano", "--frobnicate", "3"]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::BadValue {
+                key: "frobnicate".into(),
+                value: "--frobnicate".into(),
+            }
+        );
+        assert_eq!(err.to_string(), "unknown option --frobnicate");
+    }
+
+    #[test]
+    fn profile_is_a_registered_flag() {
+        let a = parse(&["volano", "--profile"]).unwrap();
+        assert!(a.flag("profile"));
+    }
+
+    #[test]
+    fn new_output_options_take_values() {
+        let a = parse(&["volano", "--trace-out", "t.jsonl", "--report-json=r.json"]).unwrap();
+        assert_eq!(a.get("trace-out"), Some("t.jsonl"));
+        assert_eq!(a.get("report-json"), Some("r.json"));
+    }
+
+    #[test]
+    fn flag_with_a_value_is_rejected() {
+        assert!(matches!(
+            parse(&["volano", "--quiet=yes"]).unwrap_err(),
+            ArgError::BadValue { .. }
         ));
     }
 

@@ -28,8 +28,12 @@ mod args;
 
 use args::Args;
 
+use std::fs::File;
+use std::io::BufWriter;
+
 use elsc::ElscScheduler;
-use elsc_machine::{Machine, MachineConfig, RunReport};
+use elsc_machine::{Machine, MachineConfig, RunReport, TraceRecord};
+use elsc_obs::{first_divergence, JsonLinesSink};
 use elsc_sched_api::Scheduler;
 use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
 use elsc_sched_linux::LinuxScheduler;
@@ -53,7 +57,12 @@ fn scheduler(name: &str, nr_cpus: usize) -> Result<Box<dyn Scheduler>, String> {
 fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
     let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
     let seed: u64 = a.get_or("seed", 23_062).map_err(|e| e.to_string())?;
-    let trace: usize = a.get_or("trace", 0).map_err(|e| e.to_string())?;
+    // `--diff` needs the in-memory ring populated; give it a generous
+    // default capacity unless the user chose one.
+    let trace_default = if a.flag("diff") { 200_000 } else { 0 };
+    let trace: usize = a
+        .get_or("trace", trace_default)
+        .map_err(|e| e.to_string())?;
     let mut cfg = if a.flag("up") {
         MachineConfig::up()
     } else {
@@ -66,17 +75,34 @@ fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
     Ok(cfg)
 }
 
-/// Runs one workload on one machine; returns the report plus a trace
-/// summary when tracing was requested.
+/// Everything one simulation run produces.
+struct RunOutcome {
+    /// The machine's report.
+    report: RunReport,
+    /// Name of the headline throughput metric, if the workload has one.
+    metric: Option<String>,
+    /// Human-readable trace summary when `--trace N` was given.
+    trace_text: Option<String>,
+    /// The in-memory trace ring (empty unless tracing was enabled).
+    records: Vec<TraceRecord>,
+}
+
+/// Runs one workload on one machine; `trace_out` streams the full event
+/// trace to a JSON-lines file as the run executes.
 fn run_one(
     a: &Args,
     sched: Box<dyn Scheduler>,
-) -> Result<(RunReport, Option<String>, Option<String>), String> {
+    trace_out: Option<&str>,
+) -> Result<RunOutcome, String> {
     let cfg = machine_cfg(a)?;
     let mut machine = Machine::new(cfg, sched);
-    let metric;
-    match a.command.as_deref().unwrap_or("") {
-        "volano" => {
+    if let Some(path) = trace_out {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        machine.add_sink(Box::new(JsonLinesSink::new(BufWriter::new(file))));
+    }
+    let metric = match a.command.as_deref().unwrap_or("") {
+        // `volanomark` is the benchmark's proper name; accept both.
+        "volano" | "volanomark" => {
             let w = VolanoConfig {
                 rooms: a.get_or("rooms", 5).map_err(|e| e.to_string())?,
                 users_per_room: a.get_or("users", 20).map_err(|e| e.to_string())?,
@@ -84,7 +110,7 @@ fn run_one(
                 ..VolanoConfig::default()
             };
             volanomark::build(&mut machine, &w);
-            metric = Some("messages".to_string());
+            Some("messages".to_string())
         }
         "kbuild" => {
             let w = KbuildConfig {
@@ -93,7 +119,7 @@ fn run_one(
                 ..KbuildConfig::default()
             };
             kbuild::build(&mut machine, &w);
-            metric = None;
+            None
         }
         "httpd" => {
             let w = HttpdConfig {
@@ -103,7 +129,7 @@ fn run_one(
                 ..HttpdConfig::default()
             };
             httpd::build(&mut machine, &w);
-            metric = Some("requests_served".to_string());
+            Some("requests_served".to_string())
         }
         "stress" => {
             let w = StressConfig {
@@ -113,16 +139,16 @@ fn run_one(
                 ..StressConfig::default()
             };
             stress::build(&mut machine, &w);
-            metric = None;
+            None
         }
         "rtmix" => {
             rtmix::build(&mut machine, &RtMixConfig::default());
-            metric = None;
+            None
         }
         other => return Err(format!("unknown workload '{other}' (see --help)")),
-    }
+    };
     let report = machine.run().map_err(|e| e.to_string())?;
-    let trace = if machine.trace().enabled() {
+    let trace_text = if machine.trace().enabled() {
         let mut out = String::new();
         for r in machine.trace().records().iter().take(40) {
             out.push_str(&format!("    {:>14} {:?}\n", r.at.get(), r.event));
@@ -137,7 +163,23 @@ fn run_one(
     } else {
         None
     };
-    Ok((report, metric, trace))
+    let records = machine.trace().records().to_vec();
+    Ok(RunOutcome {
+        report,
+        metric,
+        trace_text,
+        records,
+    })
+}
+
+/// When several schedulers share one output path, suffix each file with
+/// the scheduler name so they do not overwrite each other.
+fn per_sched_path(base: &str, name: &str, multi: bool) -> String {
+    if multi {
+        format!("{base}.{name}")
+    } else {
+        base.to_string()
+    }
 }
 
 /// Full run across the requested schedulers.
@@ -147,14 +189,28 @@ fn run(a: &Args) -> Result<(), String> {
     if a.flag("compare") {
         return run_compare(a, scheds, cpus.max(1));
     }
-    for name in scheds.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+    if a.flag("diff") {
+        return run_diff(a, scheds, cpus.max(1));
+    }
+    let names: Vec<&str> = scheds
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let multi = names.len() > 1;
+    for name in names {
         let sched = scheduler(name, cpus.max(1))?;
-        let (report, metric, trace) = run_one(a, sched)?;
+        let trace_out = a.get("trace-out").map(|p| per_sched_path(p, name, multi));
+        let out = run_one(a, sched, trace_out.as_deref())?;
+        let report = &out.report;
         if !a.flag("quiet") {
             println!("{report}");
-            if let Some(metric) = metric {
-                println!("  {} = {:.0}/s", metric, report.per_sec(&metric));
+            if let Some(metric) = &out.metric {
+                println!("  {} = {:.0}/s", metric, report.per_sec(metric));
             }
+        }
+        if a.flag("profile") {
+            println!("{}", report.profile);
         }
         if a.flag("proc") {
             println!("{}", render_proc(&report.stats));
@@ -164,11 +220,39 @@ fn run(a: &Args) -> Result<(), String> {
                 println!("  {k}: {}", h.summary());
             }
         }
-        if let Some(trace) = trace {
+        if let Some(trace) = &out.trace_text {
             println!("  trace (first 40 events):");
             print!("{trace}");
         }
+        if let Some(path) = a.get("report-json") {
+            let path = per_sched_path(path, name, multi);
+            std::fs::write(&path, out.report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !a.flag("quiet") {
+                println!("  report written to {path}");
+            }
+        }
     }
+    Ok(())
+}
+
+/// `--diff`: run the same workload and seed under two schedulers and
+/// report where their event traces first diverge.
+fn run_diff(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
+    let names: Vec<&str> = scheds
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.len() != 2 {
+        return Err(format!(
+            "--diff compares exactly two schedulers (got '{scheds}'; try --sched reg,elsc)"
+        ));
+    }
+    let first = run_one(a, scheduler(names[0], cpus)?, None)?;
+    let second = run_one(a, scheduler(names[1], cpus)?, None)?;
+    println!("trace diff: {} vs {}", names[0], names[1]);
+    println!("{}", first_divergence(&first.records, &second.records));
     Ok(())
 }
 
@@ -180,7 +264,7 @@ fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
     );
     for name in scheds.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         let sched = scheduler(name, cpus)?;
-        let (report, metric, _) = run_one(a, sched)?;
+        let RunOutcome { report, metric, .. } = run_one(a, sched, None)?;
         let t = report.stats.total();
         let rate = metric.as_deref().map(|m| report.per_sec(m)).unwrap_or(0.0);
         println!(
@@ -224,7 +308,7 @@ elsc-sim: scheduler simulator for 'Scalable Linux Scheduling' (CITI TR 01-7)
 usage: elsc-sim <workload> [options]
 
 workloads:
-  volano    VolanoMark chat benchmark (paper sec. 4/6)
+  volano    VolanoMark chat benchmark (paper sec. 4/6; alias: volanomark)
   kbuild    kernel compile, make -jN (paper Table 2)
   httpd     Apache-like web server (paper sec. 8)
   stress    synthetic run-queue stress
@@ -240,6 +324,16 @@ common options:
   --trace N      keep up to N scheduling-trace records
   --compare      one summary row per scheduler instead of full reports
   --quiet        suppress the standard report
+
+observability:
+  --profile        print the cycle-attribution profile (per CPU x phase
+                   x cost kind; the paper sec. 4 scheduler-share figure)
+  --trace-out P    stream the full event trace to P as JSON lines
+                   (deterministic: same seed => byte-identical file);
+                   with several schedulers, P gets a .<sched> suffix
+  --report-json P  write the whole run report to P as JSON
+  --diff           run exactly two schedulers (--sched A,B) on the same
+                   seed and report where their traces first diverge
 
 volano: --rooms N --users N --messages N
 kbuild: --jobs N --units N
@@ -285,26 +379,27 @@ mod tests {
             "2",
             "--quiet",
         ]);
-        let (report, metric, trace) = run_one(&a, scheduler("elsc", 1).unwrap()).unwrap();
-        assert_eq!(metric.as_deref(), Some("messages"));
-        assert_eq!(report.ledger.get("messages"), 1 * 3 * 3 * 2);
-        assert!(trace.is_none(), "tracing is off by default");
+        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        assert_eq!(out.metric.as_deref(), Some("messages"));
+        assert_eq!(out.report.ledger.get("messages"), 3 * 3 * 2);
+        assert!(out.trace_text.is_none(), "tracing is off by default");
     }
 
     #[test]
     fn small_stress_runs_end_to_end() {
         let a = args(&["stress", "--tasks", "4", "--rounds", "3"]);
-        let (report, _, _) = run_one(&a, scheduler("reg", 1).unwrap()).unwrap();
-        assert_eq!(report.ledger.get("spins"), 12);
+        let out = run_one(&a, scheduler("reg", 1).unwrap(), None).unwrap();
+        assert_eq!(out.report.ledger.get("spins"), 12);
     }
 
     #[test]
     fn trace_flag_produces_a_summary() {
         let a = args(&["stress", "--tasks", "2", "--rounds", "2", "--trace", "100"]);
-        let (_, _, trace) = run_one(&a, scheduler("elsc", 1).unwrap()).unwrap();
-        let text = trace.expect("trace requested");
+        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        let text = out.trace_text.expect("trace requested");
         assert!(text.contains("Switch"));
         assert!(text.contains("records kept"));
+        assert!(!out.records.is_empty());
     }
 
     #[test]
@@ -325,8 +420,8 @@ mod tests {
     #[test]
     fn rtmix_runs_end_to_end() {
         let a = args(&["rtmix", "--quiet"]);
-        let (report, _, _) = run_one(&a, scheduler("elsc", 1).unwrap()).unwrap();
-        assert!(report.ledger.get("fifo_activations") > 0);
+        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        assert!(out.report.ledger.get("fifo_activations") > 0);
     }
 
     #[test]

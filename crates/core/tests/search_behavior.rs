@@ -47,6 +47,7 @@ impl Rig {
             meter: &mut self.meter,
             costs: &self.costs,
             cfg: &self.cfg,
+            probe: None,
         };
         sched.add_to_runqueue(&mut ctx, tid);
         tid
@@ -60,6 +61,7 @@ impl Rig {
             meter: &mut self.meter,
             costs: &self.costs,
             cfg: &self.cfg,
+            probe: None,
         };
         let next = sched.schedule(&mut ctx, cpu, prev, idle);
         sched.debug_check(&self.tasks);
@@ -219,6 +221,7 @@ fn blocked_and_requeued_task_is_reindexed_by_fresh_counter() {
             meter: &mut rig.meter,
             costs: &rig.costs,
             cfg: &rig.cfg,
+            probe: None,
         };
         elsc.add_to_runqueue(&mut ctx, t);
     }
@@ -242,6 +245,7 @@ fn rt_region_is_searched_before_other_region() {
             meter: &mut rig.meter,
             costs: &rig.costs,
             cfg: &rig.cfg,
+            probe: None,
         };
         elsc.add_to_runqueue(&mut ctx, tid);
         tid

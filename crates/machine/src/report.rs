@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use elsc_obs::json::{array, Obj};
+use elsc_obs::{stats_json, Percentiles, ProfileReport};
 use elsc_simcore::{Cycles, Histogram};
 use elsc_stats::SchedStats;
 
@@ -102,6 +104,12 @@ pub struct RunReport {
     /// Sample distributions: machine built-ins (`wake_latency`,
     /// `runqueue_len`) plus whatever the workload recorded.
     pub dists: Distributions,
+    /// Trace records dropped by the bounded ring sink (0 unless the ring
+    /// overflowed; attached file/callback sinks never drop).
+    pub trace_dropped: u64,
+    /// Cycle-attribution profile: every metered kernel cycle broken down
+    /// per CPU × scheduler phase × cost kind.
+    pub profile: ProfileReport,
 }
 
 impl RunReport {
@@ -118,6 +126,50 @@ impl RunReport {
         } else {
             self.ledger.get(key) as f64 / secs
         }
+    }
+
+    /// Wakeup-to-dispatch latency percentiles (p50/p90/p99/p999), or
+    /// `None` if nothing ever woke up.
+    pub fn wake_latency(&self) -> Option<Percentiles> {
+        self.dists.get("wake_latency").map(Percentiles::of)
+    }
+
+    /// Renders the whole report as one machine-readable JSON object:
+    /// run metadata, scheduler statistics, the cycle-attribution profile,
+    /// wakeup-latency percentiles, ledger counters, and distribution
+    /// summaries. Deterministic: same-seed runs serialize byte-identically.
+    pub fn to_json(&self) -> String {
+        let ledger = Obj::new();
+        let ledger = self
+            .ledger
+            .iter()
+            .fold(ledger, |o, (k, v)| o.u64(k, v))
+            .build();
+        let dists = array(self.dists.iter().map(|(k, h)| {
+            Obj::new()
+                .str("name", k)
+                .raw("percentiles", Percentiles::of(h).to_json())
+                .build()
+        }));
+        let mut obj = Obj::new()
+            .str("scheduler", self.scheduler)
+            .str("config", &self.config)
+            .u64("elapsed_cycles", self.elapsed.get())
+            .u64("cpu_hz", self.cpu_hz)
+            .f64("elapsed_secs", self.elapsed_secs())
+            .u64("lock_spin_cycles", self.lock_spin.get())
+            .u64("lock_acquisitions", self.lock_acquisitions)
+            .u64("tasks_spawned", self.tasks_spawned)
+            .u64("messages_read", self.messages_read)
+            .u64("trace_dropped", self.trace_dropped)
+            .raw("stats", stats_json(&self.stats))
+            .raw("profile", self.profile.to_json())
+            .raw("ledger", ledger)
+            .raw("distributions", dists);
+        if let Some(p) = self.wake_latency() {
+            obj = obj.raw("wake_latency", p.to_json());
+        }
+        obj.build()
     }
 }
 
@@ -151,6 +203,14 @@ impl fmt::Display for RunReport {
         }
         for (k, h) in self.dists.iter() {
             writeln!(f, "  {k}: {}", h.summary())?;
+        }
+        if self.trace_dropped > 0 {
+            writeln!(
+                f,
+                "  warning: trace ring dropped {} records (raise trace capacity \
+                 or attach a --trace-out sink)",
+                self.trace_dropped
+            )?;
         }
         Ok(())
     }
@@ -187,6 +247,8 @@ mod tests {
             tasks_spawned: 5,
             messages_read: 4000,
             dists: Distributions::new(),
+            trace_dropped: 0,
+            profile: ProfileReport::empty(2),
         }
     }
 

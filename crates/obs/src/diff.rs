@@ -1,0 +1,170 @@
+//! Trace diffing: align two runs and find the first divergence.
+//!
+//! The most effective debugging tool for a deterministic simulator is
+//! comparing two traces: same seed + same scheduler must be *identical*
+//! (any difference is a determinism bug), and same seed + different
+//! schedulers diverge exactly where the designs first disagree — which
+//! is usually the single most informative event in both logs.
+
+use crate::event::ObsRecord;
+use core::fmt;
+
+/// The first point where two traces disagree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into both traces of the first differing record.
+    pub index: usize,
+    /// The record in trace A (`None` if A ended first).
+    pub a: Option<ObsRecord>,
+    /// The record in trace B (`None` if B ended first).
+    pub b: Option<ObsRecord>,
+}
+
+/// Result of aligning two traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiffReport {
+    /// Records identical at the head of both traces.
+    pub common_prefix: usize,
+    /// The first disagreement, or `None` when the traces are identical.
+    pub divergence: Option<Divergence>,
+    /// Length of trace A.
+    pub a_len: usize,
+    /// Length of trace B.
+    pub b_len: usize,
+}
+
+impl DiffReport {
+    /// Whether the traces are byte-for-byte identical.
+    pub fn identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.divergence {
+            None => write!(f, "traces identical ({} records)", self.common_prefix),
+            Some(d) => {
+                writeln!(
+                    f,
+                    "traces diverge at record {} (common prefix {}, lengths {} vs {}):",
+                    d.index, self.common_prefix, self.a_len, self.b_len
+                )?;
+                match &d.a {
+                    Some(r) => writeln!(f, "  A: at={} {:?}", r.at.0, r.event)?,
+                    None => writeln!(f, "  A: <trace ended>")?,
+                }
+                match &d.b {
+                    Some(r) => write!(f, "  B: at={} {:?}", r.at.0, r.event),
+                    None => write!(f, "  B: <trace ended>"),
+                }
+            }
+        }
+    }
+}
+
+/// Compares two traces record-by-record and reports the first index at
+/// which they differ (different event, different timestamp, or one trace
+/// ending before the other).
+pub fn first_divergence(a: &[ObsRecord], b: &[ObsRecord]) -> DiffReport {
+    let mut i = 0;
+    while i < a.len() && i < b.len() {
+        if a[i] != b[i] {
+            return DiffReport {
+                common_prefix: i,
+                divergence: Some(Divergence {
+                    index: i,
+                    a: Some(a[i]),
+                    b: Some(b[i]),
+                }),
+                a_len: a.len(),
+                b_len: b.len(),
+            };
+        }
+        i += 1;
+    }
+    if a.len() != b.len() {
+        return DiffReport {
+            common_prefix: i,
+            divergence: Some(Divergence {
+                index: i,
+                a: a.get(i).copied(),
+                b: b.get(i).copied(),
+            }),
+            a_len: a.len(),
+            b_len: b.len(),
+        };
+    }
+    DiffReport {
+        common_prefix: i,
+        divergence: None,
+        a_len: a.len(),
+        b_len: b.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsEvent;
+    use elsc_ktask::Tid;
+    use elsc_simcore::Cycles;
+
+    fn rec(at: u64, tid: u32) -> ObsRecord {
+        ObsRecord {
+            at: Cycles(at),
+            event: ObsEvent::Exit {
+                tid: Tid::from_raw(tid, 0),
+            },
+        }
+    }
+
+    #[test]
+    fn identical_traces_report_no_divergence() {
+        let a = vec![rec(1, 1), rec(2, 2)];
+        let d = first_divergence(&a, &a.clone());
+        assert!(d.identical());
+        assert_eq!(d.common_prefix, 2);
+        assert!(d.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn differing_event_is_found() {
+        let a = vec![rec(1, 1), rec(2, 2), rec(3, 3)];
+        let b = vec![rec(1, 1), rec(2, 9), rec(3, 3)];
+        let d = first_divergence(&a, &b);
+        let div = d.divergence.expect("diverges");
+        assert_eq!(div.index, 1);
+        assert_eq!(d.common_prefix, 1);
+        assert_eq!(div.a, Some(rec(2, 2)));
+        assert_eq!(div.b, Some(rec(2, 9)));
+        assert!(d.to_string().contains("diverge at record 1"));
+    }
+
+    #[test]
+    fn differing_timestamp_is_a_divergence() {
+        let a = vec![rec(1, 1)];
+        let b = vec![rec(5, 1)];
+        let d = first_divergence(&a, &b);
+        assert_eq!(d.divergence.expect("diverges").index, 0);
+    }
+
+    #[test]
+    fn shorter_trace_diverges_at_its_end() {
+        let a = vec![rec(1, 1), rec(2, 2)];
+        let b = vec![rec(1, 1)];
+        let d = first_divergence(&a, &b);
+        let div = d.divergence.expect("diverges");
+        assert_eq!(div.index, 1);
+        assert_eq!(div.a, Some(rec(2, 2)));
+        assert_eq!(div.b, None);
+        assert!(d.to_string().contains("<trace ended>"));
+    }
+
+    #[test]
+    fn empty_traces_are_identical() {
+        let d = first_divergence(&[], &[]);
+        assert!(d.identical());
+        assert_eq!(d.common_prefix, 0);
+    }
+}

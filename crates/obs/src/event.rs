@@ -1,0 +1,235 @@
+//! Structured observability events.
+//!
+//! [`ObsEvent`] carries everything the old bounded `Trace` log recorded
+//! (context switches, wakeups, blocks, exits, migrations) plus the events
+//! the profiling work needs: recalculation-loop entry/exit, lock
+//! contention, and run-queue depth samples. Every event serializes to one
+//! deterministic JSON line, so same-seed runs produce byte-identical
+//! trace files.
+
+use crate::json::Obj;
+use elsc_ktask::{CpuId, Tid};
+use elsc_simcore::Cycles;
+
+/// One observability event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// `schedule()` switched `cpu` from `from` to `to`.
+    Switch {
+        /// The deciding CPU.
+        cpu: CpuId,
+        /// Outgoing task.
+        from: Tid,
+        /// Incoming task.
+        to: Tid,
+    },
+    /// `wake_up_process()` made `tid` runnable.
+    Wakeup {
+        /// The woken task.
+        tid: Tid,
+        /// The CPU whose time paid for the wakeup.
+        by_cpu: CpuId,
+    },
+    /// `tid` blocked (left the run queue voluntarily).
+    Block {
+        /// The blocking task.
+        tid: Tid,
+        /// The CPU it was running on.
+        cpu: CpuId,
+    },
+    /// `tid` exited.
+    Exit {
+        /// The exiting task.
+        tid: Tid,
+    },
+    /// A task was placed on a CPU different from its last one.
+    Migrate {
+        /// The migrating task.
+        tid: Tid,
+        /// Destination CPU.
+        to_cpu: CpuId,
+    },
+    /// The scheduler entered its counter-recalculation loop.
+    RecalcStart {
+        /// The CPU running the loop.
+        cpu: CpuId,
+        /// Runnable tasks at loop entry.
+        nr_running: u64,
+    },
+    /// The recalculation loop finished.
+    RecalcEnd {
+        /// The CPU that ran the loop.
+        cpu: CpuId,
+        /// Task counters it updated.
+        updated: u64,
+    },
+    /// A CPU spun on the run-queue lock before acquiring it.
+    LockContended {
+        /// The spinning CPU.
+        cpu: CpuId,
+        /// Cycles lost to the spin.
+        spin: u64,
+    },
+    /// Run-queue depth observed at a `schedule()` call.
+    QueueDepthSample {
+        /// The sampling CPU.
+        cpu: CpuId,
+        /// Runnable tasks (excluding idle).
+        depth: u64,
+    },
+}
+
+impl ObsEvent {
+    /// Short kind name, used as the JSON `event` discriminant and by the
+    /// trace-diff renderer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::Switch { .. } => "switch",
+            ObsEvent::Wakeup { .. } => "wakeup",
+            ObsEvent::Block { .. } => "block",
+            ObsEvent::Exit { .. } => "exit",
+            ObsEvent::Migrate { .. } => "migrate",
+            ObsEvent::RecalcStart { .. } => "recalc_start",
+            ObsEvent::RecalcEnd { .. } => "recalc_end",
+            ObsEvent::LockContended { .. } => "lock_contended",
+            ObsEvent::QueueDepthSample { .. } => "queue_depth",
+        }
+    }
+}
+
+/// A timestamped observability record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsRecord {
+    /// Virtual time of the event.
+    pub at: Cycles,
+    /// The event.
+    pub event: ObsEvent,
+}
+
+impl ObsRecord {
+    /// Serializes the record as one JSON object (no trailing newline).
+    ///
+    /// Key order is fixed (`at`, `event`, then event fields in
+    /// declaration order) and numbers are integers, so the encoding is
+    /// byte-deterministic. Tids serialize as their slab index — the
+    /// generation is a simulator-internal liveness check, not an
+    /// observable property of the schedule.
+    pub fn to_json_line(&self) -> String {
+        let o = Obj::new()
+            .u64("at", self.at.0)
+            .str("event", self.event.kind());
+        let o = match self.event {
+            ObsEvent::Switch { cpu, from, to } => o
+                .u64("cpu", cpu as u64)
+                .u64("from", from.index() as u64)
+                .u64("to", to.index() as u64),
+            ObsEvent::Wakeup { tid, by_cpu } => o
+                .u64("tid", tid.index() as u64)
+                .u64("by_cpu", by_cpu as u64),
+            ObsEvent::Block { tid, cpu } => o.u64("tid", tid.index() as u64).u64("cpu", cpu as u64),
+            ObsEvent::Exit { tid } => o.u64("tid", tid.index() as u64),
+            ObsEvent::Migrate { tid, to_cpu } => o
+                .u64("tid", tid.index() as u64)
+                .u64("to_cpu", to_cpu as u64),
+            ObsEvent::RecalcStart { cpu, nr_running } => {
+                o.u64("cpu", cpu as u64).u64("nr_running", nr_running)
+            }
+            ObsEvent::RecalcEnd { cpu, updated } => {
+                o.u64("cpu", cpu as u64).u64("updated", updated)
+            }
+            ObsEvent::LockContended { cpu, spin } => o.u64("cpu", cpu as u64).u64("spin", spin),
+            ObsEvent::QueueDepthSample { cpu, depth } => {
+                o.u64("cpu", cpu as u64).u64("depth", depth)
+            }
+        };
+        o.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> Tid {
+        Tid::from_raw(i, 0)
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            ObsEvent::Switch {
+                cpu: 0,
+                from: tid(0),
+                to: tid(1),
+            },
+            ObsEvent::Wakeup {
+                tid: tid(1),
+                by_cpu: 0,
+            },
+            ObsEvent::Block {
+                tid: tid(1),
+                cpu: 0,
+            },
+            ObsEvent::Exit { tid: tid(1) },
+            ObsEvent::Migrate {
+                tid: tid(1),
+                to_cpu: 1,
+            },
+            ObsEvent::RecalcStart {
+                cpu: 0,
+                nr_running: 3,
+            },
+            ObsEvent::RecalcEnd { cpu: 0, updated: 3 },
+            ObsEvent::LockContended { cpu: 1, spin: 600 },
+            ObsEvent::QueueDepthSample { cpu: 0, depth: 5 },
+        ];
+        let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn json_lines_are_stable() {
+        let r = ObsRecord {
+            at: Cycles(42),
+            event: ObsEvent::Switch {
+                cpu: 1,
+                from: tid(3),
+                to: tid(4),
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"at":42,"event":"switch","cpu":1,"from":3,"to":4}"#
+        );
+        let r2 = ObsRecord {
+            at: Cycles(7),
+            event: ObsEvent::RecalcStart {
+                cpu: 0,
+                nr_running: 12,
+            },
+        };
+        assert_eq!(
+            r2.to_json_line(),
+            r#"{"at":7,"event":"recalc_start","cpu":0,"nr_running":12}"#
+        );
+    }
+
+    #[test]
+    fn generation_does_not_leak_into_json() {
+        let a = ObsRecord {
+            at: Cycles(1),
+            event: ObsEvent::Exit {
+                tid: Tid::from_raw(5, 0),
+            },
+        };
+        let b = ObsRecord {
+            at: Cycles(1),
+            event: ObsEvent::Exit {
+                tid: Tid::from_raw(5, 9),
+            },
+        };
+        assert_eq!(a.to_json_line(), b.to_json_line());
+    }
+}

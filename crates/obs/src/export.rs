@@ -1,0 +1,117 @@
+//! Machine-readable exporters for scheduler statistics.
+//!
+//! The figure binaries and CI want `BENCH_*.json`-style artifacts, not
+//! just pretty-printed tables. These functions render [`SchedStats`]
+//! deterministically as JSON and CSV; `RunReport` (in `elsc-machine`)
+//! composes them with the profiler and latency exports into one
+//! `--report-json` document.
+
+use crate::json::{array, Obj};
+use elsc_stats::{CpuStats, SchedStats};
+
+/// One exported counter: `(name, extractor)`.
+type Field = (&'static str, fn(&CpuStats) -> u64);
+
+/// The exported counter fields, in a fixed order shared by the JSON and
+/// CSV renderings.
+const FIELDS: [Field; 17] = [
+    ("sched_calls", |c| c.sched_calls),
+    ("sched_cycles", |c| c.sched_cycles),
+    ("lock_spin_cycles", |c| c.lock_spin_cycles),
+    ("tasks_examined", |c| c.tasks_examined),
+    ("recalc_entries", |c| c.recalc_entries),
+    ("recalc_tasks", |c| c.recalc_tasks),
+    ("picked_new_cpu", |c| c.picked_new_cpu),
+    ("idle_scheduled", |c| c.idle_scheduled),
+    ("yield_reruns", |c| c.yield_reruns),
+    ("ctx_switches", |c| c.ctx_switches),
+    ("mm_switches", |c| c.mm_switches),
+    ("ticks", |c| c.ticks),
+    ("wakeups", |c| c.wakeups),
+    ("ipis_sent", |c| c.ipis_sent),
+    ("yields", |c| c.yields),
+    ("work_cycles", |c| c.work_cycles),
+    ("idle_cycles", |c| c.idle_cycles),
+];
+
+fn cpu_obj(c: &CpuStats) -> String {
+    let mut o = Obj::new();
+    for (name, get) in FIELDS {
+        o = o.u64(name, get(c));
+    }
+    o.build()
+}
+
+/// Renders per-CPU and total counters as one JSON object.
+pub fn stats_json(stats: &SchedStats) -> String {
+    let total = stats.total();
+    Obj::new()
+        .u64("nr_cpus", stats.nr_cpus() as u64)
+        .raw("total", cpu_obj(&total))
+        .f64("sched_time_share", total.sched_time_share())
+        .raw("cpus", array(stats.per_cpu().iter().map(cpu_obj)))
+        .build()
+}
+
+/// Renders counters as CSV: one row per CPU plus a `total` row.
+pub fn stats_csv(stats: &SchedStats) -> String {
+    let mut out = String::from("cpu");
+    for (name, _) in FIELDS {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let mut row = |label: String, c: &CpuStats| {
+        out.push_str(&label);
+        for (_, get) in FIELDS {
+            out.push_str(&format!(",{}", get(c)));
+        }
+        out.push('\n');
+    };
+    for (i, c) in stats.per_cpu().iter().enumerate() {
+        row(i.to_string(), c);
+    }
+    row("total".to_string(), &stats.total());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchedStats {
+        let mut s = SchedStats::new(2);
+        s.cpu_mut(0).sched_calls = 10;
+        s.cpu_mut(0).sched_cycles = 500;
+        s.cpu_mut(0).work_cycles = 1_500;
+        s.cpu_mut(1).sched_calls = 4;
+        s.cpu_mut(1).wakeups = 3;
+        s
+    }
+
+    #[test]
+    fn json_includes_totals_and_cpus() {
+        let j = stats_json(&sample());
+        assert!(j.contains("\"nr_cpus\":2"));
+        assert!(j.contains("\"sched_calls\":14"), "total row sums: {j}");
+        assert!(j.contains("\"sched_time_share\":0.25"));
+        assert!(j.contains("\"cpus\":["));
+    }
+
+    #[test]
+    fn csv_has_header_cpu_and_total_rows() {
+        let c = stats_csv(&sample());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 cpus + total");
+        assert!(lines[0].starts_with("cpu,sched_calls,"));
+        assert!(lines[1].starts_with("0,10,"));
+        assert!(lines[3].starts_with("total,14,"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let s = sample();
+        assert_eq!(stats_json(&s), stats_json(&s));
+        assert_eq!(stats_csv(&s), stats_csv(&s));
+    }
+}

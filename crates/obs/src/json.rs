@@ -1,0 +1,124 @@
+//! A minimal, dependency-free JSON writer.
+//!
+//! Offline builds cannot pull `serde_json`, and the observability layer
+//! only ever *writes* JSON (reports, trace lines) — it never parses it.
+//! This module is the ~100 lines that covers that: escaping, a builder
+//! for objects and arrays with insertion-ordered keys, and deterministic
+//! number formatting so same-seed runs serialize byte-identically.
+
+use std::fmt::Write as _;
+
+/// Escapes a string per RFC 8259 and wraps it in quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` deterministically (finite values via `Display`,
+/// non-finite as `null` since JSON has no representation for them).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        // `Display` for f64 is the shortest roundtrip representation and
+        // is deterministic across runs — exactly what byte-identical
+        // artifacts need.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An insertion-ordered JSON object builder.
+#[derive(Default)]
+pub struct Obj {
+    parts: Vec<String>,
+}
+
+impl Obj {
+    /// Creates an empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Adds a pre-rendered JSON value under `key`.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Obj {
+        self.parts.push(format!("{}:{}", escape(key), value.into()));
+        self
+    }
+
+    /// Adds a string value.
+    pub fn str(self, key: &str, value: &str) -> Obj {
+        let v = escape(value);
+        self.raw(key, v)
+    }
+
+    /// Adds an unsigned integer value.
+    pub fn u64(self, key: &str, value: u64) -> Obj {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a float value (deterministic formatting, `null` if non-finite).
+    pub fn f64(self, key: &str, value: f64) -> Obj {
+        let v = num(value);
+        self.raw(key, v)
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Renders an iterator of pre-rendered JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let v: Vec<String> = items.into_iter().collect();
+    format!("[{}]", v.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b"), r#""a\"b""#);
+        assert_eq!(escape("a\\b"), r#""a\\b""#);
+        assert_eq!(escape("a\nb"), r#""a\nb""#);
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("plain"), r#""plain""#);
+    }
+
+    #[test]
+    fn num_is_deterministic_and_finite_only() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn obj_preserves_insertion_order() {
+        let s = Obj::new().u64("b", 2).str("a", "x").f64("c", 0.5).build();
+        assert_eq!(s, r#"{"b":2,"a":"x","c":0.5}"#);
+    }
+
+    #[test]
+    fn array_joins() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

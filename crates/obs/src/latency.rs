@@ -1,0 +1,162 @@
+//! Percentile latency recording.
+//!
+//! The §8 question — whether ELSC helps *latency*, not just throughput —
+//! needs tail percentiles. [`LatencyRecorder`] wraps the simcore
+//! [`Histogram`] and renders a fixed p50/p90/p99/p999 summary that
+//! exports to JSON for CI artifacts. The machine feeds it
+//! wakeup-to-dispatch latencies; workloads can feed it anything else.
+
+use crate::json::Obj;
+use elsc_simcore::Histogram;
+
+/// A latency distribution summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Percentiles {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> Percentiles {
+        Percentiles {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p90: h.percentile(90.0),
+            p99: h.percentile(99.0),
+            p999: h.percentile(99.9),
+            max: h.max(),
+        }
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("count", self.count)
+            .f64("mean", self.mean)
+            .u64("p50", self.p50)
+            .u64("p90", self.p90)
+            .u64("p99", self.p99)
+            .u64("p999", self.p999)
+            .u64("max", self.max)
+            .build()
+    }
+}
+
+impl core::fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0} p50={} p90={} p99={} p999={} max={}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.p999, self.max
+        )
+    }
+}
+
+/// Records samples and summarizes them as [`Percentiles`].
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    hist: Histogram,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Wraps an already-populated histogram (e.g. a run's
+    /// `wake_latency` distribution).
+    pub fn from_histogram(hist: Histogram) -> LatencyRecorder {
+        LatencyRecorder { hist }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.hist.record(v);
+    }
+
+    /// Number of samples so far.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Current percentile summary.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles::of(&self.hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=10_000u64 {
+            r.record(v);
+        }
+        let p = r.percentiles();
+        assert_eq!(p.count, 10_000);
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+        assert!(p.p999 <= p.max);
+        assert_eq!(p.max, 10_000);
+    }
+
+    #[test]
+    fn empty_recorder_is_all_zero() {
+        let p = LatencyRecorder::new().percentiles();
+        assert_eq!(p.count, 0);
+        assert_eq!(p.p999, 0);
+        assert_eq!(p.max, 0);
+    }
+
+    #[test]
+    fn from_histogram_adopts_samples() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let r = LatencyRecorder::from_histogram(h);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.percentiles().max, 200);
+    }
+
+    #[test]
+    fn json_has_all_fields() {
+        let mut r = LatencyRecorder::new();
+        r.record(5);
+        let j = r.percentiles().to_json();
+        for key in ["count", "mean", "p50", "p90", "p99", "p999", "max"] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let mut r = LatencyRecorder::new();
+        r.record(42);
+        let s = r.percentiles().to_string();
+        assert!(s.contains("p999="));
+        assert!(!s.contains('\n'));
+    }
+}

@@ -88,7 +88,7 @@ pub fn reschedule_idle(
     for view in cpus {
         let cur = tasks.task(view.current);
         let g_cur = goodness_ignoring_yield(cur, view.id, cur.mm);
-        if weakest.map_or(true, |(_, g)| g_cur < g) {
+        if weakest.is_none_or(|(_, g)| g_cur < g) {
             weakest = Some((view.id, g_cur));
         }
     }

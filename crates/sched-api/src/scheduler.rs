@@ -6,6 +6,7 @@
 //! same machine unchanged — the paper's design goal 1.
 
 use elsc_ktask::{CpuId, TaskTable, Tid};
+use elsc_obs::{EventBus, ObsEvent};
 use elsc_simcore::{CostModel, CycleMeter};
 use elsc_stats::SchedStats;
 
@@ -28,6 +29,21 @@ pub struct SchedCtx<'a> {
     pub costs: &'a CostModel,
     /// Machine configuration.
     pub cfg: &'a SchedConfig,
+    /// Observability probe: when attached, schedulers emit structured
+    /// events (recalc entry/exit, ...) into it. `None` in unit tests and
+    /// microbenches, where emission would be noise.
+    pub probe: Option<&'a mut EventBus>,
+}
+
+impl SchedCtx<'_> {
+    /// Emits an observability event if a probe is attached; free
+    /// otherwise.
+    #[inline]
+    pub fn emit(&mut self, event: ObsEvent) {
+        if let Some(bus) = self.probe.as_deref_mut() {
+            bus.emit(event);
+        }
+    }
 }
 
 /// A pluggable scheduler: the baseline, ELSC, or an experimental design.
@@ -131,6 +147,7 @@ mod tests {
             meter: &mut meter,
             costs: &costs,
             cfg: &cfg,
+            probe: None,
         };
         let mut sched: Box<dyn Scheduler> = Box::new(NullSched { n: 0 });
         assert_eq!(sched.name(), "null");

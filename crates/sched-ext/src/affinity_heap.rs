@@ -221,7 +221,7 @@ impl Scheduler for AffinityHeapScheduler {
                     }
                     w
                 };
-                if best.map_or(true, |(_, b)| w > b) {
+                if best.is_none_or(|(_, b)| w > b) {
                     best = Some((tid, w));
                 }
             }
@@ -322,6 +322,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
             tid
@@ -335,6 +336,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, idle);
             self.sched.debug_check(&self.tasks);
@@ -404,6 +406,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, a);
         }
@@ -425,6 +428,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.add_to_runqueue(&mut ctx, tid);
             tid

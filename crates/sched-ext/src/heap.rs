@@ -218,7 +218,7 @@ impl Scheduler for HeapScheduler {
                     }
                     w
                 };
-                if best.map_or(true, |(_, b)| w > b) {
+                if best.is_none_or(|(_, b)| w > b) {
                     best = Some((tid, w));
                 }
             }
@@ -319,6 +319,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -336,6 +337,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, self.idle);
             self.sched.debug_check(&self.tasks);
@@ -365,6 +367,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, weak);
             rig.sched.add_to_runqueue(&mut ctx, weak);
@@ -388,6 +391,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, t);
             rig.sched.add_to_runqueue(&mut ctx, t);
@@ -412,6 +416,7 @@ mod tests {
                 meter: &mut rig.meter,
                 costs: &rig.costs,
                 cfg: &rig.cfg,
+                probe: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, b);
             rig.sched.add_to_runqueue(&mut ctx, b);

@@ -281,6 +281,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
             tid
@@ -294,6 +295,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, idle, idle);
             self.sched.debug_check(&self.tasks);

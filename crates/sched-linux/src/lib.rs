@@ -17,6 +17,7 @@
 
 use elsc_ktask::recalc::recalculate_counters;
 use elsc_ktask::{CpuId, Lists, SchedClass, Tid};
+use elsc_obs::ObsEvent;
 use elsc_sched_api::{goodness_ignoring_yield, SchedCtx, Scheduler};
 use elsc_simcore::CostKind;
 
@@ -184,10 +185,18 @@ impl Scheduler for LinuxScheduler {
             // because `c` stays at -1000).
             let stats = ctx.stats.cpu_mut(cpu);
             stats.recalc_entries += 1;
+            ctx.emit(ObsEvent::RecalcStart {
+                cpu,
+                nr_running: self.nr_running as u64,
+            });
             let n = recalculate_counters(ctx.tasks);
             ctx.stats.cpu_mut(cpu).recalc_tasks += n as u64;
             ctx.meter
                 .charge_n(ctx.costs, CostKind::RecalcPerTask, n as u64);
+            ctx.emit(ObsEvent::RecalcEnd {
+                cpu,
+                updated: n as u64,
+            });
         };
 
         if next == idle {
@@ -265,6 +274,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -276,6 +286,7 @@ mod tests {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, self.idle);
             self.sched.debug_check(&self.tasks);

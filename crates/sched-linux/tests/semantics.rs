@@ -42,6 +42,7 @@ impl Rig {
             meter: &mut self.meter,
             costs: &self.costs,
             cfg: &self.cfg,
+            probe: None,
         };
         self.sched.add_to_runqueue(&mut ctx, tid);
     }
@@ -54,6 +55,7 @@ impl Rig {
             meter: &mut self.meter,
             costs: &self.costs,
             cfg: &self.cfg,
+            probe: None,
         };
         let next = self.sched.schedule(&mut ctx, 0, prev, idle);
         self.sched.debug_check(&self.tasks);
@@ -149,6 +151,7 @@ fn move_first_biases_tie_selection() {
             meter: &mut rig.meter,
             costs: &rig.costs,
             cfg: &rig.cfg,
+            probe: None,
         };
         rig.sched.move_first_runqueue(&mut ctx, a);
     }

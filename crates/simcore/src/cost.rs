@@ -186,10 +186,28 @@ impl fmt::Display for CostModel {
 
 /// An accumulator of cycles charged during one operation (typically one
 /// `schedule()` invocation).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Besides the total, the meter keeps a per-[`CostKind`] breakdown so the
+/// observability layer can attribute every metered cycle to the primitive
+/// that consumed it; [`CycleMeter::kind_cycles`] and
+/// [`CycleMeter::raw_cycles`] always sum to [`CycleMeter::cycles`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CycleMeter {
     cycles: u64,
     charges: u64,
+    by_kind: [u64; COST_KINDS],
+    raw: u64,
+}
+
+impl Default for CycleMeter {
+    fn default() -> Self {
+        CycleMeter {
+            cycles: 0,
+            charges: 0,
+            by_kind: [0; COST_KINDS],
+            raw: 0,
+        }
+    }
 }
 
 impl CycleMeter {
@@ -201,14 +219,18 @@ impl CycleMeter {
     /// Charges one operation of `kind` against `model`.
     #[inline]
     pub fn charge(&mut self, model: &CostModel, kind: CostKind) {
-        self.cycles += model.get(kind);
+        let c = model.get(kind);
+        self.cycles += c;
+        self.by_kind[kind as usize] += c;
         self.charges += 1;
     }
 
     /// Charges `n` operations of `kind` against `model`.
     #[inline]
     pub fn charge_n(&mut self, model: &CostModel, kind: CostKind, n: u64) {
-        self.cycles += model.get(kind) * n;
+        let c = model.get(kind) * n;
+        self.cycles += c;
+        self.by_kind[kind as usize] += c;
         self.charges += n;
     }
 
@@ -216,6 +238,7 @@ impl CycleMeter {
     #[inline]
     pub fn charge_raw(&mut self, cycles: u64) {
         self.cycles += cycles;
+        self.raw += cycles;
     }
 
     /// Total cycles accumulated.
@@ -230,11 +253,22 @@ impl CycleMeter {
         self.charges
     }
 
+    /// Per-kind cycle attribution (indexed by `CostKind as usize`).
+    #[inline]
+    pub fn kind_cycles(&self) -> &[u64; COST_KINDS] {
+        &self.by_kind
+    }
+
+    /// Cycles charged raw, without a kind.
+    #[inline]
+    pub fn raw_cycles(&self) -> u64 {
+        self.raw
+    }
+
     /// Resets the meter to zero and returns the cycles it had accumulated.
     pub fn take(&mut self) -> u64 {
         let c = self.cycles;
-        self.cycles = 0;
-        self.charges = 0;
+        *self = CycleMeter::default();
         c
     }
 }
@@ -289,6 +323,27 @@ mod tests {
         assert_eq!(taken, 1805);
         assert_eq!(meter.cycles(), 0);
         assert_eq!(meter.charges(), 0);
+    }
+
+    #[test]
+    fn meter_attributes_per_kind() {
+        let m = CostModel::default();
+        let mut meter = CycleMeter::new();
+        meter.charge(&m, CostKind::SchedBase);
+        meter.charge_n(&m, CostKind::GoodnessEval, 10);
+        meter.charge_raw(5);
+        let kinds = meter.kind_cycles();
+        assert_eq!(kinds[CostKind::SchedBase as usize], 1_200);
+        assert_eq!(kinds[CostKind::GoodnessEval as usize], 600);
+        assert_eq!(meter.raw_cycles(), 5);
+        // The breakdown always sums to the total.
+        assert_eq!(
+            kinds.iter().sum::<u64>() + meter.raw_cycles(),
+            meter.cycles()
+        );
+        meter.take();
+        assert_eq!(meter.kind_cycles().iter().sum::<u64>(), 0);
+        assert_eq!(meter.raw_cycles(), 0);
     }
 
     #[test]

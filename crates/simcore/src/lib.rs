@@ -24,7 +24,7 @@ pub mod rng;
 pub mod spinlock;
 
 pub use clock::Cycles;
-pub use cost::{CostKind, CostModel, CycleMeter};
+pub use cost::{CostKind, CostModel, CycleMeter, COST_KINDS};
 pub use events::EventQueue;
 pub use histogram::Histogram;
 pub use rng::SimRng;

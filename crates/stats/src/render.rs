@@ -5,8 +5,11 @@ use core::fmt::Write as _;
 
 use crate::percpu::{CpuStats, SchedStats};
 
-/// Rows rendered by [`render_proc`]: `(label, extractor)`.
-const ROWS: &[(&str, fn(&CpuStats) -> u64)] = &[
+/// One rendered row: `(label, extractor)`.
+type Row = (&'static str, fn(&CpuStats) -> u64);
+
+/// Rows rendered by [`render_proc`].
+const ROWS: &[Row] = &[
     ("sched_calls", |c| c.sched_calls),
     ("sched_cycles", |c| c.sched_cycles),
     ("lock_spin_cycles", |c| c.lock_spin_cycles),

@@ -198,13 +198,13 @@ pub fn build(m: &mut Machine, cfg: &HttpdConfig) {
             }),
         );
     }
-    for id in 0..cfg.clients {
+    for (id, &response) in responses.iter().enumerate() {
         m.spawn(
             &TaskSpec::named("client").mm(MmId(100 + id as u32)),
             Box::new(ClientRead {
                 inner: Client {
                     accept,
-                    response: responses[id],
+                    response,
                     done,
                     id: id as u64,
                     left: cfg.requests_per_client,

