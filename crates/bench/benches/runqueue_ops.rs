@@ -49,6 +49,7 @@ fn move_ops(c: &mut Criterion) {
                     costs: &rig.costs,
                     cfg: &rig.cfg,
                     probe: None,
+                    locks: None,
                 };
                 rig.sched.move_last_runqueue(&mut ctx, black_box(probe));
                 rig.sched.move_first_runqueue(&mut ctx, black_box(probe));

@@ -44,6 +44,7 @@ fn main() {
             costs: &costs,
             cfg: &cfg,
             probe: None,
+            locks: None,
         };
         // Insert in reverse so the figure's order (40 first) comes out.
         for &sg in GOODNESS.iter().rev() {
@@ -78,6 +79,7 @@ fn main() {
             costs: &costs,
             cfg: &cfg,
             probe: None,
+            locks: None,
         };
         for &sg in GOODNESS.iter().rev() {
             let tid = spawn(ctx.tasks, sg);

@@ -1,5 +1,5 @@
 //! Richard Gooch's "Linux Scheduler Benchmark" (the paper's reference
-//! [5]): measure the cost of a `sched_yield()` round trip as a function
+//! \[5\]): measure the cost of a `sched_yield()` round trip as a function
 //! of the number of runnable background processes.
 //!
 //! Gooch's original ran two yielding processes against N low-priority

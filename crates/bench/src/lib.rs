@@ -11,6 +11,7 @@
 //! | `figure5` | Figure 5 — cycles and tasks examined per `schedule()` |
 //! | `figure6` | Figure 6 — `schedule()` calls and cross-CPU placements |
 //! | `kernel_share` | §4 claim — scheduler share of kernel time |
+//! | `contention` | §7/§8 — lock spin vs locking regime ablation |
 //!
 //! Microbenches (`cargo bench`) measure the *real* (host) cost of the
 //! scheduler algorithms themselves: `schedule()` latency vs run-queue

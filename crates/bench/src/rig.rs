@@ -67,6 +67,7 @@ impl Rig {
             costs: &self.costs,
             cfg: &self.cfg,
             probe: None,
+            locks: None,
         };
         self.sched.add_to_runqueue(&mut ctx, tid);
     }
@@ -80,6 +81,7 @@ impl Rig {
             costs: &self.costs,
             cfg: &self.cfg,
             probe: None,
+            locks: None,
         };
         self.sched.del_from_runqueue(&mut ctx, tid);
     }
@@ -97,6 +99,7 @@ impl Rig {
             costs: &self.costs,
             cfg: &self.cfg,
             probe: None,
+            locks: None,
         };
         let next = self.sched.schedule(&mut ctx, 0, prev, idle);
         self.current = next;

@@ -69,6 +69,7 @@ const OPTIONS: &[&str] = &[
     "burst",
     "trace-out",
     "report-json",
+    "lock-plan",
 ];
 
 impl Args {
@@ -206,6 +207,12 @@ mod tests {
         let a = parse(&["volano", "--trace-out", "t.jsonl", "--report-json=r.json"]).unwrap();
         assert_eq!(a.get("trace-out"), Some("t.jsonl"));
         assert_eq!(a.get("report-json"), Some("r.json"));
+    }
+
+    #[test]
+    fn lock_plan_takes_a_value() {
+        let a = parse(&["volano", "--lock-plan", "percpu"]).unwrap();
+        assert_eq!(a.get("lock-plan"), Some("percpu"));
     }
 
     #[test]

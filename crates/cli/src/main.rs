@@ -17,6 +17,8 @@
 //!   --proc         print the /proc-style statistics table
 //!   --latency      print latency/queue-length distributions
 //!   --trace N      keep and summarize up to N trace records
+//!   --lock-plan P  force the run-queue locking regime
+//!                  (global | percpu | sharded:N)
 //!
 //! volano: --rooms N --users N --messages N
 //! kbuild: --jobs N --units N
@@ -34,7 +36,7 @@ use std::io::BufWriter;
 use elsc::ElscScheduler;
 use elsc_machine::{Machine, MachineConfig, RunReport, TraceRecord};
 use elsc_obs::{first_divergence, JsonLinesSink};
-use elsc_sched_api::Scheduler;
+use elsc_sched_api::{LockPlan, Scheduler};
 use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
 use elsc_sched_linux::LinuxScheduler;
 use elsc_stats::render::render_proc;
@@ -72,6 +74,10 @@ fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
         .with_seed(seed)
         .with_trace(trace)
         .with_max_secs(20_000.0);
+    if let Some(text) = a.get("lock-plan") {
+        let plan: LockPlan = text.parse().map_err(|e| format!("--lock-plan: {e}"))?;
+        cfg = cfg.with_lock_plan(Some(plan));
+    }
     Ok(cfg)
 }
 
@@ -322,6 +328,8 @@ common options:
   --proc         print the /proc-style statistics table
   --latency      print latency/queue-length distributions
   --trace N      keep up to N scheduling-trace records
+  --lock-plan P  force the run-queue locking regime: global, percpu, or
+                 sharded:N (default: whatever the scheduler declares)
   --compare      one summary row per scheduler instead of full reports
   --quiet        suppress the standard report
 
@@ -365,6 +373,37 @@ mod tests {
         let cfg = machine_cfg(&args(&["volano", "--cpus", "4"])).unwrap();
         assert!(cfg.sched.smp);
         assert_eq!(cfg.nr_cpus(), 4);
+    }
+
+    #[test]
+    fn machine_cfg_parses_lock_plan() {
+        let cfg = machine_cfg(&args(&["volano", "--lock-plan", "percpu"])).unwrap();
+        assert_eq!(cfg.lock_plan, Some(LockPlan::PerCpu));
+        let cfg = machine_cfg(&args(&["volano", "--lock-plan", "sharded:3"])).unwrap();
+        assert_eq!(cfg.lock_plan, Some(LockPlan::Sharded(3)));
+        let cfg = machine_cfg(&args(&["volano"])).unwrap();
+        assert_eq!(cfg.lock_plan, None);
+        let err = machine_cfg(&args(&["volano", "--lock-plan", "banana"])).unwrap_err();
+        assert!(err.contains("--lock-plan"), "{err}");
+    }
+
+    #[test]
+    fn lock_plan_override_reaches_the_report() {
+        let a = args(&[
+            "stress",
+            "--tasks",
+            "8",
+            "--rounds",
+            "3",
+            "--cpus",
+            "2",
+            "--lock-plan",
+            "percpu",
+            "--quiet",
+        ]);
+        let out = run_one(&a, scheduler("reg", 2).unwrap(), None).unwrap();
+        assert_eq!(out.report.lock_plan, "percpu");
+        assert_eq!(out.report.lock_domains.len(), 2);
     }
 
     #[test]

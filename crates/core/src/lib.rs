@@ -63,6 +63,7 @@
 //!     costs: &costs,
 //!     cfg: &cfg,
 //!     probe: None,
+//!     locks: None,
 //! };
 //!
 //! sched.add_to_runqueue(&mut ctx, worker);

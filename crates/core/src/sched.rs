@@ -360,6 +360,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -372,6 +373,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, self.idle);
             self.sched.debug_check(&self.tasks);
@@ -428,6 +430,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, weak);
             rig.sched.add_to_runqueue(&mut ctx, weak);
@@ -542,6 +545,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, weak);
             rig.sched.add_to_runqueue(&mut ctx, weak);
@@ -655,6 +659,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, a);
         }

@@ -48,6 +48,7 @@ impl Rig {
             costs: &self.costs,
             cfg: &self.cfg,
             probe: None,
+            locks: None,
         };
         sched.add_to_runqueue(&mut ctx, tid);
         tid
@@ -62,6 +63,7 @@ impl Rig {
             costs: &self.costs,
             cfg: &self.cfg,
             probe: None,
+            locks: None,
         };
         let next = sched.schedule(&mut ctx, cpu, prev, idle);
         sched.debug_check(&self.tasks);
@@ -222,6 +224,7 @@ fn blocked_and_requeued_task_is_reindexed_by_fresh_counter() {
             costs: &rig.costs,
             cfg: &rig.cfg,
             probe: None,
+            locks: None,
         };
         elsc.add_to_runqueue(&mut ctx, t);
     }
@@ -246,6 +249,7 @@ fn rt_region_is_searched_before_other_region() {
             costs: &rig.costs,
             cfg: &rig.cfg,
             probe: None,
+            locks: None,
         };
         elsc.add_to_runqueue(&mut ctx, tid);
         tid

@@ -1,6 +1,6 @@
 //! Machine configuration.
 
-use elsc_sched_api::SchedConfig;
+use elsc_sched_api::{LockPlan, SchedConfig};
 use elsc_simcore::CostModel;
 
 /// Full configuration of a simulated machine.
@@ -32,6 +32,12 @@ pub struct MachineConfig {
     pub io_poll_yields: u32,
     /// Maximum scheduling-trace records to keep (0 disables tracing).
     pub trace_capacity: usize,
+    /// Lock-plan override for ablations: `None` (the default) lets the
+    /// scheduler declare its own regime via
+    /// [`Scheduler::lock_plan`](elsc_sched_api::Scheduler::lock_plan);
+    /// `Some(plan)` forces one (e.g. run the multi-queue scheduler under
+    /// the global lock to isolate the locking regime's contribution).
+    pub lock_plan: Option<LockPlan>,
 }
 
 impl MachineConfig {
@@ -48,6 +54,7 @@ impl MachineConfig {
             seed: 0x5EED_CAFE,
             io_poll_yields: 2,
             trace_capacity: 0,
+            lock_plan: None,
         }
     }
 
@@ -91,6 +98,13 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style lock-plan override (`None` restores the scheduler's
+    /// own declared plan).
+    pub fn with_lock_plan(mut self, plan: Option<LockPlan>) -> Self {
+        self.lock_plan = plan;
+        self
+    }
+
     /// Number of processors.
     pub fn nr_cpus(&self) -> usize {
         self.sched.nr_cpus
@@ -128,5 +142,12 @@ mod tests {
         let c = MachineConfig::up().with_seed(42).with_max_secs(2.0);
         assert_eq!(c.seed, 42);
         assert_eq!(c.max_cycles, 2 * MachineConfig::DEFAULT_HZ);
+    }
+
+    #[test]
+    fn lock_plan_defaults_to_scheduler_choice() {
+        assert_eq!(MachineConfig::smp(2).lock_plan, None);
+        let c = MachineConfig::smp(2).with_lock_plan(Some(LockPlan::PerCpu));
+        assert_eq!(c.lock_plan, Some(LockPlan::PerCpu));
     }
 }

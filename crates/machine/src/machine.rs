@@ -2,8 +2,11 @@
 
 use elsc_ktask::{CpuId, TaskSpec, TaskState, TaskTable, Tid};
 use elsc_netsim::{Msg, PipeError, PipeId, PipeTable};
-use elsc_sched_api::{reschedule_idle, CpuView, SchedCtx, Scheduler, WakeTarget};
-use elsc_simcore::{CostKind, CycleMeter, Cycles, EventQueue, SimRng, SimSpinLock};
+use elsc_sched_api::{
+    reschedule_idle, CpuView, DomainAcquire, DomainLocker, LockDomains, LockPlan, SchedCtx,
+    Scheduler, WakeTarget,
+};
+use elsc_simcore::{CostKind, CycleMeter, Cycles, EventQueue, LockModel, SimRng};
 use elsc_stats::SchedStats;
 
 use elsc_obs::{CycleProfiler, EventBus, ObsEvent, Phase, Sink};
@@ -108,7 +111,11 @@ pub struct Machine {
     events: EventQueue<Event>,
     /// Pending events that are not ticks (deadlock detection).
     pending_wakeish: usize,
-    lock: SimSpinLock,
+    /// The locking regime in effect: the scheduler's declared plan unless
+    /// overridden by [`MachineConfig::lock_plan`].
+    plan: LockPlan,
+    /// The bank of run-queue lock domains (one under [`LockPlan::Global`]).
+    locks: LockModel,
     rng: SimRng,
     ledger: Ledger,
     dists: Distributions,
@@ -153,8 +160,12 @@ impl Machine {
                 CpuState::new(id, idle)
             })
             .collect();
-        let lock = SimSpinLock::new(cfg.costs.get(CostKind::LockTransfer));
         let nr_cpus = cfg.nr_cpus();
+        let plan = cfg.lock_plan.unwrap_or_else(|| sched.lock_plan(nr_cpus));
+        let locks = LockModel::new(
+            plan.nr_domains(nr_cpus),
+            cfg.costs.get(CostKind::LockTransfer),
+        );
         let bus = EventBus::new(cfg.trace_capacity);
         Machine {
             cfg,
@@ -166,7 +177,8 @@ impl Machine {
             cpus,
             events: EventQueue::new(),
             pending_wakeish: 0,
-            lock,
+            plan,
+            locks,
             rng,
             ledger: Ledger::new(),
             dists: Distributions::new(),
@@ -283,6 +295,56 @@ impl Machine {
         self.kernel_cycles += meter.cycles();
     }
 
+    /// Folds one mid-call lock-domain acquisition (logged by
+    /// [`LockDomains`]) into the stats, the profiler's conservation
+    /// total, and the trace — attributed to `cpu`, whose call paid for
+    /// the spin.
+    fn account_domain_acquire(&mut self, cpu: CpuId, a: DomainAcquire) {
+        let c = self.stats.cpu_mut(cpu);
+        c.lock_acquisitions += 1;
+        c.lock_spin_cycles += a.spin;
+        if a.spin > 0 {
+            self.charge_kernel_raw(cpu, Phase::LockSpin, a.spin);
+            self.bus.emit_at(
+                a.at,
+                ObsEvent::LockContended {
+                    cpu,
+                    domain: a.domain,
+                    spin: a.spin,
+                },
+            );
+        }
+    }
+
+    /// Acquires the home lock domain for a call on `queue_cpu`'s queue,
+    /// made by `by_cpu` at `t`, charging spin to `by_cpu`. Returns the
+    /// owned instant and the home domain. SMP builds only.
+    fn acquire_home_domain(
+        &mut self,
+        queue_cpu: CpuId,
+        by_cpu: CpuId,
+        t: Cycles,
+    ) -> (Cycles, usize) {
+        let home = self.plan.domain_for_cpu(queue_cpu, self.cfg.nr_cpus());
+        let a = self.locks.acquire(home, t, by_cpu);
+        let spin = a.saturating_sub(t).get();
+        let c = self.stats.cpu_mut(by_cpu);
+        c.lock_acquisitions += 1;
+        c.lock_spin_cycles += spin;
+        if spin > 0 {
+            self.charge_kernel_raw(by_cpu, Phase::LockSpin, spin);
+            self.bus.emit_at(
+                a,
+                ObsEvent::LockContended {
+                    cpu: by_cpu,
+                    domain: home,
+                    spin,
+                },
+            );
+        }
+        (a, home)
+    }
+
     fn run_ref(&self, tid: Tid) -> &TaskRun {
         self.runs[tid.index()]
             .as_ref()
@@ -384,8 +446,10 @@ impl Machine {
             cpu_hz: self.cfg.cpu_hz,
             stats: self.stats.clone(),
             ledger: self.ledger.clone(),
-            lock_spin: self.lock.total_spin(),
-            lock_acquisitions: self.lock.acquisitions(),
+            lock_spin: self.locks.total_spin(),
+            lock_acquisitions: self.locks.total_acquisitions(),
+            lock_plan: self.plan.label(),
+            lock_domains: self.locks.domain_stats(),
             tasks_spawned: self.tasks.total_spawned() - self.cfg.nr_cpus() as u64,
             messages_read: self.pipes.total_read(),
             dists: self.dists.clone(),
@@ -511,25 +575,33 @@ impl Machine {
             self.stats.cpu_mut(cpu).idle_cycles += t.saturating_sub(s).get();
         }
 
-        // The global runqueue_lock covers the whole decision (SMP builds).
+        // The run-queue lock plan covers the whole decision (SMP builds):
+        // the home domain — this CPU's queue — is taken up front; any
+        // further domain a sharded scheduler needs mid-call (a steal) is
+        // taken through the ctx's `DomainLocker` and logged.
         let depth = self.sched.nr_running() as u64;
         self.dists.record("runqueue_len", depth);
         self.bus
             .emit_at(t, ObsEvent::QueueDepthSample { cpu, depth });
-        let t_acq = if self.cfg.sched.smp {
-            let a = self.lock.acquire(t, cpu);
-            let spin = a.saturating_sub(t).get();
-            self.stats.cpu_mut(cpu).lock_spin_cycles += spin;
-            self.charge_kernel_raw(cpu, Phase::LockSpin, spin);
-            if spin > 0 {
-                self.bus.emit_at(a, ObsEvent::LockContended { cpu, spin });
-            }
-            a
+        let (t_acq, home) = if self.cfg.sched.smp {
+            self.acquire_home_domain(cpu, cpu, t)
         } else {
-            t
+            (t, 0)
         };
         let mut meter = CycleMeter::new();
         self.bus.set_now(t_acq);
+        let mut domains = if self.cfg.sched.smp {
+            Some(LockDomains::new(
+                &mut self.locks,
+                self.plan,
+                self.cfg.sched.nr_cpus,
+                cpu,
+                t_acq,
+                home,
+            ))
+        } else {
+            None
+        };
         let next = {
             let mut ctx = SchedCtx {
                 tasks: &mut self.tasks,
@@ -538,14 +610,25 @@ impl Machine {
                 costs: &self.cfg.costs,
                 cfg: &self.cfg.sched,
                 probe: Some(&mut self.bus),
+                locks: domains.as_mut().map(|d| d as &mut dyn DomainLocker),
             };
             self.sched.schedule(&mut ctx, cpu, prev, idle)
         };
+        // Release every held domain before any further `&mut self` work:
+        // the domain set borrows the lock bank. Mid-call spins stretch
+        // the call, so they are part of the held interval.
+        let (extra_spin, taken) = match domains {
+            Some(d) => {
+                let extra = d.extra_spin();
+                (extra, d.release_all(t_acq + meter.cycles() + extra))
+            }
+            None => (0, Vec::new()),
+        };
         self.charge_kernel_meter(cpu, Phase::Schedule, &meter);
         let cycles = meter.take();
-        let t_done = t_acq + cycles;
-        if self.cfg.sched.smp {
-            self.lock.release(t_done);
+        let t_done = t_acq + cycles + extra_spin;
+        for a in taken {
+            self.account_domain_acquire(cpu, a);
         }
         self.stats.cpu_mut(cpu).sched_cycles += cycles;
         self.cpus[cpu].need_resched = false;
@@ -832,26 +915,29 @@ impl Machine {
     /// Enqueues a runnable task and runs `reschedule_idle()` placement.
     fn make_runnable(&mut self, tid: Tid, waker_cpu: CpuId, t: Cycles) -> Cycles {
         debug_assert!(self.tasks.task(tid).state.is_runnable());
-        // add_to_runqueue under the run-queue lock.
-        let t_acq = if self.cfg.sched.smp {
-            let a = self.lock.acquire(t, waker_cpu);
-            let spin = a.saturating_sub(t).get();
-            self.stats.cpu_mut(waker_cpu).lock_spin_cycles += spin;
-            if spin > 0 {
-                self.charge_kernel_raw(waker_cpu, Phase::LockSpin, spin);
-                self.bus.emit_at(
-                    a,
-                    ObsEvent::LockContended {
-                        cpu: waker_cpu,
-                        spin,
-                    },
-                );
-            }
-            a
+        // add_to_runqueue under the run-queue lock. The home domain is
+        // the one guarding the queue the task lands on — its last CPU's
+        // queue under sharded plans — while the spin is charged to the
+        // waker, whose time pays for it.
+        let queue_cpu = self.tasks.task(tid).processor;
+        let (t_acq, home) = if self.cfg.sched.smp {
+            self.acquire_home_domain(queue_cpu, waker_cpu, t)
         } else {
-            t
+            (t, 0)
         };
         let mut meter = CycleMeter::new();
+        let mut domains = if self.cfg.sched.smp {
+            Some(LockDomains::new(
+                &mut self.locks,
+                self.plan,
+                self.cfg.sched.nr_cpus,
+                waker_cpu,
+                t_acq,
+                home,
+            ))
+        } else {
+            None
+        };
         {
             self.bus.set_now(t_acq);
             let mut ctx = SchedCtx {
@@ -861,6 +947,7 @@ impl Machine {
                 costs: &self.cfg.costs,
                 cfg: &self.cfg.sched,
                 probe: Some(&mut self.bus),
+                locks: domains.as_mut().map(|d| d as &mut dyn DomainLocker),
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -874,10 +961,17 @@ impl Machine {
             CostKind::GoodnessEval,
             self.cfg.nr_cpus() as u64,
         );
+        let (extra_spin, taken) = match domains {
+            Some(d) => {
+                let extra = d.extra_spin();
+                (extra, d.release_all(t_acq + meter.cycles() + extra))
+            }
+            None => (0, Vec::new()),
+        };
         self.charge_kernel_meter(waker_cpu, Phase::Wakeup, &meter);
-        let t2 = t_acq + meter.take();
-        if self.cfg.sched.smp {
-            self.lock.release(t2);
+        let t2 = t_acq + meter.take() + extra_spin;
+        for a in taken {
+            self.account_domain_acquire(waker_cpu, a);
         }
         let mut t3 = t2;
 

@@ -5,7 +5,7 @@ use std::fmt;
 
 use elsc_obs::json::{array, Obj};
 use elsc_obs::{stats_json, Percentiles, ProfileReport};
-use elsc_simcore::{Cycles, Histogram};
+use elsc_simcore::{Cycles, DomainStats, Histogram};
 use elsc_stats::SchedStats;
 
 /// Named counters workloads increment from inside behaviours
@@ -93,10 +93,17 @@ pub struct RunReport {
     pub stats: SchedStats,
     /// Workload metrics.
     pub ledger: Ledger,
-    /// Cycles CPUs spent spinning on the run-queue lock.
+    /// Cycles CPUs spent spinning on the run-queue lock domain(s)
+    /// (busy-interval waits, excluding cache-line transfer costs).
     pub lock_spin: Cycles,
-    /// Run-queue lock acquisitions.
+    /// Run-queue lock-domain acquisitions.
     pub lock_acquisitions: u64,
+    /// The locking regime the run used ("global", "percpu", "sharded:N").
+    pub lock_plan: String,
+    /// Per-domain lock statistics, in domain order. One entry under the
+    /// global plan; one per CPU (or shard) under sharded plans. Spin
+    /// cycles here sum exactly to [`RunReport::lock_spin`].
+    pub lock_domains: Vec<DomainStats>,
     /// Tasks created over the run.
     pub tasks_spawned: u64,
     /// Total messages delivered through pipes.
@@ -159,6 +166,19 @@ impl RunReport {
             .f64("elapsed_secs", self.elapsed_secs())
             .u64("lock_spin_cycles", self.lock_spin.get())
             .u64("lock_acquisitions", self.lock_acquisitions)
+            .str("lock_plan", &self.lock_plan)
+            .raw(
+                "lock_domains",
+                array(self.lock_domains.iter().enumerate().map(|(i, d)| {
+                    Obj::new()
+                        .u64("domain", i as u64)
+                        .u64("spin_cycles", d.spin_cycles)
+                        .u64("acquisitions", d.acquisitions)
+                        .u64("contended", d.contended)
+                        .u64("held_cycles", d.held_cycles)
+                        .build()
+                })),
+            )
             .u64("tasks_spawned", self.tasks_spawned)
             .u64("messages_read", self.messages_read)
             .u64("trace_dropped", self.trace_dropped)
@@ -195,9 +215,22 @@ impl fmt::Display for RunReport {
         )?;
         writeln!(
             f,
-            "  lock: spin={} acq={}  tasks={}  msgs={}",
-            self.lock_spin, self.lock_acquisitions, self.tasks_spawned, self.messages_read
+            "  lock: plan={} spin={} acq={}  tasks={}  msgs={}",
+            self.lock_plan,
+            self.lock_spin,
+            self.lock_acquisitions,
+            self.tasks_spawned,
+            self.messages_read
         )?;
+        if self.lock_domains.len() > 1 {
+            for (i, d) in self.lock_domains.iter().enumerate() {
+                writeln!(
+                    f,
+                    "    domain{i}: spin={} acq={} contended={} held={}",
+                    d.spin_cycles, d.acquisitions, d.contended, d.held_cycles
+                )?;
+            }
+        }
         for (k, v) in self.ledger.iter() {
             writeln!(f, "  {k} = {v}")?;
         }
@@ -244,6 +277,13 @@ mod tests {
             ledger,
             lock_spin: Cycles(123),
             lock_acquisitions: 9,
+            lock_plan: "global".into(),
+            lock_domains: vec![DomainStats {
+                spin_cycles: 123,
+                acquisitions: 9,
+                contended: 2,
+                held_cycles: 400,
+            }],
             tasks_spawned: 5,
             messages_read: 4000,
             dists: Distributions::new(),

@@ -63,10 +63,13 @@ pub enum ObsEvent {
         /// Task counters it updated.
         updated: u64,
     },
-    /// A CPU spun on the run-queue lock before acquiring it.
+    /// A CPU spun on a run-queue lock domain before acquiring it.
     LockContended {
         /// The spinning CPU.
         cpu: CpuId,
+        /// The lock domain it was waiting for (always 0 under the global
+        /// `runqueue_lock` plan; the queue's domain under sharded plans).
+        domain: usize,
         /// Cycles lost to the spin.
         spin: u64,
     },
@@ -137,7 +140,10 @@ impl ObsRecord {
             ObsEvent::RecalcEnd { cpu, updated } => {
                 o.u64("cpu", cpu as u64).u64("updated", updated)
             }
-            ObsEvent::LockContended { cpu, spin } => o.u64("cpu", cpu as u64).u64("spin", spin),
+            ObsEvent::LockContended { cpu, domain, spin } => o
+                .u64("cpu", cpu as u64)
+                .u64("domain", domain as u64)
+                .u64("spin", spin),
             ObsEvent::QueueDepthSample { cpu, depth } => {
                 o.u64("cpu", cpu as u64).u64("depth", depth)
             }
@@ -180,7 +186,11 @@ mod tests {
                 nr_running: 3,
             },
             ObsEvent::RecalcEnd { cpu: 0, updated: 3 },
-            ObsEvent::LockContended { cpu: 1, spin: 600 },
+            ObsEvent::LockContended {
+                cpu: 1,
+                domain: 0,
+                spin: 600,
+            },
             ObsEvent::QueueDepthSample { cpu: 0, depth: 5 },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
@@ -213,6 +223,18 @@ mod tests {
         assert_eq!(
             r2.to_json_line(),
             r#"{"at":7,"event":"recalc_start","cpu":0,"nr_running":12}"#
+        );
+        let r3 = ObsRecord {
+            at: Cycles(9),
+            event: ObsEvent::LockContended {
+                cpu: 2,
+                domain: 1,
+                spin: 350,
+            },
+        };
+        assert_eq!(
+            r3.to_json_line(),
+            r#"{"at":9,"event":"lock_contended","cpu":2,"domain":1,"spin":350}"#
         );
     }
 

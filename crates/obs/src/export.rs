@@ -14,10 +14,11 @@ type Field = (&'static str, fn(&CpuStats) -> u64);
 
 /// The exported counter fields, in a fixed order shared by the JSON and
 /// CSV renderings.
-const FIELDS: [Field; 17] = [
+const FIELDS: [Field; 18] = [
     ("sched_calls", |c| c.sched_calls),
     ("sched_cycles", |c| c.sched_cycles),
     ("lock_spin_cycles", |c| c.lock_spin_cycles),
+    ("lock_acquisitions", |c| c.lock_acquisitions),
     ("tasks_examined", |c| c.tasks_examined),
     ("recalc_entries", |c| c.recalc_entries),
     ("recalc_tasks", |c| c.recalc_tasks),

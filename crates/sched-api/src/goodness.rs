@@ -17,6 +17,12 @@ use elsc_ktask::{CpuId, MmId, Task};
 /// Goodness floor for real-time tasks (`SCHED_FIFO`/`SCHED_RR`).
 pub const RT_GOODNESS_BASE: i32 = 1000;
 
+/// Goodness assigned to the idle task: `schedule()` seeds its search with
+/// `c = -1000` (`kernel/sched.c`), below every runnable task — including
+/// out-of-quantum and yielded tasks, which evaluate to 0 — so anything
+/// runnable beats going idle.
+pub const IDLE_GOODNESS: i32 = -1000;
+
 /// Affinity bonus for tasks whose last run was on the deciding CPU.
 pub const PROC_CHANGE_PENALTY: i32 = 15;
 

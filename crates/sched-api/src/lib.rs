@@ -13,6 +13,10 @@
 //!   all schedulers (the paper keeps it unchanged).
 //! * [`SchedConfig`] — machine-level knobs the schedulers see (CPU count,
 //!   SMP vs UP build, ELSC search limit).
+//! * [`LockPlan`] — the locking regime each scheduler declares for its
+//!   run-queue state (global, per-CPU, or sharded), with [`LockDomains`]
+//!   handling per-call multi-domain acquisition in `double_rq_lock`
+//!   order.
 //!
 //! The baseline lives in `elsc-sched-linux`, the paper's contribution in
 //! the `elsc` crate, and the §8 future-work designs in `elsc-sched-ext`;
@@ -21,12 +25,15 @@
 
 pub mod config;
 pub mod goodness;
+pub mod lockplan;
 pub mod resched;
 pub mod scheduler;
 
 pub use config::SchedConfig;
 pub use goodness::{
-    goodness, goodness_ignoring_yield, rt_goodness, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE,
+    goodness, goodness_ignoring_yield, rt_goodness, IDLE_GOODNESS, MM_BONUS, PROC_CHANGE_PENALTY,
+    RT_GOODNESS_BASE,
 };
+pub use lockplan::{DomainAcquire, DomainLocker, LockDomains, LockPlan};
 pub use resched::{reschedule_idle, CpuView, WakeTarget};
 pub use scheduler::{SchedCtx, Scheduler};

@@ -11,6 +11,7 @@ use elsc_simcore::{CostModel, CycleMeter};
 use elsc_stats::SchedStats;
 
 use crate::config::SchedConfig;
+use crate::lockplan::{DomainLocker, LockPlan};
 
 /// Everything a scheduler may touch during one call.
 ///
@@ -33,6 +34,11 @@ pub struct SchedCtx<'a> {
     /// events (recalc entry/exit, ...) into it. `None` in unit tests and
     /// microbenches, where emission would be noise.
     pub probe: Option<&'a mut EventBus>,
+    /// Lock-domain surface: when attached (SMP machine runs), a scheduler
+    /// that is about to touch *another* CPU's run-queue state must first
+    /// call [`SchedCtx::lock_queue_domain`] for that CPU. `None` in unit
+    /// tests, microbenches, and UP builds, where locking is free anyway.
+    pub locks: Option<&'a mut dyn DomainLocker>,
 }
 
 impl SchedCtx<'_> {
@@ -42,6 +48,23 @@ impl SchedCtx<'_> {
     pub fn emit(&mut self, event: ObsEvent) {
         if let Some(bus) = self.probe.as_deref_mut() {
             bus.emit(event);
+        }
+    }
+
+    /// Ensures the lock domain guarding `queue_cpu`'s run queue is held
+    /// before the scheduler touches that queue (a multi-queue steal, for
+    /// example). No-op when the domain is already held, when no locking
+    /// layer is attached, or under a [`LockPlan::Global`] plan (where the
+    /// home domain already covers everything).
+    ///
+    /// The call reads `self.meter` to place the acquisition on the
+    /// call's timeline, so charge all work *preceding* the queue access
+    /// to the meter before calling this.
+    #[inline]
+    pub fn lock_queue_domain(&mut self, queue_cpu: CpuId) {
+        let elapsed = self.meter.cycles();
+        if let Some(l) = self.locks.as_deref_mut() {
+            l.acquire_for_cpu(queue_cpu, elapsed);
         }
     }
 }
@@ -87,6 +110,14 @@ pub trait Scheduler {
     /// Number of runnable tasks currently accounted to the run queue
     /// (including tasks running on CPUs).
     fn nr_running(&self) -> usize;
+
+    /// Declares the locking regime this scheduler's run-queue state
+    /// needs. The machine sizes its lock-domain bank from this (unless
+    /// overridden for an ablation). Default: the paper's single global
+    /// `runqueue_lock`, so existing schedulers are unchanged.
+    fn lock_plan(&self, _nr_cpus: usize) -> LockPlan {
+        LockPlan::Global
+    }
 
     /// Verifies internal invariants (tests/debug only). Default: no-op.
     fn debug_check(&self, _tasks: &TaskTable) {}
@@ -148,9 +179,11 @@ mod tests {
             costs: &costs,
             cfg: &cfg,
             probe: None,
+            locks: None,
         };
         let mut sched: Box<dyn Scheduler> = Box::new(NullSched { n: 0 });
         assert_eq!(sched.name(), "null");
+        assert_eq!(sched.lock_plan(4), LockPlan::Global);
         sched.add_to_runqueue(&mut ctx, tid);
         assert_eq!(sched.nr_running(), 1);
         assert!(ctx.tasks.task(tid).on_runqueue());

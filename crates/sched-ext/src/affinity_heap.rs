@@ -323,6 +323,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
             tid
@@ -337,6 +338,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, idle);
             self.sched.debug_check(&self.tasks);
@@ -407,6 +409,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, a);
         }
@@ -429,6 +432,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.add_to_runqueue(&mut ctx, tid);
             tid

@@ -320,6 +320,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -338,6 +339,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, self.idle);
             self.sched.debug_check(&self.tasks);
@@ -368,6 +370,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, weak);
             rig.sched.add_to_runqueue(&mut ctx, weak);
@@ -392,6 +395,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, t);
             rig.sched.add_to_runqueue(&mut ctx, t);
@@ -417,6 +421,7 @@ mod tests {
                 costs: &rig.costs,
                 cfg: &rig.cfg,
                 probe: None,
+                locks: None,
             };
             rig.sched.del_from_runqueue(&mut ctx, b);
             rig.sched.add_to_runqueue(&mut ctx, b);

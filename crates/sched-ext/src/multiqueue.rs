@@ -8,18 +8,22 @@
 //! busiest other queue when its own is empty. This is the direction the
 //! Linux O(1) scheduler later took.
 //!
-//! The machine model still serializes scheduler entry under the global
-//! `runqueue_lock` (changing the locking regime is outside the paper's
-//! scope), so the benefit visible in ablations is the shorter scan, not
-//! reduced lock contention.
+//! The queues shard the paper's single `runqueue_lock` too: this
+//! scheduler declares a [`LockPlan::PerCpu`] regime, so each queue is
+//! guarded by its own lock domain. `schedule()` enters holding only its
+//! own CPU's domain; the steal path takes the victim's domain through
+//! [`SchedCtx::lock_queue_domain`] (kept deadlock-free by the
+//! `double_rq_lock` canonical ordering in the locking layer) before
+//! scanning the victim queue. Forcing `LockPlan::Global` via the
+//! machine's lock-plan override separates the shorter-scan benefit from
+//! the reduced-contention benefit in ablations. The system-wide counter
+//! recalculation still runs under whatever the caller holds, as the
+//! kernel's recalc loop did.
 
 use elsc_ktask::recalc::recalculate_counters;
 use elsc_ktask::{CpuId, Lists, SchedClass, TaskTable, Tid};
-use elsc_sched_api::{goodness_ignoring_yield, SchedCtx, Scheduler};
+use elsc_sched_api::{goodness_ignoring_yield, LockPlan, SchedCtx, Scheduler, IDLE_GOODNESS};
 use elsc_simcore::CostKind;
-
-/// Goodness of the idle task.
-const IDLE_GOODNESS: i32 = -1000;
 
 /// Per-CPU run queues with stealing.
 #[derive(Debug)]
@@ -176,6 +180,9 @@ impl Scheduler for MultiQueueScheduler {
                     .filter(|&q| q != my_q && self.counts[q] > 0)
                     .max_by_key(|&q| self.counts[q])
                 {
+                    // Take the victim queue's lock domain before touching
+                    // its list (two domains held, canonical order).
+                    ctx.lock_queue_domain(victim);
                     let (w, cand) = self.scan_queue(ctx, victim, cpu, prev, prev_mm);
                     if w > c {
                         c = w;
@@ -197,9 +204,12 @@ impl Scheduler for MultiQueueScheduler {
             ctx.stats.cpu_mut(cpu).idle_scheduled += 1;
         } else if next != prev {
             // Migrate a stolen task to this CPU's queue so future wakeups
-            // land here.
+            // land here. Both the source and destination queue domains
+            // must be held for the splice (the source was taken by the
+            // steal scan; this is a free re-check).
             let q = ctx.tasks.task(next).rq_hint as usize;
             if q != my_q && ctx.tasks.task(next).in_list() {
+                ctx.lock_queue_domain(q);
                 ctx.meter.charge_n(ctx.costs, CostKind::ListOp, 2);
                 self.lists.remove(ctx.tasks, next);
                 self.counts[q] -= 1;
@@ -217,6 +227,12 @@ impl Scheduler for MultiQueueScheduler {
 
     fn nr_running(&self) -> usize {
         self.nr_running
+    }
+
+    /// Per-CPU queues want per-CPU locks: this is the §8 regime the
+    /// paper could not evaluate under the global `runqueue_lock`.
+    fn lock_plan(&self, _nr_cpus: usize) -> LockPlan {
+        LockPlan::PerCpu
     }
 
     fn debug_check(&self, tasks: &TaskTable) {
@@ -282,6 +298,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
             tid
@@ -296,6 +313,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, idle, idle);
             self.sched.debug_check(&self.tasks);

@@ -18,12 +18,8 @@
 use elsc_ktask::recalc::recalculate_counters;
 use elsc_ktask::{CpuId, Lists, SchedClass, Tid};
 use elsc_obs::ObsEvent;
-use elsc_sched_api::{goodness_ignoring_yield, SchedCtx, Scheduler};
+use elsc_sched_api::{goodness_ignoring_yield, SchedCtx, Scheduler, IDLE_GOODNESS};
 use elsc_simcore::CostKind;
-
-/// Goodness of the idle task: any runnable task beats it
-/// (`-1000` in the kernel source).
-const IDLE_GOODNESS: i32 = -1000;
 
 /// The stock Linux 2.3.99-pre4 scheduler ("reg" in the paper's figures).
 #[derive(Debug)]
@@ -275,6 +271,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             self.sched.add_to_runqueue(&mut ctx, tid);
         }
@@ -287,6 +284,7 @@ mod tests {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             };
             let next = self.sched.schedule(&mut ctx, cpu, prev, self.idle);
             self.sched.debug_check(&self.tasks);

@@ -43,6 +43,7 @@ impl Rig {
             costs: &self.costs,
             cfg: &self.cfg,
             probe: None,
+            locks: None,
         };
         self.sched.add_to_runqueue(&mut ctx, tid);
     }
@@ -56,6 +57,7 @@ impl Rig {
             costs: &self.costs,
             cfg: &self.cfg,
             probe: None,
+            locks: None,
         };
         let next = self.sched.schedule(&mut ctx, 0, prev, idle);
         self.sched.debug_check(&self.tasks);
@@ -152,6 +154,7 @@ fn move_first_biases_tie_selection() {
             costs: &rig.costs,
             cfg: &rig.cfg,
             probe: None,
+            locks: None,
         };
         rig.sched.move_first_runqueue(&mut ctx, a);
     }

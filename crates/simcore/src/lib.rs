@@ -8,6 +8,9 @@
 //!   that simulation runs are reproducible from a seed alone.
 //! * [`spinlock::SimSpinLock`] — a busy-interval model of a contended
 //!   kernel spinlock (the global `runqueue_lock` of Linux 2.3.99).
+//! * [`lockdomain::LockModel`] — a bank of N independent spinlock
+//!   domains, generalizing the single global lock into pluggable
+//!   locking regimes (global, per-CPU, sharded).
 //! * [`cost::CostModel`] / [`cost::CycleMeter`] — a table of per-primitive
 //!   cycle costs and an accumulator used by the schedulers to charge their
 //!   own work to the simulated CPU.
@@ -20,6 +23,7 @@ pub mod clock;
 pub mod cost;
 pub mod events;
 pub mod histogram;
+pub mod lockdomain;
 pub mod rng;
 pub mod spinlock;
 
@@ -27,5 +31,6 @@ pub use clock::Cycles;
 pub use cost::{CostKind, CostModel, CycleMeter, COST_KINDS};
 pub use events::EventQueue;
 pub use histogram::Histogram;
+pub use lockdomain::{DomainStats, LockModel};
 pub use rng::SimRng;
 pub use spinlock::SimSpinLock;

@@ -1,0 +1,207 @@
+//! A bank of busy-interval spinlock domains — the pluggable locking
+//! regime behind the run queue(s).
+//!
+//! Linux 2.3.99 guards *all* run-queue state with one global
+//! `runqueue_lock`; the paper's 2P/4P results are shaped by that single
+//! serialization point (§4, §8). Later schedulers (the O(1) scheduler,
+//! the §8 multi-queue design) shard the state and its locks per CPU.
+//! [`LockModel`] generalizes the single [`SimSpinLock`] into N
+//! independent busy-interval domains so a scheduler can declare whichever
+//! regime it is designed for: one global domain, one per CPU, or an
+//! arbitrary shard count.
+//!
+//! The model stays analytic: the simulation is single-threaded and
+//! processes events in global time order, so each domain records when it
+//! next becomes free and an acquirer's spin time is the gap between its
+//! arrival and that instant (plus a cache-line transfer cost when
+//! ownership moves between CPUs).
+
+use crate::clock::Cycles;
+use crate::spinlock::{HolderId, SimSpinLock};
+
+/// Statistics snapshot of one lock domain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Cycles acquirers spent spinning on this domain.
+    pub spin_cycles: u64,
+    /// Acquisitions of this domain.
+    pub acquisitions: u64,
+    /// Acquisitions that had to spin.
+    pub contended: u64,
+    /// Cycles the domain was held.
+    pub held_cycles: u64,
+}
+
+/// N independent busy-interval spinlock domains.
+///
+/// Domain 0 with `nr_domains == 1` reproduces the single global
+/// `runqueue_lock` exactly; more domains model sharded locking regimes.
+///
+/// # Examples
+///
+/// ```
+/// use elsc_simcore::{Cycles, LockModel};
+///
+/// let mut m = LockModel::new(2, 100);
+/// let a = m.acquire(0, Cycles(0), 0);
+/// // Domain 1 is independent: no spin even while domain 0 is held.
+/// let b = m.acquire(1, Cycles(10), 1);
+/// assert_eq!(b, Cycles(10));
+/// m.release(0, a + 500);
+/// m.release(1, b + 500);
+/// assert_eq!(m.total_spin(), Cycles::ZERO);
+/// assert_eq!(m.total_acquisitions(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockModel {
+    domains: Vec<SimSpinLock>,
+}
+
+impl LockModel {
+    /// Creates `nr_domains` uncontended domains sharing one cache-line
+    /// transfer cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nr_domains == 0`.
+    pub fn new(nr_domains: usize, transfer_cost: u64) -> Self {
+        assert!(nr_domains > 0, "a lock model has at least one domain");
+        LockModel {
+            domains: vec![SimSpinLock::new(transfer_cost); nr_domains],
+        }
+    }
+
+    /// Number of domains.
+    pub fn nr_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Acquires `domain` at time `now` on behalf of `holder`; returns the
+    /// instant the acquirer owns it (see [`SimSpinLock::acquire`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range or currently held (a nested
+    /// acquire of one domain means the machine forgot a release).
+    pub fn acquire(&mut self, domain: usize, now: Cycles, holder: HolderId) -> Cycles {
+        self.domains[domain].acquire(now, holder)
+    }
+
+    /// Releases `domain` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range, not held, or `at` precedes its
+    /// acquisition instant.
+    pub fn release(&mut self, domain: usize, at: Cycles) {
+        self.domains[domain].release(at);
+    }
+
+    /// Whether `domain` is currently held (assertions only).
+    pub fn is_held(&self, domain: usize) -> bool {
+        self.domains[domain].is_held()
+    }
+
+    /// Total spin cycles across all domains.
+    pub fn total_spin(&self) -> Cycles {
+        self.domains
+            .iter()
+            .fold(Cycles::ZERO, |a, d| a + d.total_spin().get())
+    }
+
+    /// Total acquisitions across all domains.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.domains.iter().map(SimSpinLock::acquisitions).sum()
+    }
+
+    /// Total contended acquisitions across all domains.
+    pub fn total_contended(&self) -> u64 {
+        self.domains.iter().map(SimSpinLock::contended).sum()
+    }
+
+    /// Per-domain statistics snapshot, in domain order.
+    pub fn domain_stats(&self) -> Vec<DomainStats> {
+        self.domains
+            .iter()
+            .map(|d| DomainStats {
+                spin_cycles: d.total_spin().get(),
+                acquisitions: d.acquisitions(),
+                contended: d.contended(),
+                held_cycles: d.total_held().get(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_domain_matches_simspinlock() {
+        let mut m = LockModel::new(1, 0);
+        let mut l = SimSpinLock::new(0);
+        let a = m.acquire(0, Cycles(0), 0);
+        let b = l.acquire(Cycles(0), 0);
+        assert_eq!(a, b);
+        m.release(0, a + 1000);
+        l.release(b + 1000);
+        let a2 = m.acquire(0, Cycles(100), 1);
+        let b2 = l.acquire(Cycles(100), 1);
+        assert_eq!(a2, b2);
+        m.release(0, a2 + 10);
+        l.release(b2 + 10);
+        assert_eq!(m.total_spin(), l.total_spin());
+        assert_eq!(m.total_acquisitions(), l.acquisitions());
+        assert_eq!(m.total_contended(), l.contended());
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        let mut m = LockModel::new(4, 0);
+        let a = m.acquire(0, Cycles(0), 0);
+        m.release(0, a + 10_000);
+        // A different domain sees no busy interval.
+        let b = m.acquire(1, Cycles(5), 1);
+        assert_eq!(b, Cycles(5));
+        m.release(1, b + 1);
+        assert_eq!(m.total_spin(), Cycles::ZERO);
+        // The same domain does.
+        let c = m.acquire(0, Cycles(20), 1);
+        assert_eq!(c, Cycles(10_000));
+        m.release(0, c + 1);
+        assert_eq!(m.total_spin(), Cycles(10_000 - 20));
+    }
+
+    #[test]
+    fn per_domain_stats_sum_to_totals() {
+        let mut m = LockModel::new(3, 50);
+        for (d, t) in [(0usize, 0u64), (1, 10), (2, 20), (0, 30), (1, 40)] {
+            let a = m.acquire(d, Cycles(t), d);
+            m.release(d, a + 100);
+        }
+        let stats = m.domain_stats();
+        assert_eq!(stats.len(), 3);
+        let spin: u64 = stats.iter().map(|s| s.spin_cycles).sum();
+        let acq: u64 = stats.iter().map(|s| s.acquisitions).sum();
+        let cont: u64 = stats.iter().map(|s| s.contended).sum();
+        assert_eq!(spin, m.total_spin().get());
+        assert_eq!(acq, m.total_acquisitions());
+        assert_eq!(cont, m.total_contended());
+        assert_eq!(acq, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn zero_domains_panics() {
+        LockModel::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquire while held")]
+    fn nested_acquire_of_one_domain_panics() {
+        let mut m = LockModel::new(2, 0);
+        m.acquire(1, Cycles(0), 0);
+        m.acquire(1, Cycles(1), 1);
+    }
+}

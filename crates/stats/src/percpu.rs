@@ -16,6 +16,10 @@ pub struct CpuStats {
     /// Cycles spent spinning on the run-queue lock before `schedule()`
     /// could begin.
     pub lock_spin_cycles: u64,
+    /// Run-queue lock-domain acquisitions made from this CPU (the home
+    /// acquire of each `schedule()`/wakeup plus any mid-call domain
+    /// acquisitions a sharded plan incurs).
+    pub lock_acquisitions: u64,
     /// Candidate tasks examined across all `schedule()` calls.
     pub tasks_examined: u64,
     /// Entries into the counter-recalculation loop.
@@ -54,6 +58,7 @@ macro_rules! combine_fields {
             sched_calls: $a.sched_calls $op $b.sched_calls,
             sched_cycles: $a.sched_cycles $op $b.sched_cycles,
             lock_spin_cycles: $a.lock_spin_cycles $op $b.lock_spin_cycles,
+            lock_acquisitions: $a.lock_acquisitions $op $b.lock_acquisitions,
             tasks_examined: $a.tasks_examined $op $b.tasks_examined,
             recalc_entries: $a.recalc_entries $op $b.recalc_entries,
             recalc_tasks: $a.recalc_tasks $op $b.recalc_tasks,
@@ -95,6 +100,7 @@ impl Sub for CpuStats {
             sched_calls: ss!(sched_calls),
             sched_cycles: ss!(sched_cycles),
             lock_spin_cycles: ss!(lock_spin_cycles),
+            lock_acquisitions: ss!(lock_acquisitions),
             tasks_examined: ss!(tasks_examined),
             recalc_entries: ss!(recalc_entries),
             recalc_tasks: ss!(recalc_tasks),

@@ -13,6 +13,7 @@ const ROWS: &[Row] = &[
     ("sched_calls", |c| c.sched_calls),
     ("sched_cycles", |c| c.sched_cycles),
     ("lock_spin_cycles", |c| c.lock_spin_cycles),
+    ("lock_acquisitions", |c| c.lock_acquisitions),
     ("tasks_examined", |c| c.tasks_examined),
     ("recalc_entries", |c| c.recalc_entries),
     ("recalc_tasks", |c| c.recalc_tasks),

@@ -12,7 +12,7 @@
 use elsc::ElscScheduler;
 use elsc_ktask::{CpuId, Lists, TaskState, Tid};
 use elsc_machine::MachineConfig;
-use elsc_sched_api::{SchedCtx, Scheduler};
+use elsc_sched_api::{LockPlan, SchedCtx, Scheduler};
 use elsc_simcore::CostKind;
 use elsc_workloads::stress::{self, StressConfig};
 
@@ -115,6 +115,17 @@ impl Scheduler for FifoScheduler {
 
     fn nr_running(&self) -> usize {
         self.nr
+    }
+
+    /// The locking regime this design wants. One shared FIFO list means
+    /// one lock domain — the trait default is already `Global`, so this
+    /// override is purely illustrative. A design with genuinely
+    /// independent per-CPU queues (see `MultiQueueScheduler`) declares
+    /// `LockPlan::PerCpu` instead, and calls
+    /// `ctx.lock_queue_domain(victim)` before touching another CPU's
+    /// queue so the machine can charge the cross-domain lock traffic.
+    fn lock_plan(&self, _nr_cpus: usize) -> LockPlan {
+        LockPlan::Global
     }
 }
 

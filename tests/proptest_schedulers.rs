@@ -118,6 +118,7 @@ impl Rig {
                 costs: &self.costs,
                 cfg: &self.cfg,
                 probe: None,
+                locks: None,
             },
         )
     }
