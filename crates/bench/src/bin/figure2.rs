@@ -13,37 +13,39 @@
 //! the paper's 11 × 100-message iterations).
 //!
 //! Storm frequency depends on how often a spinning task is alone on the
-//! run queue, so we show two load points: the standard run (saturated)
-//! and a lighter, think-bound run where lulls — and therefore the
-//! baseline's storms — dominate even on a single CPU.
+//! run queue, so the `figure2` lab sweep has two think-time points: the
+//! standard run (saturated) and a lighter, think-bound run where lulls —
+//! and therefore the baseline's storms — dominate even on a single CPU.
 
-use elsc_bench::{header, volano_cfg, ConfigKind, SchedKind};
-use elsc_workloads::volanomark;
+use elsc_bench::{header, lab_run, volano_cfg};
+use elsc_lab::{SchedId, Shape, SweepRun};
 
-fn sweep(title: &str, think_cycles: u64) {
+/// The two think-time load points of the builtin `figure2` spec.
+const SATURATED: u64 = 60_000_000;
+const THINK_BOUND: u64 = 150_000_000;
+
+fn sweep(run: &SweepRun, title: &str, think: u64) {
     println!("{title}");
     println!(
         "{:<8} {:>12} {:>12} {:>14} {:>14}",
         "config", "entries elsc", "entries reg", "iters elsc", "iters reg"
     );
-    for shape in ConfigKind::ALL {
-        let mut entries = Vec::new();
-        let mut iters = Vec::new();
-        for kind in [SchedKind::Elsc, SchedKind::Reg] {
-            let mut cfg = volano_cfg(10);
-            cfg.think_cycles = think_cycles;
-            let report = volanomark::run(shape.machine(), kind.build(shape.nr_cpus()), &cfg);
-            let t = report.stats.total();
-            entries.push(t.recalc_entries);
-            iters.push(t.recalc_tasks);
-        }
+    for shape in Shape::PAPER {
+        let m = |sched: SchedId, f: fn(&elsc_lab::Metrics) -> f64| {
+            run.seed_mean(
+                |c| {
+                    c.shape == shape && c.sched == sched && c.workload.param("think") == Some(think)
+                },
+                f,
+            )
+        };
         println!(
-            "{:<8} {:>12} {:>12} {:>14} {:>14}",
+            "{:<8} {:>12.0} {:>12.0} {:>14.0} {:>14.0}",
             shape.label(),
-            entries[0],
-            entries[1],
-            iters[0],
-            iters[1]
+            m(SchedId::Elsc, |m| m.recalc_entries as f64),
+            m(SchedId::Reg, |m| m.recalc_entries as f64),
+            m(SchedId::Elsc, |m| m.recalc_tasks as f64),
+            m(SchedId::Reg, |m| m.recalc_tasks as f64),
         );
     }
     println!();
@@ -54,6 +56,7 @@ fn main() {
         "Figure 2 — recalculate-loop entries during VolanoMark",
         "Molloy & Honeyman 2001, Figure 2",
     );
+    let run = lab_run("figure2");
     let cfg = volano_cfg(10);
     println!(
         "workload: VolanoMark, {} rooms x {} users x {} msgs ({} threads)\n",
@@ -62,10 +65,11 @@ fn main() {
         cfg.messages_per_user,
         cfg.total_threads()
     );
-    sweep("standard load (saturated):", cfg.think_cycles);
+    sweep(&run, "standard load (saturated):", SATURATED);
     sweep(
+        &run,
         "light load (think-bound, lulls expose the yield storm):",
-        150_000_000,
+        THINK_BOUND,
     );
     println!("paper shape: reg orders of magnitude above elsc on every config");
     println!("(log-scale chart spanning ~10^1 .. ~10^6); elsc recalculates only on");

@@ -9,32 +9,45 @@
 //! * on 4P the gap is dramatic: reg collapses with rooms while elsc
 //!   holds most of its throughput.
 //!
-//! We also print 2P (used by Figure 4).
+//! We also print 2P (used by Figure 4). The table is rendered from the
+//! `figure3` lab sweep (see `elsc-sim lab ls`): cached cells are reused,
+//! dirty ones run in parallel, and the full manifest lands in
+//! `results/lab/figure3.json`.
 
-use elsc_bench::{header, volano_cfg, volano_throughput, ConfigKind, SchedKind};
+use elsc_bench::{header, lab_run};
+use elsc_lab::{SchedId, Shape};
 
-/// The paper's room sweep.
-const ROOMS: [usize; 4] = [5, 10, 15, 20];
+/// The paper's room sweep (must match the builtin `figure3` spec).
+const ROOMS: [u64; 4] = [5, 10, 15, 20];
 
 fn main() {
     header(
         "Figure 3 — VolanoMark throughput (messages/second)",
         "Molloy & Honeyman 2001, Figure 3",
     );
+    let run = lab_run("figure3");
     println!(
         "{:<10} {:>8} {:>10} {:>10} {:>10}",
         "series", "rooms=5", "10", "15", "20"
     );
-    for shape in ConfigKind::ALL {
-        for kind in [SchedKind::Elsc, SchedKind::Reg] {
-            let mut cells = Vec::new();
-            for rooms in ROOMS {
-                let cfg = volano_cfg(rooms);
-                cells.push(volano_throughput(shape, kind, &cfg));
-            }
+    for shape in Shape::PAPER {
+        for sched in [SchedId::Elsc, SchedId::Reg] {
+            let cells: Vec<f64> = ROOMS
+                .iter()
+                .map(|&rooms| {
+                    run.seed_mean(
+                        |c| {
+                            c.shape == shape
+                                && c.sched == sched
+                                && c.workload.param("rooms") == Some(rooms)
+                        },
+                        |m| m.throughput,
+                    )
+                })
+                .collect();
             println!(
                 "{:<10} {:>8.0} {:>10.0} {:>10.0} {:>10.0}",
-                format!("{}-{}", kind.label(), shape.label().to_lowercase()),
+                format!("{}-{}", sched.label(), shape.label().to_lowercase()),
                 cells[0],
                 cells[1],
                 cells[2],

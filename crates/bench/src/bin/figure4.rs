@@ -4,21 +4,35 @@
 //! "As the figure indicates, the ELSC scheduler clearly scales to more
 //! threads better than the current scheduler." The bars hover near 1.0
 //! for elsc and noticeably below for reg on every processor count.
+//!
+//! Rendered from the `figure4` lab sweep, whose grid is a subset of
+//! `figure3`'s — running figure3 first leaves every figure4 cell warm in
+//! the cache, so this binary typically executes nothing.
 
-use elsc_bench::{header, volano_cfg, volano_throughput, ConfigKind, SchedKind};
+use elsc_bench::{header, lab_run};
+use elsc_lab::{SchedId, Shape};
 
 fn main() {
     header(
         "Figure 4 — scaling factor (20-room / 5-room throughput)",
         "Molloy & Honeyman 2001, Figure 4",
     );
+    let run = lab_run("figure4");
     println!("{:<8} {:>10} {:>10}", "config", "elsc", "reg");
-    for shape in ConfigKind::ALL {
+    for shape in Shape::PAPER {
         let mut factors = Vec::new();
-        for kind in [SchedKind::Elsc, SchedKind::Reg] {
-            let t5 = volano_throughput(shape, kind, &volano_cfg(5));
-            let t20 = volano_throughput(shape, kind, &volano_cfg(20));
-            factors.push(t20 / t5);
+        for sched in [SchedId::Elsc, SchedId::Reg] {
+            let t = |rooms: u64| {
+                run.seed_mean(
+                    |c| {
+                        c.shape == shape
+                            && c.sched == sched
+                            && c.workload.param("rooms") == Some(rooms)
+                    },
+                    |m| m.throughput,
+                )
+            };
+            factors.push(t(20) / t(5));
         }
         println!(
             "{:<8} {:>10.3} {:>10.3}",

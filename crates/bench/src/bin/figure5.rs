@@ -3,16 +3,19 @@
 //! Two charts in the paper: *cycles per `schedule()`* (reg up to ~20 000
 //! cycles on 4P, elsc a small flat number) and *tasks examined per call*
 //! (reg in the tens, elsc a handful). Both are pure functions of the
-//! statistics the schedulers collect.
+//! statistics the schedulers collect; the table is rendered from the
+//! `figure5` lab sweep and its metrics are exactly the ones the
+//! `compare` regression gate watches.
 
-use elsc_bench::{header, volano_cfg, ConfigKind, SchedKind};
-use elsc_workloads::volanomark;
+use elsc_bench::{header, lab_run, volano_cfg};
+use elsc_lab::{SchedId, Shape};
 
 fn main() {
     header(
         "Figure 5 — cycles per schedule() and tasks examined per call",
         "Molloy & Honeyman 2001, Figure 5",
     );
+    let run = lab_run("figure5");
     let cfg = volano_cfg(10);
     println!(
         "workload: VolanoMark, {} rooms ({} threads)\n",
@@ -23,22 +26,17 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>14} {:>14}",
         "config", "cyc/sched elsc", "cyc/sched reg", "examined elsc", "examined reg"
     );
-    for shape in ConfigKind::ALL {
-        let mut cyc = Vec::new();
-        let mut exam = Vec::new();
-        for kind in [SchedKind::Elsc, SchedKind::Reg] {
-            let report = volanomark::run(shape.machine(), kind.build(shape.nr_cpus()), &cfg);
-            let total = report.stats.total();
-            cyc.push(total.cycles_per_schedule());
-            exam.push(total.tasks_examined_per_schedule());
-        }
+    for shape in Shape::PAPER {
+        let m = |sched: SchedId, f: fn(&elsc_lab::Metrics) -> f64| {
+            run.seed_mean(|c| c.shape == shape && c.sched == sched, f)
+        };
         println!(
             "{:<8} {:>14.0} {:>14.0} {:>14.2} {:>14.2}",
             shape.label(),
-            cyc[0],
-            cyc[1],
-            exam[0],
-            exam[1]
+            m(SchedId::Elsc, |m| m.cycles_per_schedule),
+            m(SchedId::Reg, |m| m.cycles_per_schedule),
+            m(SchedId::Elsc, |m| m.tasks_examined_per_schedule),
+            m(SchedId::Reg, |m| m.tasks_examined_per_schedule),
         );
     }
     println!("\npaper shape: reg examines tens of tasks and burns 5k-20k cycles per");

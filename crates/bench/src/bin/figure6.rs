@@ -5,15 +5,19 @@
 //! the number of calls to schedule() when running on a machine with more
 //! than one processor ... there is a strong correlation with how many
 //! times a task is selected without having the processor affinity bonus."
+//!
+//! Rendered from the `figure6` lab sweep (same grid as `figure5`, so the
+//! two binaries share every cached cell).
 
-use elsc_bench::{header, volano_cfg, ConfigKind, SchedKind};
-use elsc_workloads::volanomark;
+use elsc_bench::{header, lab_run, volano_cfg};
+use elsc_lab::{SchedId, Shape};
 
 fn main() {
     header(
         "Figure 6 — schedule() calls (thousands) and cross-CPU placements",
         "Molloy & Honeyman 2001, Figure 6",
     );
+    let run = lab_run("figure6");
     let cfg = volano_cfg(10);
     println!(
         "workload: VolanoMark, {} rooms ({} threads, the paper's 10-room run)\n",
@@ -24,22 +28,17 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>14} {:>14}",
         "config", "calls(k) elsc", "calls(k) reg", "new-cpu elsc", "new-cpu reg"
     );
-    for shape in ConfigKind::ALL {
-        let mut calls = Vec::new();
-        let mut newcpu = Vec::new();
-        for kind in [SchedKind::Elsc, SchedKind::Reg] {
-            let report = volanomark::run(shape.machine(), kind.build(shape.nr_cpus()), &cfg);
-            let total = report.stats.total();
-            calls.push(total.sched_calls as f64 / 1_000.0);
-            newcpu.push(total.picked_new_cpu);
-        }
+    for shape in Shape::PAPER {
+        let m = |sched: SchedId, f: fn(&elsc_lab::Metrics) -> f64| {
+            run.seed_mean(|c| c.shape == shape && c.sched == sched, f)
+        };
         println!(
-            "{:<8} {:>14.1} {:>14.1} {:>14} {:>14}",
+            "{:<8} {:>14.1} {:>14.1} {:>14.0} {:>14.0}",
             shape.label(),
-            calls[0],
-            calls[1],
-            newcpu[0],
-            newcpu[1]
+            m(SchedId::Elsc, |m| m.sched_calls as f64) / 1_000.0,
+            m(SchedId::Reg, |m| m.sched_calls as f64) / 1_000.0,
+            m(SchedId::Elsc, |m| m.picked_new_cpu as f64),
+            m(SchedId::Reg, |m| m.picked_new_cpu as f64),
         );
     }
     println!("\npaper shape: similar call counts on UP/1P, elsc somewhat higher on");

@@ -4,35 +4,42 @@
 //!
 //! We report the scheduler's share of busy CPU time (scheduler cycles,
 //! including lock spin, over scheduler + workload cycles) for 5 and 25
-//! rooms, both schedulers, on the paper's 4P machine and on UP.
+//! rooms, both schedulers, on the paper's 4P machine and on UP —
+//! rendered from the `kernel_share` lab sweep. The share metric is one
+//! of the two the `compare` regression gate watches.
 
-use elsc_bench::{header, volano_cfg, ConfigKind, SchedKind};
-use elsc_workloads::volanomark;
+use elsc_bench::{header, lab_run};
+use elsc_lab::{SchedId, Shape};
 
 fn main() {
     header(
         "Scheduler share of busy time — 5 vs 25 rooms",
         "Molloy & Honeyman 2001, §4 (IBM kernel profile: 37%..55%)",
     );
+    let run = lab_run("kernel_share");
     println!(
         "{:<8} {:<6} {:>10} {:>10} {:>12}",
         "config", "sched", "5 rooms", "25 rooms", "throughput Δ"
     );
-    for shape in [ConfigKind::Up, ConfigKind::Smp(4)] {
-        for kind in [SchedKind::Reg, SchedKind::Elsc] {
-            let r5 = volanomark::run(shape.machine(), kind.build(shape.nr_cpus()), &volano_cfg(5));
-            let r25 = volanomark::run(
-                shape.machine(),
-                kind.build(shape.nr_cpus()),
-                &volano_cfg(25),
-            );
-            let drop = volanomark::throughput(&r25) / volanomark::throughput(&r5) - 1.0;
+    for shape in [Shape::Up, Shape::Smp(4)] {
+        for sched in [SchedId::Reg, SchedId::Elsc] {
+            let at = |rooms: u64, f: fn(&elsc_lab::Metrics) -> f64| {
+                run.seed_mean(
+                    |c| {
+                        c.shape == shape
+                            && c.sched == sched
+                            && c.workload.param("rooms") == Some(rooms)
+                    },
+                    f,
+                )
+            };
+            let drop = at(25, |m| m.throughput) / at(5, |m| m.throughput) - 1.0;
             println!(
                 "{:<8} {:<6} {:>9.1}% {:>9.1}% {:>11.1}%",
                 shape.label(),
-                kind.label(),
-                r5.stats.total().sched_time_share() * 100.0,
-                r25.stats.total().sched_time_share() * 100.0,
+                sched.label(),
+                at(5, |m| m.sched_time_share) * 100.0,
+                at(25, |m| m.sched_time_share) * 100.0,
                 drop * 100.0
             );
         }

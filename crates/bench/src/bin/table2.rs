@@ -11,10 +11,11 @@
 //!
 //! The claim to reproduce is the *shape*: the schedulers tie (light load),
 //! with ELSC holding a small advantage on UP from its search-loop
-//! shortcut, and a dead heat on 2P.
+//! shortcut, and a dead heat on 2P. Rendered from the `table2` lab sweep
+//! (kbuild, `make -j4` over 160 translation units).
 
-use elsc_bench::{header, ConfigKind, SchedKind};
-use elsc_workloads::kbuild::{self, KbuildConfig};
+use elsc_bench::{header, lab_run};
+use elsc_lab::{SchedId, Shape};
 
 fn mmss(secs: f64) -> String {
     let m = (secs / 60.0).floor() as u64;
@@ -27,19 +28,21 @@ fn main() {
         "Table 2 — kernel compile wall time",
         "Molloy & Honeyman 2001, Table 2",
     );
-    let cfg = KbuildConfig::default();
+    let run = lab_run("table2");
+    let jobs = run.spec.params.iter().find(|(k, _)| k == "jobs");
+    let units = run.spec.params.iter().find(|(k, _)| k == "units");
     println!(
         "workload: make -j{} over {} translation units\n",
-        cfg.jobs, cfg.translation_units
+        jobs.map_or(0, |(_, v)| v[0]),
+        units.map_or(0, |(_, v)| v[0])
     );
     println!("{:<14} {:>12} {:>12}", "scheduler", "time", "seconds");
-    for shape in [ConfigKind::Up, ConfigKind::Smp(2)] {
-        for kind in [SchedKind::Reg, SchedKind::Elsc] {
-            let report = kbuild::run(shape.machine(), kind.build(shape.nr_cpus()), &cfg);
-            let secs = report.elapsed_secs();
+    for shape in [Shape::Up, Shape::Smp(2)] {
+        for sched in [SchedId::Reg, SchedId::Elsc] {
+            let secs = run.seed_mean(|c| c.shape == shape && c.sched == sched, |m| m.elapsed_secs);
             println!(
                 "{:<14} {:>12} {:>12.3}",
-                format!("{} - {}", kind.label(), shape.label()),
+                format!("{} - {}", sched.label(), shape.label()),
                 mmss(secs),
                 secs
             );

@@ -172,6 +172,49 @@ pub fn volano_throughput(shape: ConfigKind, kind: SchedKind, cfg: &VolanoConfig)
     summary::Summary::of(&samples).mean
 }
 
+/// Runs the builtin lab spec `name` against the shared result cache
+/// (`results/lab/cache`) with one worker per host core, writes the run
+/// manifest to `results/lab/<name>.json`, and returns the
+/// [`SweepRun`](elsc_lab::SweepRun) for the caller to render.
+///
+/// Exits the process with status 1 if any cell panicked, hit the
+/// watchdog, deadlocked, or failed its cycle-conservation check — a
+/// figure binary must never print a table over untrustworthy numbers.
+pub fn lab_run(name: &str) -> elsc_lab::SweepRun {
+    let spec = elsc_lab::SweepSpec::builtin(name)
+        .unwrap_or_else(|| panic!("'{name}' is not a builtin lab spec"));
+    let opts = elsc_lab::RunOptions {
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        force: false,
+    };
+    let cache = elsc_lab::Cache::new(elsc_lab::Cache::default_dir());
+    let run = elsc_lab::run_sweep(&spec, &cache, &opts);
+    for (cell, err) in &run.failures {
+        eprintln!("FAILED {cell}: {err}");
+    }
+    let Some(manifest) = run.manifest() else {
+        eprintln!(
+            "{}: {} cell(s) failed; no manifest written",
+            name,
+            run.failures.len()
+        );
+        std::process::exit(1);
+    };
+    let out = std::path::Path::new("results/lab").join(format!("{name}.json"));
+    if let Err(e) = elsc_lab::write_manifest(&out, &manifest) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "lab sweep {}: {} executed, {} cached; manifest -> {}\n",
+        name,
+        run.executed,
+        run.cached,
+        out.display()
+    );
+    run
+}
+
 /// Formats a row of fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     let mut out = String::new();

@@ -46,7 +46,17 @@ impl std::error::Error for ArgError {}
 
 /// Option names that are boolean flags (no value).
 const FLAGS: &[&str] = &[
-    "up", "proc", "latency", "help", "quiet", "compare", "profile", "diff",
+    "up",
+    "proc",
+    "latency",
+    "help",
+    "quiet",
+    "compare",
+    "profile",
+    "diff",
+    // `lab` subcommand flags.
+    "force",
+    "all-figures",
 ];
 
 /// Option names that take a value. Anything not listed here or in
@@ -70,6 +80,15 @@ const OPTIONS: &[&str] = &[
     "trace-out",
     "report-json",
     "lock-plan",
+    // `lab` subcommand options.
+    "workers",
+    "spec",
+    "spec-file",
+    "out",
+    "cache-dir",
+    "manifest",
+    "baseline",
+    "threshold",
 ];
 
 impl Args {

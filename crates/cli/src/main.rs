@@ -27,6 +27,7 @@
 //! ```
 
 mod args;
+mod lab;
 
 use args::Args;
 
@@ -288,7 +289,13 @@ fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
 }
 
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    // `lab` is a command family with its own sub-subcommand (sweep,
+    // compare, ls), so it is peeled off before the flat workload parser.
+    let is_lab = raw.first().map(String::as_str) == Some("lab");
+    if is_lab {
+        raw.remove(0);
+    }
     let a = match Args::parse(raw) {
         Ok(a) => a,
         Err(e) => {
@@ -296,6 +303,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if is_lab {
+        if a.flag("help") {
+            print!("{}", lab::LAB_USAGE);
+            return;
+        }
+        if let Err(e) = lab::run_lab(&a) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if a.flag("help") || a.command.is_none() {
         // The module doc at the top of this file is the manual.
         print!("{}", USAGE);
@@ -312,6 +330,7 @@ const USAGE: &str = "\
 elsc-sim: scheduler simulator for 'Scalable Linux Scheduling' (CITI TR 01-7)
 
 usage: elsc-sim <workload> [options]
+       elsc-sim lab <sweep|compare|ls> [options]   (elsc-sim lab --help)
 
 workloads:
   volano    VolanoMark chat benchmark (paper sec. 4/6; alias: volanomark)

@@ -1,0 +1,148 @@
+//! The content-addressed result cache.
+//!
+//! Every executed cell's manifest record is stored under a key derived
+//! from the cell's canonical identity, the crate version, and a cache
+//! format number. Because the simulator is deterministic, a cache hit
+//! *is* the result — re-running a sweep only executes cells whose key is
+//! absent ("dirty"), and a fully warm run executes nothing. The cache
+//! stores the exact bytes of the per-cell record, so warm and cold runs
+//! assemble byte-identical manifests.
+//!
+//! Key derivation (see `DESIGN.md` §7): `fnv1a64` of
+//! `"elsc-lab-cache-v<FORMAT>|<crate version>|<cell id>"`. The crate
+//! version is in the key — a new build never trusts an old build's
+//! numbers — but *not* in the cell id, so `compare` still matches cells
+//! across builds.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::cell::CellConfig;
+use crate::hash;
+
+/// Bump when the record format changes incompatibly; invalidates every
+/// existing cache entry at once.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// A directory of cached per-cell manifest records, one file per key.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Cache {
+        Cache { dir: dir.into() }
+    }
+
+    /// The repository-standard cache location, `results/lab/cache`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results/lab/cache")
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cell's cache key: 16 hex digits, stable across processes and
+    /// platforms.
+    pub fn key(cell: &CellConfig) -> String {
+        hash::digest(&format!(
+            "elsc-lab-cache-v{CACHE_FORMAT}|{}|{}",
+            env!("CARGO_PKG_VERSION"),
+            cell.id()
+        ))
+    }
+
+    fn path_for(&self, cell: &CellConfig) -> PathBuf {
+        self.dir.join(format!("{}.json", Cache::key(cell)))
+    }
+
+    /// Returns the cached record for `cell`, or `None` if the cell is
+    /// dirty (never run, or run by a different crate version / cache
+    /// format).
+    pub fn lookup(&self, cell: &CellConfig) -> Option<String> {
+        fs::read_to_string(self.path_for(cell)).ok()
+    }
+
+    /// Stores `record` as the result of `cell`. The write is atomic
+    /// (temp file + rename) so concurrent sweeps never observe a torn
+    /// record.
+    pub fn store(&self, cell: &CellConfig, record: &str) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp.{}", Cache::key(cell), std::process::id()));
+        fs::write(&tmp, record)?;
+        fs::rename(&tmp, self.path_for(cell))
+    }
+
+    /// Number of records currently in the cache (0 if the directory does
+    /// not exist yet).
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{SchedId, Shape, WorkloadCell};
+
+    fn cell(seed: u64) -> CellConfig {
+        CellConfig {
+            sched: SchedId::Elsc,
+            shape: Shape::Up,
+            lock_plan: None,
+            seed,
+            workload: WorkloadCell::Stress {
+                tasks: 2,
+                rounds: 1,
+                burst: 100,
+            },
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("elsc-lab-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn key_is_stable_and_axis_sensitive() {
+        assert_eq!(Cache::key(&cell(1)), Cache::key(&cell(1)));
+        assert_ne!(Cache::key(&cell(1)), Cache::key(&cell(2)));
+        assert_eq!(Cache::key(&cell(1)).len(), 16);
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_bytes() {
+        let cache = Cache::new(tmpdir("roundtrip"));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&cell(1)).is_none());
+        cache.store(&cell(1), "{\"x\":1}").unwrap();
+        assert_eq!(cache.lookup(&cell(1)).as_deref(), Some("{\"x\":1}"));
+        assert!(cache.lookup(&cell(2)).is_none());
+        assert_eq!(cache.len(), 1);
+        // Overwrite wins.
+        cache.store(&cell(1), "{\"x\":2}").unwrap();
+        assert_eq!(cache.lookup(&cell(1)).as_deref(), Some("{\"x\":2}"));
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,613 @@
+//! Sweep cells: one `(scheduler × lock plan × machine shape × workload
+//! parameters × seed)` point of the experiment grid, and its execution.
+//!
+//! A cell is **pure data** (`Send + Sync + Clone`): the worker pool ships
+//! configs to threads and [`RunReport`]s back, never machines. Because
+//! the simulator is a pure function of `(seed, config, scheduler)`
+//! (`tests/determinism.rs` pins this), executing cells on any number of
+//! threads in any order produces identical per-cell results — the basis
+//! for both the byte-identical-manifest guarantee and the result cache.
+
+use std::fmt;
+
+use elsc::ElscScheduler;
+use elsc_machine::{MachineConfig, RunReport};
+use elsc_sched_api::{LockPlan, Scheduler};
+use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_linux::LinuxScheduler;
+use elsc_workloads::{
+    httpd, kbuild, stress, volanomark, HttpdConfig, KbuildConfig, StressConfig, VolanoConfig,
+};
+
+/// The scheduler designs the lab can sweep over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedId {
+    /// The stock 2.3.99 scheduler ("reg").
+    Reg,
+    /// The paper's contribution ("elsc").
+    Elsc,
+    /// §8 global-heap design ("heap").
+    Heap,
+    /// §8 per-(processor, address-space) heap design ("aheap").
+    AHeap,
+    /// §8 per-CPU multi-queue design ("mq").
+    Mq,
+}
+
+impl SchedId {
+    /// All five designs, in the order used everywhere in this repo.
+    pub const ALL: [SchedId; 5] = [
+        SchedId::Reg,
+        SchedId::Elsc,
+        SchedId::Heap,
+        SchedId::AHeap,
+        SchedId::Mq,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedId::Reg => "reg",
+            SchedId::Elsc => "elsc",
+            SchedId::Heap => "heap",
+            SchedId::AHeap => "aheap",
+            SchedId::Mq => "mq",
+        }
+    }
+
+    /// Instantiates the scheduler (`nr_cpus` only matters for `Mq`).
+    pub fn build(self, nr_cpus: usize) -> Box<dyn Scheduler> {
+        match self {
+            SchedId::Reg => Box::new(LinuxScheduler::new()),
+            SchedId::Elsc => Box::new(ElscScheduler::new()),
+            SchedId::Heap => Box::new(HeapScheduler::new()),
+            SchedId::AHeap => Box::new(AffinityHeapScheduler::new()),
+            SchedId::Mq => Box::new(MultiQueueScheduler::new(nr_cpus)),
+        }
+    }
+}
+
+impl std::str::FromStr for SchedId {
+    type Err = String;
+
+    /// Parses a scheduler name (`reg`, `elsc`, `heap`, `aheap`, `mq`).
+    fn from_str(s: &str) -> Result<SchedId, String> {
+        SchedId::ALL
+            .into_iter()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| format!("unknown scheduler '{s}' (reg|elsc|heap|aheap|mq)"))
+    }
+}
+
+/// Machine shapes from the paper's evaluation: a non-SMP uniprocessor
+/// build, or an SMP build on N processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Non-SMP kernel build on one processor ("UP").
+    Up,
+    /// SMP kernel build on `n` processors ("1P", "2P", "4P", ...).
+    Smp(usize),
+}
+
+impl Shape {
+    /// The four configurations of Figures 2–6.
+    pub const PAPER: [Shape; 4] = [Shape::Up, Shape::Smp(1), Shape::Smp(2), Shape::Smp(4)];
+
+    /// Paper-style label ("UP", "2P", ...).
+    pub fn label(self) -> String {
+        match self {
+            Shape::Up => "UP".to_string(),
+            Shape::Smp(n) => format!("{n}P"),
+        }
+    }
+
+    /// Number of processors.
+    pub fn nr_cpus(self) -> usize {
+        match self {
+            Shape::Up => 1,
+            Shape::Smp(n) => n,
+        }
+    }
+
+    /// The machine configuration for this shape (paper-calibrated
+    /// defaults, generous watchdog).
+    pub fn machine(self) -> MachineConfig {
+        match self {
+            Shape::Up => MachineConfig::up(),
+            Shape::Smp(n) => MachineConfig::smp(n),
+        }
+        .with_max_secs(20_000.0)
+    }
+}
+
+impl std::str::FromStr for Shape {
+    type Err = String;
+
+    /// Parses `UP`/`up`, or `<n>P`/`<n>p` for an SMP build (`1P`, `4p`).
+    fn from_str(s: &str) -> Result<Shape, String> {
+        if s.eq_ignore_ascii_case("up") {
+            return Ok(Shape::Up);
+        }
+        let digits = s
+            .strip_suffix('P')
+            .or_else(|| s.strip_suffix('p'))
+            .ok_or_else(|| format!("unknown shape '{s}' (UP or <n>P)"))?;
+        let n: usize = digits
+            .parse()
+            .map_err(|_| format!("bad CPU count in shape '{s}'"))?;
+        if n == 0 {
+            return Err("an SMP shape needs at least one CPU".to_string());
+        }
+        Ok(Shape::Smp(n))
+    }
+}
+
+/// The workload of one cell, with every parameter pinned to a number so
+/// the cell is hashable and cache-keyable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadCell {
+    /// VolanoMark chat benchmark (paper §4/§6).
+    Volano {
+        /// Chat rooms (paper sweeps 5–25).
+        rooms: u64,
+        /// Users per room (paper: 20).
+        users: u64,
+        /// Messages each user sends.
+        messages: u64,
+        /// Mean client think time between sends, cycles.
+        think: u64,
+    },
+    /// Kernel compile, `make -jN` (paper Table 2).
+    Kbuild {
+        /// Parallel jobs.
+        jobs: u64,
+        /// Translation units.
+        units: u64,
+    },
+    /// Apache-like web server (paper §8).
+    Httpd {
+        /// Concurrent clients.
+        clients: u64,
+        /// Server worker threads.
+        workers: u64,
+        /// Requests per client.
+        requests: u64,
+    },
+    /// Synthetic run-queue stress.
+    Stress {
+        /// Spinning tasks.
+        tasks: u64,
+        /// Compute/yield rounds per task.
+        rounds: u64,
+        /// Cycles per round.
+        burst: u64,
+    },
+}
+
+impl WorkloadCell {
+    /// Workload name ("volano", "kbuild", "httpd", "stress").
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadCell::Volano { .. } => "volano",
+            WorkloadCell::Kbuild { .. } => "kbuild",
+            WorkloadCell::Httpd { .. } => "httpd",
+            WorkloadCell::Stress { .. } => "stress",
+        }
+    }
+
+    /// The workload's parameters as `(name, value)` pairs in canonical
+    /// order — the order used by cell ids, cache keys, and manifests.
+    pub fn params(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            WorkloadCell::Volano {
+                rooms,
+                users,
+                messages,
+                think,
+            } => vec![
+                ("rooms", rooms),
+                ("users", users),
+                ("messages", messages),
+                ("think", think),
+            ],
+            WorkloadCell::Kbuild { jobs, units } => vec![("jobs", jobs), ("units", units)],
+            WorkloadCell::Httpd {
+                clients,
+                workers,
+                requests,
+            } => vec![
+                ("clients", clients),
+                ("workers", workers),
+                ("requests", requests),
+            ],
+            WorkloadCell::Stress {
+                tasks,
+                rounds,
+                burst,
+            } => vec![("tasks", tasks), ("rounds", rounds), ("burst", burst)],
+        }
+    }
+
+    /// Reads one parameter by name (`None` if the workload has no such
+    /// parameter).
+    pub fn param(&self, name: &str) -> Option<u64> {
+        self.params()
+            .into_iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// The ledger key of the workload's headline throughput metric, if
+    /// it has one.
+    pub fn metric_key(&self) -> Option<&'static str> {
+        match self {
+            WorkloadCell::Volano { .. } => Some("messages"),
+            WorkloadCell::Httpd { .. } => Some("requests_served"),
+            WorkloadCell::Kbuild { .. } | WorkloadCell::Stress { .. } => None,
+        }
+    }
+}
+
+/// One point of the sweep grid. Pure data; building and running the
+/// machine happens in [`execute_cell`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellConfig {
+    /// Scheduler under test.
+    pub sched: SchedId,
+    /// Machine shape.
+    pub shape: Shape,
+    /// Lock-plan override; `None` runs the scheduler's declared plan.
+    pub lock_plan: Option<LockPlan>,
+    /// Simulation seed.
+    pub seed: u64,
+    /// The workload and its pinned parameters.
+    pub workload: WorkloadCell,
+}
+
+impl CellConfig {
+    /// The cell's canonical identity string: every axis value in fixed
+    /// order. Two cells with equal ids are the same experiment; the
+    /// cache key is a hash of this id plus the crate version and cache
+    /// format (see `cache`). `compare` matches cells across manifests by
+    /// this id, so it deliberately excludes versions.
+    pub fn id(&self) -> String {
+        let params: Vec<String> = self
+            .workload
+            .params()
+            .into_iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!(
+            "{}[{}]|sched={}|shape={}|plan={}|seed={}",
+            self.workload.name(),
+            params.join(","),
+            self.sched.label(),
+            self.shape.label(),
+            self.lock_plan.map_or("default".to_string(), |p| p.label()),
+            self.seed
+        )
+    }
+}
+
+impl fmt::Display for CellConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// Why a cell failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellError {
+    /// The machine run failed (watchdog or deadlock).
+    Run(String),
+    /// The run completed but the cycle-attribution conservation
+    /// invariant did not hold — the measurement cannot be trusted.
+    Conservation,
+    /// The workload (or scheduler) panicked while executing the cell.
+    Panic(String),
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Run(e) => write!(f, "run failed: {e}"),
+            CellError::Conservation => f.write_str("cycle-attribution conservation check failed"),
+            CellError::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// The numbers `compare` gates on and the figure binaries render —
+/// extracted from a [`RunReport`] into a flat, manifest-friendly form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Elapsed virtual seconds.
+    pub elapsed_secs: f64,
+    /// Headline workload throughput in events per virtual second
+    /// (0 for workloads without one).
+    pub throughput: f64,
+    /// Entries into `schedule()`.
+    pub sched_calls: u64,
+    /// Mean cycles per `schedule()` call (spin included) — the paper's
+    /// Figure 5 metric and the primary schedule-cost gate.
+    pub cycles_per_schedule: f64,
+    /// Mean candidate tasks examined per `schedule()` call.
+    pub tasks_examined_per_schedule: f64,
+    /// Scheduler share of busy CPU time — the §4 kernel-share gate.
+    pub sched_time_share: f64,
+    /// Entries into the counter-recalculation loop (Figure 2).
+    pub recalc_entries: u64,
+    /// Recalc loop iterations (tasks recalculated).
+    pub recalc_tasks: u64,
+    /// Tasks scheduled onto a new processor (Figure 6).
+    pub picked_new_cpu: u64,
+    /// `sys_sched_yield()` calls.
+    pub yields: u64,
+    /// Context switches.
+    pub ctx_switches: u64,
+    /// `wake_up_process()` calls.
+    pub wakeups: u64,
+    /// Cycles spent spinning on run-queue lock domains.
+    pub lock_spin_cycles: u64,
+    /// Run-queue lock-domain acquisitions.
+    pub lock_acquisitions: u64,
+    /// Tasks created over the run.
+    pub tasks_spawned: u64,
+}
+
+impl Metrics {
+    /// Extracts the metric set from a run report, given the workload's
+    /// headline ledger key.
+    pub fn from_report(report: &RunReport, metric_key: Option<&str>) -> Metrics {
+        let t = report.stats.total();
+        Metrics {
+            elapsed_secs: report.elapsed_secs(),
+            throughput: metric_key.map_or(0.0, |k| report.per_sec(k)),
+            sched_calls: t.sched_calls,
+            cycles_per_schedule: t.cycles_per_schedule(),
+            tasks_examined_per_schedule: t.tasks_examined_per_schedule(),
+            sched_time_share: t.sched_time_share(),
+            recalc_entries: t.recalc_entries,
+            recalc_tasks: t.recalc_tasks,
+            picked_new_cpu: t.picked_new_cpu,
+            yields: t.yields,
+            ctx_switches: t.ctx_switches,
+            wakeups: t.wakeups,
+            lock_spin_cycles: report.lock_spin.get(),
+            lock_acquisitions: report.lock_acquisitions,
+            tasks_spawned: report.tasks_spawned,
+        }
+    }
+
+    /// The `(name, value)` pairs of every metric in canonical order —
+    /// drives both serialization and `compare`'s gate table.
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("elapsed_secs", self.elapsed_secs),
+            ("throughput", self.throughput),
+            ("sched_calls", self.sched_calls as f64),
+            ("cycles_per_schedule", self.cycles_per_schedule),
+            (
+                "tasks_examined_per_schedule",
+                self.tasks_examined_per_schedule,
+            ),
+            ("sched_time_share", self.sched_time_share),
+            ("recalc_entries", self.recalc_entries as f64),
+            ("recalc_tasks", self.recalc_tasks as f64),
+            ("picked_new_cpu", self.picked_new_cpu as f64),
+            ("yields", self.yields as f64),
+            ("ctx_switches", self.ctx_switches as f64),
+            ("wakeups", self.wakeups as f64),
+            ("lock_spin_cycles", self.lock_spin_cycles as f64),
+            ("lock_acquisitions", self.lock_acquisitions as f64),
+            ("tasks_spawned", self.tasks_spawned as f64),
+        ]
+    }
+}
+
+/// The outcome of one executed (or cache-loaded) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// The extracted metric set.
+    pub metrics: Metrics,
+    /// The full machine [`RunReport`] rendered as JSON (deterministic:
+    /// same cell, same bytes).
+    pub report_json: String,
+}
+
+/// Executes one cell: builds the machine, populates the workload, runs
+/// to completion, checks conservation, and extracts the metrics.
+///
+/// This is the only place in the lab where a `Machine` exists; callers
+/// on worker threads see only `CellConfig` in and `CellResult` out.
+pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
+    let cfg = cell
+        .shape
+        .machine()
+        .with_seed(cell.seed)
+        .with_lock_plan(cell.lock_plan);
+    let sched = cell.sched.build(cell.shape.nr_cpus());
+    let report = match &cell.workload {
+        WorkloadCell::Volano {
+            rooms,
+            users,
+            messages,
+            think,
+        } => {
+            let w = VolanoConfig {
+                rooms: *rooms as usize,
+                users_per_room: *users as usize,
+                messages_per_user: *messages as usize,
+                think_cycles: *think,
+                ..VolanoConfig::default()
+            };
+            run_built(cfg, sched, |m| volanomark::build(m, &w))
+        }
+        WorkloadCell::Kbuild { jobs, units } => {
+            let w = KbuildConfig {
+                jobs: *jobs as usize,
+                translation_units: *units as usize,
+                ..KbuildConfig::default()
+            };
+            run_built(cfg, sched, |m| kbuild::build(m, &w))
+        }
+        WorkloadCell::Httpd {
+            clients,
+            workers,
+            requests,
+        } => {
+            let w = HttpdConfig {
+                clients: *clients as usize,
+                workers: *workers as usize,
+                requests_per_client: *requests as usize,
+                ..HttpdConfig::default()
+            };
+            run_built(cfg, sched, |m| httpd::build(m, &w))
+        }
+        WorkloadCell::Stress {
+            tasks,
+            rounds,
+            burst,
+        } => {
+            let w = StressConfig {
+                tasks: *tasks as usize,
+                rounds: *rounds as usize,
+                burst: *burst,
+                ..StressConfig::default()
+            };
+            run_built(cfg, sched, |m| stress::build(m, &w))
+        }
+    }?;
+    if !report.conservation_ok {
+        return Err(CellError::Conservation);
+    }
+    Ok(CellResult {
+        metrics: Metrics::from_report(&report, cell.workload.metric_key()),
+        report_json: report.to_json(),
+    })
+}
+
+/// Builds a machine, populates it via `build`, and runs it.
+fn run_built(
+    cfg: MachineConfig,
+    sched: Box<dyn Scheduler>,
+    build: impl FnOnce(&mut elsc_machine::Machine),
+) -> Result<RunReport, CellError> {
+    let mut m = elsc_machine::Machine::new(cfg, sched);
+    build(&mut m);
+    m.run().map_err(|e| CellError::Run(e.to_string()))
+}
+
+// Compile-time Send audit (see DESIGN.md §7): configs cross into worker
+// threads, results cross back. `Machine` is deliberately *not* Send —
+// workload behaviours hold `Rc` state — so it must never appear in
+// either direction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CellConfig>();
+    assert_send_sync::<CellResult>();
+    assert_send_sync::<CellError>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_volano(sched: SchedId, shape: Shape, seed: u64) -> CellConfig {
+        CellConfig {
+            sched,
+            shape,
+            lock_plan: None,
+            seed,
+            workload: WorkloadCell::Volano {
+                rooms: 1,
+                users: 4,
+                messages: 2,
+                think: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn shape_parse_round_trips() {
+        for s in ["UP", "1P", "2P", "4P", "16P"] {
+            let shape: Shape = s.parse().unwrap();
+            assert_eq!(shape.label(), s);
+        }
+        assert_eq!("up".parse::<Shape>().unwrap(), Shape::Up);
+        assert_eq!("4p".parse::<Shape>().unwrap(), Shape::Smp(4));
+        assert!("0P".parse::<Shape>().is_err());
+        assert!("quad".parse::<Shape>().is_err());
+    }
+
+    #[test]
+    fn sched_parse_round_trips() {
+        for k in SchedId::ALL {
+            assert_eq!(k.label().parse::<SchedId>().unwrap(), k);
+            assert_eq!(k.build(2).name(), k.label());
+        }
+        assert!("cfs".parse::<SchedId>().is_err());
+    }
+
+    #[test]
+    fn cell_id_is_canonical_and_axis_sensitive() {
+        let a = tiny_volano(SchedId::Elsc, Shape::Up, 1);
+        assert_eq!(
+            a.id(),
+            "volano[rooms=1,users=4,messages=2,think=0]|sched=elsc|shape=UP|plan=default|seed=1"
+        );
+        let mut b = a.clone();
+        b.seed = 2;
+        assert_ne!(a.id(), b.id());
+        let mut c = a.clone();
+        c.lock_plan = Some(LockPlan::PerCpu);
+        assert!(c.id().contains("plan=percpu"));
+    }
+
+    #[test]
+    fn execute_is_deterministic() {
+        let cell = tiny_volano(SchedId::Reg, Shape::Smp(2), 42);
+        let one = execute_cell(&cell).unwrap();
+        let two = execute_cell(&cell).unwrap();
+        assert_eq!(one.report_json, two.report_json);
+        assert_eq!(one.metrics, two.metrics);
+        assert!(one.metrics.throughput > 0.0);
+        assert!(one.metrics.sched_calls > 0);
+    }
+
+    #[test]
+    fn watchdog_surfaces_as_run_error() {
+        // A stress cell that cannot finish within the watchdog: huge
+        // bursts on a single CPU.
+        let cell = CellConfig {
+            sched: SchedId::Reg,
+            shape: Shape::Up,
+            lock_plan: None,
+            seed: 1,
+            workload: WorkloadCell::Stress {
+                tasks: 4,
+                rounds: u64::MAX / 4,
+                burst: u64::MAX / 1_000_000,
+            },
+        };
+        match execute_cell(&cell) {
+            Err(CellError::Run(e)) => assert!(e.contains("watchdog"), "{e}"),
+            other => panic!("expected watchdog run error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_extraction_matches_report() {
+        let cell = tiny_volano(SchedId::Elsc, Shape::Up, 9);
+        let r = execute_cell(&cell).unwrap();
+        // 4 users × 4 users × 2 messages = 32 deliveries.
+        assert!(r.report_json.contains("\"messages\":32"));
+        assert_eq!(
+            r.metrics.throughput,
+            32.0 / r.metrics.elapsed_secs,
+            "throughput is the headline ledger rate"
+        );
+    }
+}

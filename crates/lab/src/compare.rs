@@ -1,0 +1,243 @@
+//! The regression gate: diff a run manifest against a committed
+//! baseline and fail on meaningful regressions.
+//!
+//! Cells are matched across manifests by their canonical id (which
+//! excludes crate versions on purpose — an old baseline still matches a
+//! new build). The gated metrics are the paper's cost axes:
+//! `cycles_per_schedule` (Figure 5) and `sched_time_share` (§4). A cell
+//! regresses when a gated metric *grows* by more than the threshold
+//! fraction; improvements never fail the gate. Baseline cells missing
+//! from the current run fail the gate too — deleting an experiment must
+//! be an explicit baseline update, not a silent pass.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::jsonv::Value;
+
+/// The metrics `compare` gates on: growth in any of these beyond the
+/// threshold is a regression.
+pub const GATED_METRICS: [&str; 2] = ["cycles_per_schedule", "sched_time_share"];
+
+/// Baselines smaller than this are not gated relatively (a 0 → 0.0001
+/// change is not a "regression by ∞%").
+const ABS_FLOOR: f64 = 1e-9;
+
+/// One gated metric that grew beyond the threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// The cell's canonical id.
+    pub id: String,
+    /// Which gated metric regressed.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Fractional growth over the baseline.
+    pub fn delta(&self) -> f64 {
+        self.current / self.baseline - 1.0
+    }
+}
+
+/// The outcome of one comparison.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Cells present in both manifests (and therefore gated).
+    pub checked: usize,
+    /// Gated metrics that regressed.
+    pub regressions: Vec<Regression>,
+    /// Cell ids in the baseline but not the current manifest.
+    pub missing: Vec<String>,
+    /// Cell ids in the current manifest but not the baseline
+    /// (informational — new experiments do not fail the gate).
+    pub added: Vec<String>,
+}
+
+impl CompareReport {
+    /// Whether the gate passes: no regressions, no missing cells.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compare: {} cells checked, threshold {:.1}%",
+            self.checked,
+            threshold * 100.0
+        );
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  REGRESSION {}: {} {:.4} -> {:.4} (+{:.1}%)",
+                r.id,
+                r.metric,
+                r.baseline,
+                r.current,
+                r.delta() * 100.0
+            );
+        }
+        for id in &self.missing {
+            let _ = writeln!(out, "  MISSING {id} (in baseline, not in current run)");
+        }
+        for id in &self.added {
+            let _ = writeln!(out, "  added {id} (not in baseline)");
+        }
+        let _ = writeln!(out, "result: {}", if self.ok() { "PASS" } else { "FAIL" });
+        out
+    }
+}
+
+/// Indexes a manifest's results by cell id, keeping each cell's gated
+/// metric values.
+fn index(manifest: &Value, which: &str) -> Result<BTreeMap<String, Vec<(usize, f64)>>, String> {
+    let results = manifest
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{which} manifest has no 'results' array"))?;
+    let mut map = BTreeMap::new();
+    for r in results {
+        let id = r
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{which} manifest has a record without an 'id'"))?;
+        let metrics = r
+            .get("metrics")
+            .ok_or_else(|| format!("{which} record '{id}' has no 'metrics'"))?;
+        let mut gated = Vec::new();
+        for (gi, name) in GATED_METRICS.iter().enumerate() {
+            let v = metrics
+                .get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{which} record '{id}' is missing metric '{name}'"))?;
+            gated.push((gi, v));
+        }
+        map.insert(id.to_string(), gated);
+    }
+    Ok(map)
+}
+
+/// Compares `current` manifest text against `baseline` manifest text at
+/// a fractional `threshold` (e.g. `0.05` = fail on >5% growth).
+pub fn compare(current: &str, baseline: &str, threshold: f64) -> Result<CompareReport, String> {
+    let cur = Value::parse(current).map_err(|e| format!("current manifest: {e}"))?;
+    let base = Value::parse(baseline).map_err(|e| format!("baseline manifest: {e}"))?;
+    let cur = index(&cur, "current")?;
+    let base = index(&base, "baseline")?;
+
+    let mut report = CompareReport::default();
+    for (id, base_metrics) in &base {
+        let Some(cur_metrics) = cur.get(id) else {
+            report.missing.push(id.clone());
+            continue;
+        };
+        report.checked += 1;
+        for &(gi, b) in base_metrics {
+            let c = cur_metrics[gi].1;
+            if b > ABS_FLOOR && c > b * (1.0 + threshold) {
+                report.regressions.push(Regression {
+                    id: id.clone(),
+                    metric: GATED_METRICS[gi],
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+    for id in cur.keys() {
+        if !base.contains_key(id) {
+            report.added.push(id.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsc_obs::json::{array, Obj};
+
+    fn record(id: &str, cps: f64, share: f64) -> String {
+        Obj::new()
+            .str("id", id)
+            .raw(
+                "metrics",
+                Obj::new()
+                    .f64("cycles_per_schedule", cps)
+                    .f64("sched_time_share", share)
+                    .build(),
+            )
+            .build()
+    }
+
+    fn manifest(records: Vec<String>) -> String {
+        Obj::new()
+            .str("name", "t")
+            .raw("results", array(records))
+            .build()
+    }
+
+    #[test]
+    fn identical_manifests_pass() {
+        let m = manifest(vec![record("a", 100.0, 0.1), record("b", 50.0, 0.2)]);
+        let r = compare(&m, &m, 0.05).unwrap();
+        assert!(r.ok());
+        assert_eq!(r.checked, 2);
+        assert!(r.render(0.05).contains("PASS"));
+    }
+
+    #[test]
+    fn flags_growth_beyond_threshold() {
+        let base = manifest(vec![record("a", 100.0, 0.1)]);
+        let cur = manifest(vec![record("a", 110.0, 0.1)]); // +10%
+        let r = compare(&cur, &base, 0.05).unwrap();
+        assert!(!r.ok());
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].metric, "cycles_per_schedule");
+        assert!((r.regressions[0].delta() - 0.10).abs() < 1e-9);
+        assert!(r.render(0.05).contains("REGRESSION"));
+        // Same growth passes a looser gate.
+        assert!(compare(&cur, &base, 0.15).unwrap().ok());
+    }
+
+    #[test]
+    fn improvements_and_small_noise_pass() {
+        let base = manifest(vec![record("a", 100.0, 0.2)]);
+        let better = manifest(vec![record("a", 50.0, 0.1)]);
+        assert!(compare(&better, &base, 0.05).unwrap().ok());
+        let noise = manifest(vec![record("a", 103.0, 0.204)]); // +3%, +2%
+        assert!(compare(&noise, &base, 0.05).unwrap().ok());
+    }
+
+    #[test]
+    fn missing_cells_fail_added_cells_pass() {
+        let base = manifest(vec![record("a", 1.0, 0.1), record("b", 1.0, 0.1)]);
+        let cur = manifest(vec![record("a", 1.0, 0.1), record("c", 1.0, 0.1)]);
+        let r = compare(&cur, &base, 0.05).unwrap();
+        assert!(!r.ok());
+        assert_eq!(r.missing, vec!["b".to_string()]);
+        assert_eq!(r.added, vec!["c".to_string()]);
+        assert!(r.render(0.05).contains("MISSING"));
+    }
+
+    #[test]
+    fn zero_baselines_are_not_gated_relatively() {
+        let base = manifest(vec![record("a", 0.0, 0.0)]);
+        let cur = manifest(vec![record("a", 0.001, 0.001)]);
+        assert!(compare(&cur, &base, 0.05).unwrap().ok());
+    }
+
+    #[test]
+    fn malformed_manifests_are_errors() {
+        assert!(compare("{", "{}", 0.05).is_err());
+        assert!(compare("{}", "{}", 0.05).is_err()); // no results
+        let no_metrics = manifest(vec!["{\"id\":\"a\"}".into()]);
+        assert!(compare(&no_metrics, &no_metrics, 0.05).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! A stable, dependency-free content hash for cache keys.
+//!
+//! The cache key of a sweep cell must be identical across processes,
+//! platforms, and rustc versions — `std::hash::DefaultHasher` guarantees
+//! none of that. FNV-1a over the canonical cell string does, and at the
+//! cache's scale (hundreds of cells) 64 bits is collision-proof in
+//! practice while staying ~10 lines of code.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a (64-bit).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes a string and renders the digest as 16 lowercase hex digits —
+/// the file-name form used by the result cache.
+pub fn digest(s: &str) -> String {
+    format!("{:016x}", fnv1a(s.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_16_hex_chars() {
+        let d = digest("volano|sched=elsc|shape=UP|seed=1");
+        assert_eq!(d.len(), 16);
+        assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+        // Stable across calls (and, by construction, across processes).
+        assert_eq!(d, digest("volano|sched=elsc|shape=UP|seed=1"));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(digest("seed=1"), digest("seed=2"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Run manifests: the merged, deterministic JSON artifact of one sweep.
+//!
+//! A manifest is a single JSON object: the sweep's name, workload, a
+//! format number, and a `results` array with one record per cell **in
+//! canonical cell order** (see [`SweepSpec::cells`]). Nothing
+//! run-specific — no timestamps, worker counts, or executed-vs-cached
+//! tallies — goes into the manifest, which is what makes it byte-identical
+//! across worker counts and across warm/cold cache states. Run statistics
+//! are reported on stdout instead.
+//!
+//! [`SweepSpec::cells`]: crate::spec::SweepSpec::cells
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use elsc_obs::json::{array, Obj};
+
+use crate::cell::{CellConfig, CellResult, Metrics};
+use crate::jsonv::Value;
+use crate::spec::SweepSpec;
+
+/// The manifest format number; bumped on incompatible record changes
+/// (kept in lockstep with [`crate::cache::CACHE_FORMAT`]).
+pub const MANIFEST_FORMAT: u32 = 1;
+
+/// Renders the manifest record of one cell: its identity, every axis
+/// value, the extracted metric set, and the full machine run report.
+/// Deterministic — the cache stores these bytes verbatim.
+pub fn cell_record(cell: &CellConfig, result: &CellResult) -> String {
+    let params = cell
+        .workload
+        .params()
+        .into_iter()
+        .fold(Obj::new(), |o, (k, v)| o.u64(k, v));
+    let metrics = result
+        .metrics
+        .fields()
+        .into_iter()
+        .fold(Obj::new(), |o, (k, v)| o.f64(k, v));
+    Obj::new()
+        .str("id", &cell.id())
+        .str("workload", cell.workload.name())
+        .raw("params", params.build())
+        .str("sched", cell.sched.label())
+        .str("shape", &cell.shape.label())
+        .str(
+            "plan",
+            &cell.lock_plan.map_or("default".to_string(), |p| p.label()),
+        )
+        .u64("seed", cell.seed)
+        .raw("metrics", metrics.build())
+        .raw("report", result.report_json.clone())
+        .build()
+}
+
+/// Assembles the full manifest from per-cell records already in
+/// canonical cell order.
+pub fn manifest(spec: &SweepSpec, records: Vec<String>) -> String {
+    Obj::new()
+        .u64("lab_format", MANIFEST_FORMAT as u64)
+        .str("name", &spec.name)
+        .str("workload", &spec.workload)
+        .u64("cells", records.len() as u64)
+        .raw("results", array(records))
+        .build()
+}
+
+/// Writes `content` to `path`, creating parent directories.
+pub fn write_manifest(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, content)
+}
+
+/// Re-reads the metric set from a parsed cell record — how cached cells
+/// recover their [`Metrics`] without re-running the simulation, and how
+/// `compare` reads both manifests.
+pub fn metrics_from_record(record: &Value) -> Result<Metrics, String> {
+    let m = record
+        .get("metrics")
+        .ok_or("record has no 'metrics' object")?;
+    let f = |k: &str| -> Result<f64, String> {
+        m.get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("metrics missing '{k}'"))
+    };
+    Ok(Metrics {
+        elapsed_secs: f("elapsed_secs")?,
+        throughput: f("throughput")?,
+        sched_calls: f("sched_calls")? as u64,
+        cycles_per_schedule: f("cycles_per_schedule")?,
+        tasks_examined_per_schedule: f("tasks_examined_per_schedule")?,
+        sched_time_share: f("sched_time_share")?,
+        recalc_entries: f("recalc_entries")? as u64,
+        recalc_tasks: f("recalc_tasks")? as u64,
+        picked_new_cpu: f("picked_new_cpu")? as u64,
+        yields: f("yields")? as u64,
+        ctx_switches: f("ctx_switches")? as u64,
+        wakeups: f("wakeups")? as u64,
+        lock_spin_cycles: f("lock_spin_cycles")? as u64,
+        lock_acquisitions: f("lock_acquisitions")? as u64,
+        tasks_spawned: f("tasks_spawned")? as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{execute_cell, SchedId, Shape, WorkloadCell};
+
+    fn tiny() -> CellConfig {
+        CellConfig {
+            sched: SchedId::Elsc,
+            shape: Shape::Up,
+            lock_plan: None,
+            seed: 3,
+            workload: WorkloadCell::Volano {
+                rooms: 1,
+                users: 4,
+                messages: 2,
+                think: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_the_reader() {
+        let cell = tiny();
+        let result = execute_cell(&cell).unwrap();
+        let record = cell_record(&cell, &result);
+        let v = Value::parse(&record).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some(cell.id().as_str()));
+        assert_eq!(v.get("sched").unwrap().as_str(), Some("elsc"));
+        assert_eq!(v.get("seed").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            v.get("params").unwrap().get("rooms").unwrap().as_f64(),
+            Some(1.0)
+        );
+        let metrics = metrics_from_record(&v).unwrap();
+        assert_eq!(metrics, result.metrics);
+        // The embedded report is the machine's own JSON.
+        assert!(v.get("report").unwrap().get("config").is_some());
+    }
+
+    #[test]
+    fn manifest_wraps_records_in_order() {
+        let spec: SweepSpec = "name = m\nworkload = volano".parse().unwrap();
+        let text = manifest(
+            &spec,
+            vec!["{\"id\":\"a\"}".into(), "{\"id\":\"b\"}".into()],
+        );
+        let v = Value::parse(&text).unwrap();
+        assert_eq!(v.get("lab_format").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("m"));
+        assert_eq!(v.get("cells").unwrap().as_f64(), Some(2.0));
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results[0].get("id").unwrap().as_str(), Some("a"));
+        assert_eq!(results[1].get("id").unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("elsc-lab-man-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("deep/run.json");
+        write_manifest(&path, "{}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

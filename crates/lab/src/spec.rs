@@ -1,0 +1,544 @@
+//! Sweep specifications: the text format that names an experiment grid,
+//! and the builtin specs that reproduce the paper's figures.
+//!
+//! A spec is a tiny `key = value, value` document (see
+//! [`SweepSpec::from_str`]) that pins one workload and lists the axis
+//! values to sweep. [`SweepSpec::cells`] expands it into the full
+//! cartesian grid of [`CellConfig`]s in a fixed, documented order — the
+//! order the manifest lists results in, independent of worker count.
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+use elsc_sched_api::LockPlan;
+
+use crate::cell::{CellConfig, SchedId, Shape, WorkloadCell};
+
+/// The base seed shared with the bench binaries (`volano_throughput`),
+/// so lab cells and legacy bench runs measure the same simulations.
+pub const BASE_SEED: u64 = 0x5EED_CAFE;
+
+/// Workload parameter names in canonical order, plus their defaults.
+/// A spec may omit any of these; it may not invent new ones.
+fn workload_params(workload: &str) -> Option<&'static [(&'static str, u64)]> {
+    match workload {
+        "volano" => Some(&[
+            ("rooms", 5),
+            ("users", 20),
+            ("messages", 20),
+            ("think", 60_000_000),
+        ]),
+        "kbuild" => Some(&[("jobs", 4), ("units", 160)]),
+        "httpd" => Some(&[("clients", 64), ("workers", 8), ("requests", 10)]),
+        "stress" => Some(&[("tasks", 100), ("rounds", 50), ("burst", 20_000)]),
+        _ => None,
+    }
+}
+
+/// Builds a [`WorkloadCell`] from a workload name and a complete
+/// parameter assignment (one value per canonical parameter).
+fn workload_cell(workload: &str, vals: &BTreeMap<&str, u64>) -> WorkloadCell {
+    let p = |k: &str| vals[k];
+    match workload {
+        "volano" => WorkloadCell::Volano {
+            rooms: p("rooms"),
+            users: p("users"),
+            messages: p("messages"),
+            think: p("think"),
+        },
+        "kbuild" => WorkloadCell::Kbuild {
+            jobs: p("jobs"),
+            units: p("units"),
+        },
+        "httpd" => WorkloadCell::Httpd {
+            clients: p("clients"),
+            workers: p("workers"),
+            requests: p("requests"),
+        },
+        "stress" => WorkloadCell::Stress {
+            tasks: p("tasks"),
+            rounds: p("rounds"),
+            burst: p("burst"),
+        },
+        other => unreachable!("workload '{other}' validated at parse time"),
+    }
+}
+
+/// A parsed sweep specification: one workload, and the list of values
+/// for every axis of the experiment grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// The sweep's name — the manifest file stem under `results/lab/`.
+    pub name: String,
+    /// The workload ("volano", "kbuild", "httpd", "stress").
+    pub workload: String,
+    /// Schedulers to sweep.
+    pub scheds: Vec<SchedId>,
+    /// Machine shapes to sweep.
+    pub shapes: Vec<Shape>,
+    /// Lock-plan overrides to sweep; `None` is the scheduler's declared
+    /// plan (spelled `default` in spec text).
+    pub plans: Vec<Option<LockPlan>>,
+    /// Simulation seeds, in run order. When more than one, aggregation
+    /// follows the paper's rule: discard the first, mean the rest (see
+    /// [`discard_first_mean`](crate::discard_first_mean)).
+    pub seeds: Vec<u64>,
+    /// Workload parameter axes in the workload's canonical order; every
+    /// canonical parameter appears exactly once (defaults filled in).
+    pub params: Vec<(String, Vec<u64>)>,
+}
+
+impl FromStr for SweepSpec {
+    type Err = String;
+
+    /// Parses the spec text format: one `key = value[, value...]` per
+    /// line, `#` comments, blank lines ignored.
+    ///
+    /// Recognised keys: `name`, `workload` (both required, single-valued)
+    /// and the axes `sched`, `shape`, `plan`, `seed` (defaults: all five
+    /// schedulers, the paper's UP/1P/2P/4P shapes, the `default` lock
+    /// plan, seed `1`). Seed lists accept Rust-style half-open ranges
+    /// (`0..3` is `0, 1, 2`). Any other key must be a parameter of the
+    /// chosen workload (e.g. `rooms` for `volano`); omitted parameters
+    /// take the workload's paper defaults.
+    ///
+    /// ```
+    /// use elsc_lab::SweepSpec;
+    ///
+    /// let spec: SweepSpec = "
+    ///     name     = example   # Figure 3, abridged
+    ///     workload = volano
+    ///     sched    = reg, elsc
+    ///     shape    = UP, 4P
+    ///     seed     = 0..2
+    ///     rooms    = 5, 10
+    /// "
+    /// .parse()
+    /// .unwrap();
+    /// assert_eq!(spec.name, "example");
+    /// // 2 rooms × 2 shapes × 2 schedulers × 2 seeds:
+    /// assert_eq!(spec.cells().len(), 16);
+    /// assert!("workload = volano".parse::<SweepSpec>().is_err()); // no name
+    /// ```
+    fn from_str(text: &str) -> Result<SweepSpec, String> {
+        // Pass 1: collect raw `key = [values]` pairs.
+        let mut raw: Vec<(String, Vec<String>)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, vals) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected 'key = values'", lineno + 1))?;
+            let key = key.trim().to_string();
+            let vals: Vec<String> = vals
+                .split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect();
+            if vals.is_empty() {
+                return Err(format!("line {}: '{key}' has no values", lineno + 1));
+            }
+            if raw.iter().any(|(k, _)| *k == key) {
+                return Err(format!("line {}: duplicate key '{key}'", lineno + 1));
+            }
+            raw.push((key, vals));
+        }
+
+        // Pass 2: interpret.
+        let single = |raw: &[(String, Vec<String>)], key: &str| -> Result<Option<String>, String> {
+            match raw.iter().find(|(k, _)| k == key) {
+                None => Ok(None),
+                Some((_, v)) if v.len() == 1 => Ok(Some(v[0].clone())),
+                Some(_) => Err(format!("'{key}' takes exactly one value")),
+            }
+        };
+        let name = single(&raw, "name")?.ok_or("spec is missing 'name'")?;
+        let workload = single(&raw, "workload")?.ok_or("spec is missing 'workload'")?;
+        let canon = workload_params(&workload)
+            .ok_or_else(|| format!("unknown workload '{workload}' (volano|kbuild|httpd|stress)"))?;
+
+        let mut scheds = Vec::new();
+        let mut shapes = Vec::new();
+        let mut plans = Vec::new();
+        let mut seeds = Vec::new();
+        let mut param_axes: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (key, vals) in &raw {
+            match key.as_str() {
+                "name" | "workload" => {}
+                "sched" => {
+                    for v in vals {
+                        scheds.push(v.parse::<SchedId>()?);
+                    }
+                }
+                "shape" => {
+                    for v in vals {
+                        shapes.push(v.parse::<Shape>()?);
+                    }
+                }
+                "plan" => {
+                    for v in vals {
+                        plans.push(if v == "default" {
+                            None
+                        } else {
+                            Some(v.parse::<LockPlan>()?)
+                        });
+                    }
+                }
+                "seed" => {
+                    for v in vals {
+                        if let Some((a, b)) = v.split_once("..") {
+                            let a: u64 = a.trim().parse().map_err(|_| bad_seed(v))?;
+                            let b: u64 = b.trim().parse().map_err(|_| bad_seed(v))?;
+                            if a >= b {
+                                return Err(format!("empty seed range '{v}'"));
+                            }
+                            seeds.extend(a..b);
+                        } else {
+                            seeds.push(v.parse().map_err(|_| bad_seed(v))?);
+                        }
+                    }
+                }
+                param => {
+                    if !canon.iter().any(|(k, _)| *k == param) {
+                        return Err(format!(
+                            "'{param}' is not a parameter of workload '{workload}'"
+                        ));
+                    }
+                    let mut axis = Vec::new();
+                    for v in vals {
+                        axis.push(
+                            v.parse::<u64>()
+                                .map_err(|_| format!("bad value '{v}' for '{param}'"))?,
+                        );
+                    }
+                    param_axes.insert(param.to_string(), axis);
+                }
+            }
+        }
+
+        // Defaults for omitted axes.
+        if scheds.is_empty() {
+            scheds = SchedId::ALL.to_vec();
+        }
+        if shapes.is_empty() {
+            shapes = Shape::PAPER.to_vec();
+        }
+        if plans.is_empty() {
+            plans.push(None);
+        }
+        if seeds.is_empty() {
+            seeds.push(1);
+        }
+        // Parameter axes in the workload's canonical order, defaults
+        // filled in for omissions.
+        let params = canon
+            .iter()
+            .map(|&(k, dflt)| {
+                let axis = param_axes.remove(k).unwrap_or_else(|| vec![dflt]);
+                (k.to_string(), axis)
+            })
+            .collect();
+
+        Ok(SweepSpec {
+            name,
+            workload,
+            scheds,
+            shapes,
+            plans,
+            seeds,
+            params,
+        })
+    }
+}
+
+fn bad_seed(v: &str) -> String {
+    format!("bad seed '{v}' (a number or a half-open range a..b)")
+}
+
+impl SweepSpec {
+    /// Expands the grid into cells in the canonical order: workload
+    /// parameters vary slowest (first parameter outermost), then shape,
+    /// then scheduler, then lock plan, then seed innermost. Worker count
+    /// never changes this order — it is the manifest order.
+    pub fn cells(&self) -> Vec<CellConfig> {
+        let mut cells = Vec::new();
+        // Odometer over the parameter axes.
+        let mut idx = vec![0usize; self.params.len()];
+        loop {
+            let vals: BTreeMap<&str, u64> = self
+                .params
+                .iter()
+                .zip(&idx)
+                .map(|((k, axis), &i)| (k.as_str(), axis[i]))
+                .collect();
+            let workload = workload_cell(&self.workload, &vals);
+            for &shape in &self.shapes {
+                for &sched in &self.scheds {
+                    for &lock_plan in &self.plans {
+                        for &seed in &self.seeds {
+                            cells.push(CellConfig {
+                                sched,
+                                shape,
+                                lock_plan,
+                                seed,
+                                workload: workload.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            // Advance the odometer (last axis fastest).
+            let mut done = true;
+            for i in (0..idx.len()).rev() {
+                idx[i] += 1;
+                if idx[i] < self.params[i].1.len() {
+                    done = false;
+                    break;
+                }
+                idx[i] = 0;
+            }
+            if done || idx.is_empty() {
+                break;
+            }
+        }
+        cells
+    }
+
+    /// The builtin spec reproducing one paper artifact, or `None` for an
+    /// unknown name. Builtins honour the same environment knobs as the
+    /// bench binaries: `ELSC_MESSAGES` (messages per user, default 20)
+    /// and `ELSC_ITERATIONS` (seeds per cell, default 1; the first run
+    /// is discarded as warm-up when more than one, per §6).
+    pub fn builtin(name: &str) -> Option<SweepSpec> {
+        let messages = env_u64("ELSC_MESSAGES", 20);
+        let iterations = env_u64("ELSC_ITERATIONS", 1).max(1);
+        let seeds = format!("{BASE_SEED}..{}", BASE_SEED + iterations);
+        let text = match name {
+            // Tiny grid for CI smoke runs and the committed baseline:
+            // cold-cache seconds, every scheduler exercised.
+            "smoke" => format!(
+                "name = smoke\n\
+                 workload = volano\n\
+                 sched = reg, elsc, heap, aheap, mq\n\
+                 shape = UP, 2P\n\
+                 seed = {BASE_SEED}\n\
+                 rooms = 1\n users = 4\n messages = 2\n think = 0\n"
+            ),
+            // Figure 2: recalc-loop entries, saturated and think-bound.
+            "figure2" => format!(
+                "name = figure2\n\
+                 workload = volano\n\
+                 sched = elsc, reg\n\
+                 shape = UP, 1P, 2P, 4P\n\
+                 seed = {seeds}\n\
+                 rooms = 10\n messages = {messages}\n\
+                 think = 60000000, 150000000\n"
+            ),
+            // Figure 3: throughput vs rooms. Figure 4 (20-room/5-room
+            // scaling) reads the same grid, so its cells cache-share.
+            "figure3" => format!(
+                "name = figure3\n\
+                 workload = volano\n\
+                 sched = elsc, reg\n\
+                 shape = UP, 1P, 2P, 4P\n\
+                 seed = {seeds}\n\
+                 rooms = 5, 10, 15, 20\n messages = {messages}\n"
+            ),
+            "figure4" => format!(
+                "name = figure4\n\
+                 workload = volano\n\
+                 sched = elsc, reg\n\
+                 shape = UP, 1P, 2P, 4P\n\
+                 seed = {seeds}\n\
+                 rooms = 5, 20\n messages = {messages}\n"
+            ),
+            // Figures 5 and 6 share one 10-room grid over both schedulers
+            // and all four shapes.
+            "figure5" | "figure6" => format!(
+                "name = {name}\n\
+                 workload = volano\n\
+                 sched = elsc, reg\n\
+                 shape = UP, 1P, 2P, 4P\n\
+                 seed = {seeds}\n\
+                 rooms = 10\n messages = {messages}\n"
+            ),
+            // Table 2: kernel compile, {reg, elsc} × {UP, 2P}.
+            "table2" => format!(
+                "name = table2\n\
+                 workload = kbuild\n\
+                 sched = reg, elsc\n\
+                 shape = UP, 2P\n\
+                 seed = {seeds}\n\
+                 jobs = 4\n units = 160\n"
+            ),
+            // §4 kernel-share claim: 5 vs 25 rooms, UP and 4P.
+            "kernel_share" => format!(
+                "name = kernel_share\n\
+                 workload = volano\n\
+                 sched = reg, elsc\n\
+                 shape = UP, 4P\n\
+                 seed = {seeds}\n\
+                 rooms = 5, 25\n messages = {messages}\n"
+            ),
+            _ => return None,
+        };
+        Some(text.parse().expect("builtin specs always parse"))
+    }
+
+    /// Names of every builtin spec, in `--all-figures` run order.
+    pub const BUILTINS: [&'static str; 8] = [
+        "smoke",
+        "figure2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "table2",
+        "kernel_share",
+    ];
+}
+
+/// Reads a `u64` environment knob with a default.
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let spec: SweepSpec = "
+            name = t
+            workload = volano
+            sched = elsc
+            shape = UP, 2P
+            plan = default, percpu
+            seed = 1, 5..7
+            rooms = 5, 10
+        "
+        .parse()
+        .unwrap();
+        assert_eq!(spec.scheds, vec![SchedId::Elsc]);
+        assert_eq!(spec.shapes, vec![Shape::Up, Shape::Smp(2)]);
+        assert_eq!(spec.plans, vec![None, Some(LockPlan::PerCpu)]);
+        assert_eq!(spec.seeds, vec![1, 5, 6]);
+        // rooms axis has 2 values, other volano params defaulted to 1.
+        assert_eq!(spec.params[0], ("rooms".to_string(), vec![5, 10]));
+        assert_eq!(spec.params[1], ("users".to_string(), vec![20]));
+        // 2 rooms × 2 shapes × 1 sched × 2 plans × 3 seeds.
+        assert_eq!(spec.cells().len(), 24);
+    }
+
+    #[test]
+    fn defaults_fill_omitted_axes() {
+        let spec: SweepSpec = "name = d\nworkload = kbuild\n".parse().unwrap();
+        assert_eq!(spec.scheds, SchedId::ALL.to_vec());
+        assert_eq!(spec.shapes, Shape::PAPER.to_vec());
+        assert_eq!(spec.plans, vec![None]);
+        assert_eq!(spec.seeds, vec![1]);
+        assert_eq!(
+            spec.params,
+            vec![
+                ("jobs".to_string(), vec![4]),
+                ("units".to_string(), vec![160])
+            ]
+        );
+    }
+
+    #[test]
+    fn cell_order_is_canonical_and_stable() {
+        let spec: SweepSpec = "
+            name = o
+            workload = volano
+            sched = reg, elsc
+            shape = UP
+            seed = 1, 2
+            rooms = 5, 10
+        "
+        .parse()
+        .unwrap();
+        let ids: Vec<String> = spec.cells().iter().map(|c| c.id()).collect();
+        // Params outermost, then shape, sched, plan, seed innermost.
+        assert!(ids[0].contains("rooms=5") && ids[0].contains("sched=reg"));
+        assert!(ids[0].ends_with("seed=1") && ids[1].ends_with("seed=2"));
+        assert!(ids[2].contains("sched=elsc"));
+        assert!(ids[4].contains("rooms=10"));
+        // Re-expansion is identical.
+        assert_eq!(ids, spec.cells().iter().map(|c| c.id()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!("".parse::<SweepSpec>().is_err()); // no name
+        assert!("name = x".parse::<SweepSpec>().is_err()); // no workload
+        assert!("name = x\nworkload = doom".parse::<SweepSpec>().is_err());
+        assert!("name = x\nworkload = volano\nbogus = 1"
+            .parse::<SweepSpec>()
+            .is_err()); // unknown param
+        assert!("name = x\nworkload = volano\nrooms = many"
+            .parse::<SweepSpec>()
+            .is_err()); // non-numeric
+        assert!("name = x\nworkload = volano\nseed = 5..5"
+            .parse::<SweepSpec>()
+            .is_err()); // empty range
+        assert!("name = x\nname = y\nworkload = volano"
+            .parse::<SweepSpec>()
+            .is_err()); // duplicate key
+        assert!("name = x\nworkload = volano\nrooms" // no '='
+            .parse::<SweepSpec>()
+            .is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let spec: SweepSpec = "
+            # a comment
+            name = c # trailing comment
+            workload = stress
+
+            tasks = 4
+        "
+        .parse()
+        .unwrap();
+        assert_eq!(spec.name, "c");
+        assert_eq!(spec.params[0], ("tasks".to_string(), vec![4]));
+    }
+
+    #[test]
+    fn builtins_all_parse_and_expand() {
+        for name in SweepSpec::BUILTINS {
+            let spec = SweepSpec::builtin(name).unwrap();
+            assert_eq!(spec.name, name);
+            let cells = spec.cells();
+            assert!(!cells.is_empty(), "{name}");
+            // Every cell id embeds the full axis tuple.
+            for c in &cells {
+                assert!(c.id().contains("sched="), "{name}");
+            }
+        }
+        assert!(SweepSpec::builtin("figure9").is_none());
+        // figure4's grid is a subset of figure3's (cache sharing).
+        let f3: std::collections::BTreeSet<String> = SweepSpec::builtin("figure3")
+            .unwrap()
+            .cells()
+            .iter()
+            .map(|c| c.id())
+            .collect();
+        for c in SweepSpec::builtin("figure4").unwrap().cells() {
+            assert!(f3.contains(&c.id()), "figure4 cell not in figure3: {c}");
+        }
+    }
+
+    #[test]
+    fn smoke_spec_is_small() {
+        let n = SweepSpec::builtin("smoke").unwrap().cells().len();
+        assert!(n <= 16, "smoke must stay CI-sized, got {n} cells");
+    }
+}

@@ -442,6 +442,7 @@ impl Machine {
         RunReport {
             scheduler: self.sched.name(),
             config: self.cfg.label(),
+            seed: self.cfg.seed,
             elapsed: self.last_exit,
             cpu_hz: self.cfg.cpu_hz,
             stats: self.stats.clone(),
@@ -455,6 +456,7 @@ impl Machine {
             dists: self.dists.clone(),
             trace_dropped: self.bus.dropped(),
             profile: self.profiler.report(total.work_cycles, total.idle_cycles),
+            conservation_ok: self.kernel_cycles == self.profiler.total(),
         }
     }
 

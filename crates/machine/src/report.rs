@@ -79,12 +79,21 @@ impl Ledger {
 }
 
 /// The outcome of one machine run.
+///
+/// A `RunReport` is plain owned data and therefore `Send`: the
+/// experiment orchestrator (`elsc-lab`) runs each cell's machine on a
+/// worker thread and ships the report back to its coordinator. The
+/// [`Machine`](crate::Machine) itself is *not* `Send` (workload
+/// behaviours may hold `Rc` state), which is why cells cross threads as
+/// `(config in, report out)` pairs, never as machines.
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// Scheduler name ("reg", "elsc", ...).
     pub scheduler: &'static str,
     /// Machine label ("UP", "2P", ...).
     pub config: String,
+    /// The seed the run was driven by (all randomness derives from it).
+    pub seed: u64,
     /// Virtual time at which the last user task exited.
     pub elapsed: Cycles,
     /// Clock frequency, for second conversions.
@@ -117,6 +126,12 @@ pub struct RunReport {
     /// Cycle-attribution profile: every metered kernel cycle broken down
     /// per CPU × scheduler phase × cost kind.
     pub profile: ProfileReport,
+    /// Whether the cycle-attribution conservation invariant held at the
+    /// end of the run: every kernel cycle the machine charged anywhere
+    /// must appear in the profile (`kernel_cycles == profile.total()`).
+    /// Debug builds assert this; release builds record it here so
+    /// downstream gates (`elsc lab`) can fail runs that violate it.
+    pub conservation_ok: bool,
 }
 
 impl RunReport {
@@ -161,6 +176,8 @@ impl RunReport {
         let mut obj = Obj::new()
             .str("scheduler", self.scheduler)
             .str("config", &self.config)
+            .u64("seed", self.seed)
+            .raw("conservation_ok", bool_json(self.conservation_ok))
             .u64("elapsed_cycles", self.elapsed.get())
             .u64("cpu_hz", self.cpu_hz)
             .f64("elapsed_secs", self.elapsed_secs())
@@ -192,6 +209,26 @@ impl RunReport {
         obj.build()
     }
 }
+
+/// Renders a bool as JSON.
+fn bool_json(v: bool) -> &'static str {
+    if v {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+// Compile-time Send audit: cell configs go *into* lab workers and
+// reports come *out*, so both ends of that channel must be `Send`.
+// (`Machine` deliberately is not — behaviours may hold `Rc`.)
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RunReport>();
+    assert_send::<Ledger>();
+    assert_send::<Distributions>();
+    assert_send::<crate::config::MachineConfig>();
+};
 
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -271,6 +308,7 @@ mod tests {
         RunReport {
             scheduler: "elsc",
             config: "2P".into(),
+            seed: 7,
             elapsed: Cycles(800_000_000),
             cpu_hz: 400_000_000,
             stats: SchedStats::new(2),
@@ -289,6 +327,7 @@ mod tests {
             dists: Distributions::new(),
             trace_dropped: 0,
             profile: ProfileReport::empty(2),
+            conservation_ok: true,
         }
     }
 

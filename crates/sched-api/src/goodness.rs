@@ -30,6 +30,15 @@ pub const PROC_CHANGE_PENALTY: i32 = 15;
 pub const MM_BONUS: i32 = 1;
 
 /// Goodness of a real-time task.
+///
+/// ```
+/// use elsc_ktask::{SchedClass, TaskSpec, TaskTable};
+/// use elsc_sched_api::goodness::{rt_goodness, RT_GOODNESS_BASE};
+///
+/// let mut table = TaskTable::new();
+/// let tid = table.spawn(&TaskSpec::default().realtime(SchedClass::Fifo, 55));
+/// assert_eq!(rt_goodness(table.task(tid)), RT_GOODNESS_BASE + 55);
+/// ```
 #[inline]
 pub fn rt_goodness(task: &Task) -> i32 {
     debug_assert!(task.policy.class.is_realtime());
@@ -39,6 +48,17 @@ pub fn rt_goodness(task: &Task) -> i32 {
 /// Full `goodness()` as the baseline scheduler computes it, *ignoring* the
 /// `SCHED_YIELD` bit (the caller handles yield specially, as `schedule()`
 /// does for the previous task).
+///
+/// ```
+/// use elsc_ktask::{MmId, TaskSpec, TaskTable};
+/// use elsc_sched_api::goodness::goodness_ignoring_yield;
+///
+/// let mut table = TaskTable::new();
+/// let tid = table.spawn(&TaskSpec::default().priority(20).mm(MmId(1)));
+/// table.task_mut(tid).counter = 7;
+/// table.task_mut(tid).policy.yielded = true; // ignored by this variant
+/// assert_eq!(goodness_ignoring_yield(table.task(tid), 0, MmId(2)), 7 + 20 + 15);
+/// ```
 #[inline]
 pub fn goodness_ignoring_yield(task: &Task, this_cpu: CpuId, prev_mm: MmId) -> i32 {
     if task.policy.class.is_realtime() {
@@ -60,6 +80,26 @@ pub fn goodness_ignoring_yield(task: &Task, this_cpu: CpuId, prev_mm: MmId) -> i
 
 /// Full `goodness()` including the yield rule: a task that called
 /// `sys_sched_yield()` evaluates to 0 once (paper §3.3.2).
+///
+/// ```
+/// use elsc_ktask::{MmId, TaskSpec, TaskTable};
+/// use elsc_sched_api::goodness::{goodness, MM_BONUS, PROC_CHANGE_PENALTY};
+///
+/// let mut table = TaskTable::new();
+/// let tid = table.spawn(&TaskSpec::default().priority(20).mm(MmId(1)));
+/// table.task_mut(tid).counter = 7;
+/// table.task_mut(tid).processor = 3;
+/// // Deciding on CPU 0 against a different mm: counter + priority only.
+/// assert_eq!(goodness(table.task(tid), 0, MmId(2)), 27);
+/// // Same CPU, same mm: both dynamic bonuses stack.
+/// assert_eq!(
+///     goodness(table.task(tid), 3, MmId(1)),
+///     27 + PROC_CHANGE_PENALTY + MM_BONUS
+/// );
+/// // Out of quantum: runnable, but goodness 0.
+/// table.task_mut(tid).counter = 0;
+/// assert_eq!(goodness(table.task(tid), 3, MmId(1)), 0);
+/// ```
 #[inline]
 pub fn goodness(task: &Task, this_cpu: CpuId, prev_mm: MmId) -> i32 {
     if task.policy.yielded {

@@ -21,7 +21,7 @@
 //! The baseline lives in `elsc-sched-linux`, the paper's contribution in
 //! the `elsc` crate, and the §8 future-work designs in `elsc-sched-ext`;
 //! all are interchangeable behind this trait.
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod goodness;

@@ -79,6 +79,16 @@ impl FromStr for LockPlan {
     type Err = String;
 
     /// Parses `global`, `percpu`, or `sharded:N` (N ≥ 1).
+    ///
+    /// ```
+    /// use elsc_sched_api::LockPlan;
+    ///
+    /// assert_eq!("global".parse::<LockPlan>(), Ok(LockPlan::Global));
+    /// assert_eq!("percpu".parse::<LockPlan>(), Ok(LockPlan::PerCpu));
+    /// assert_eq!("sharded:3".parse::<LockPlan>(), Ok(LockPlan::Sharded(3)));
+    /// assert!("sharded:0".parse::<LockPlan>().is_err());
+    /// assert!("banana".parse::<LockPlan>().is_err());
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "global" => Ok(LockPlan::Global),

@@ -17,7 +17,7 @@
 //!
 //! Nothing in this crate knows about tasks or scheduling; it is a generic
 //! deterministic simulation toolkit.
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod clock;
 pub mod cost;
