@@ -54,6 +54,7 @@ const FLAGS: &[&str] = &[
     "compare",
     "profile",
     "diff",
+    "oracle",
     // `lab` subcommand flags.
     "force",
     "all-figures",
@@ -80,6 +81,8 @@ const OPTIONS: &[&str] = &[
     "trace-out",
     "report-json",
     "lock-plan",
+    "faults",
+    "fault-seed",
     // `lab` subcommand options.
     "workers",
     "spec",
@@ -232,6 +235,14 @@ mod tests {
     fn lock_plan_takes_a_value() {
         let a = parse(&["volano", "--lock-plan", "percpu"]).unwrap();
         assert_eq!(a.get("lock-plan"), Some("percpu"));
+    }
+
+    #[test]
+    fn chaos_flags_are_registered() {
+        let a = parse(&["stress", "--oracle", "--faults", "light", "--fault-seed=9"]).unwrap();
+        assert!(a.flag("oracle"));
+        assert_eq!(a.get("faults"), Some("light"));
+        assert_eq!(a.get_or("fault-seed", 0u64).unwrap(), 9);
     }
 
     #[test]

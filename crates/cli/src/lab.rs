@@ -46,7 +46,9 @@ fn specs(a: &Args) -> Result<Vec<SweepSpec>, String> {
     let mut chosen = Vec::new();
     if a.flag("all-figures") {
         for name in SweepSpec::BUILTINS {
-            if name != "smoke" {
+            // `smoke` is a CI gate and `chaos` an oracle sweep — neither is
+            // a paper figure, so `--all-figures` skips both.
+            if name != "smoke" && name != "chaos" {
                 chosen.push(SweepSpec::builtin(name).expect("builtin"));
             }
         }

@@ -35,7 +35,7 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use elsc::ElscScheduler;
-use elsc_machine::{Machine, MachineConfig, RunReport, TraceRecord};
+use elsc_machine::{FaultPlan, Machine, MachineConfig, RunReport, TraceRecord};
 use elsc_obs::{first_divergence, JsonLinesSink};
 use elsc_sched_api::{LockPlan, Scheduler};
 use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
@@ -78,6 +78,19 @@ fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
     if let Some(text) = a.get("lock-plan") {
         let plan: LockPlan = text.parse().map_err(|e| format!("--lock-plan: {e}"))?;
         cfg = cfg.with_lock_plan(Some(plan));
+    }
+    if let Some(text) = a.get("faults") {
+        let plan: FaultPlan = text.parse().map_err(|e| format!("--faults: {e}"))?;
+        cfg = cfg.with_faults(Some(plan));
+    }
+    if let Some(text) = a.get("fault-seed") {
+        let seed: u64 = text
+            .parse()
+            .map_err(|_| format!("--fault-seed: invalid value '{text}'"))?;
+        cfg = cfg.with_fault_seed(seed);
+    }
+    if a.flag("oracle") {
+        cfg = cfg.with_oracle(true);
     }
     Ok(cfg)
 }
@@ -205,6 +218,9 @@ fn run(a: &Args) -> Result<(), String> {
         .filter(|s| !s.is_empty())
         .collect();
     let multi = names.len() > 1;
+    // `--oracle` turns the §5 equivalence claim into the exit code:
+    // any unexplained divergence or invariant violation fails the run.
+    let mut oracle_failures: Vec<String> = Vec::new();
     for name in names {
         let sched = scheduler(name, cpus.max(1))?;
         let trace_out = a.get("trace-out").map(|p| per_sched_path(p, name, multi));
@@ -239,6 +255,23 @@ fn run(a: &Args) -> Result<(), String> {
                 println!("  report written to {path}");
             }
         }
+        if let Some(o) = report.chaos.as_ref().and_then(|c| c.oracle.as_ref()) {
+            if !o.clean() {
+                oracle_failures.push(format!(
+                    "{name}: {} unexplained divergence(s), {} invariant violation(s){}",
+                    o.unexplained,
+                    o.invariant_violations,
+                    o.first_unexplained
+                        .as_ref()
+                        .or(o.first_violation.as_ref())
+                        .map(|d| format!(" (first: {d})"))
+                        .unwrap_or_default()
+                ));
+            }
+        }
+    }
+    if !oracle_failures.is_empty() {
+        return Err(format!("oracle: {}", oracle_failures.join("; ")));
     }
     Ok(())
 }
@@ -362,6 +395,18 @@ observability:
   --diff           run exactly two schedulers (--sched A,B) on the same
                    seed and report where their traces first diverge
 
+chaos (fault injection & the differential oracle):
+  --faults PLAN    inject deterministic faults: a preset (light, heavy,
+                   net) or a comma list of key=rate pairs (ipi_delay,
+                   ipi_drop, spurious_wakeup, tick_jitter, lock_hold,
+                   short_write, peer_reset)
+  --fault-seed N   RNG seed for the fault streams; the same seed gives a
+                   byte-identical run and report        [0xFA175EED]
+  --oracle         replay an O(n) reference goodness() scan beside every
+                   schedule() decision; any unexplained divergence or
+                   run-queue invariant violation makes the run exit
+                   non-zero (the paper's sec. 5 equivalence claim)
+
 volano: --rooms N --users N --messages N
 kbuild: --jobs N --units N
 httpd:  --clients N --workers N --requests N
@@ -423,6 +468,43 @@ mod tests {
         let out = run_one(&a, scheduler("reg", 2).unwrap(), None).unwrap();
         assert_eq!(out.report.lock_plan, "percpu");
         assert_eq!(out.report.lock_domains.len(), 2);
+    }
+
+    #[test]
+    fn machine_cfg_parses_chaos_options() {
+        let cfg = machine_cfg(&args(&[
+            "stress",
+            "--faults",
+            "light",
+            "--fault-seed",
+            "41",
+            "--oracle",
+        ]))
+        .unwrap();
+        assert!(cfg.faults.is_some());
+        assert_eq!(cfg.fault_seed, 41);
+        assert!(cfg.oracle);
+        let cfg = machine_cfg(&args(&["stress"])).unwrap();
+        assert!(cfg.faults.is_none());
+        assert!(!cfg.oracle);
+        let err = machine_cfg(&args(&["stress", "--faults", "banana"])).unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+    }
+
+    #[test]
+    fn oracle_run_is_clean_and_reported() {
+        let a = args(&[
+            "stress", "--tasks", "8", "--rounds", "3", "--oracle", "--quiet",
+        ]);
+        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        let o = out
+            .report
+            .chaos
+            .as_ref()
+            .and_then(|c| c.oracle.as_ref())
+            .expect("oracle report");
+        assert!(o.decisions > 0);
+        assert!(o.clean(), "stress under elsc must match the reference");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The ELSC `schedule()` implementation (paper §5.2).
 
-use elsc_ktask::recalc::recalculated_counter;
+use elsc_ktask::recalc::{in_recalc_walk, recalculated_counter};
 use elsc_ktask::{CpuId, SchedClass, TaskTable, Tid};
 use elsc_obs::ObsEvent;
 use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
@@ -40,7 +40,9 @@ impl ElscScheduler {
             nr_running: self.nr_running as u64,
         });
         let mut n = 0u64;
-        for task in ctx.tasks.iter_mut() {
+        // Zombies awaiting the post-schedule reap are not walked (or
+        // charged for): recalc cost is per *live* task.
+        for task in ctx.tasks.iter_mut().filter(|t| in_recalc_walk(t)) {
             task.counter = recalculated_counter(task);
             task.rq_zero = false;
             n += 1;
@@ -235,6 +237,27 @@ impl Scheduler for ElscScheduler {
     }
 }
 
+/// Whether a freshly computed goodness `w` displaces the best seen so far.
+///
+/// The incremental scan keeps the *first* task examined on ties (strict
+/// `>`), matching the reference `goodness()` loop in 2.3.99 `schedule()`.
+#[cfg(not(feature = "chaos-selftest"))]
+#[inline]
+fn beats(w: i32, best: i32) -> bool {
+    w > best
+}
+
+/// The `chaos-selftest` mutation: an off-by-one that makes the scan keep a
+/// stale best when a rival is better by exactly one (e.g. the mm bonus).
+/// CI builds with this feature and asserts the differential oracle flags
+/// the divergence — a seeded bug proving the oracle has teeth. See
+/// `docs/DESIGN.md` §"Fault injection & the oracle".
+#[cfg(feature = "chaos-selftest")]
+#[inline]
+fn beats(w: i32, best: i32) -> bool {
+    w > best + 1
+}
+
 /// Scans one table list, honouring the examination limit, the zero-counter
 /// early exit, the SMP `has_cpu` skip, and the uniprocessor shared-mm
 /// shortcut. Returns the best candidate and any yielded fallback found.
@@ -279,7 +302,7 @@ fn scan_list(
             // Real-time: no yield handling, no bonuses — highest
             // rt_priority wins (§5.2).
             let w = RT_GOODNESS_BASE + p.rt_priority;
-            if out.best.is_none_or(|(_, b)| w > b) {
+            if out.best.is_none_or(|(_, b)| beats(w, b)) {
                 out.best = Some((tid, w));
             }
         } else {
@@ -291,14 +314,26 @@ fn scan_list(
             if mm_match {
                 w += MM_BONUS;
             }
-            if !ctx.cfg.smp && mm_match {
-                // Uniprocessor shortcut: affinity always matches, so a
-                // shared mm is the maximum possible bonus — run it now.
+            if !ctx.cfg.smp
+                && mm_match
+                && idx < crate::table::RT_BASE_LIST - 1
+                && p.static_goodness() == (4 * idx as i32) + 3
+            {
+                // Uniprocessor shortcut (§5.2): affinity always matches on
+                // UP, so a shared mm is the maximum possible *bonus* — but
+                // a same-list rival can still have strictly higher static
+                // goodness (lists bucket four values). The shortcut is
+                // exact only when this kin already sits at the bucket
+                // maximum `4*idx + 3`: then no unexamined task in the list
+                // can reach `w`, since the best a non-kin can manage is
+                // the same static goodness without the +1 mm bonus. The
+                // clamped top list (19) has no bucket maximum, so it never
+                // takes the shortcut.
                 out.best = Some((tid, w));
                 out.shortcut = true;
                 return out;
             }
-            if out.best.is_none_or(|(_, b)| w > b) {
+            if out.best.is_none_or(|(_, b)| beats(w, b)) {
                 out.best = Some((tid, w));
             }
         }
@@ -461,14 +496,51 @@ mod tests {
         // prev runs, then blocks.
         let got = rig.schedule(0, rig.idle);
         assert_eq!(got, prev);
+        // Fillers that will sit *behind* the kin (LIFO front inserts).
+        for _ in 0..3 {
+            let f = rig.spawn("filler");
+            rig.tasks.task_mut(f).mm = MmId(4);
+        }
         let kin = rig.spawn("kin");
+        // Lift the kin to the bucket maximum of list 10 (static
+        // 40..=43): the shortcut condition is met and is exact.
+        rig.tasks.task_mut(kin).counter = 23;
         rig.tasks.task_mut(kin).mm = MmId(3);
         let other = rig.spawn("other");
         rig.tasks.task_mut(other).mm = MmId(4);
-        // Queue front-to-back within the list: other, kin (LIFO inserts).
+        // Queue front-to-back within the list: other, kin, fillers.
         rig.tasks.task_mut(prev).state = TaskState::Interruptible;
+        let before = rig.stats.cpu(0).tasks_examined;
         let next = rig.schedule(0, prev);
         assert_eq!(next, kin, "mm match wins despite queue position");
+        // The shortcut stopped the scan: other + kin only, the three
+        // fillers behind the kin were never examined.
+        assert_eq!(rig.stats.cpu(0).tasks_examined - before, 2);
+    }
+
+    #[test]
+    fn up_shortcut_yields_to_better_goodness_in_same_list() {
+        // Regression: the UP mm shortcut used to fire on *any* kin,
+        // even when a same-list rival had strictly higher goodness
+        // (lists bucket four static-goodness values, and the +1 mm
+        // bonus cannot close a 3-point static gap). §5.2 semantics:
+        // the best-goodness task must win.
+        let mut rig = Rig::new(SchedConfig::up());
+        let prev = rig.spawn("prev");
+        rig.tasks.task_mut(prev).mm = MmId(3);
+        let got = rig.schedule(0, rig.idle);
+        assert_eq!(got, prev);
+        let rival = rig.spawn("rival");
+        rig.tasks.task_mut(rival).mm = MmId(4);
+        // static 43 (still list 10): w = 43 + 15 = 58.
+        rig.tasks.task_mut(rival).counter = 23;
+        let kin = rig.spawn("kin");
+        // static 40: w = 40 + 15 + 1 = 56 — kin loses despite the bonus.
+        rig.tasks.task_mut(kin).mm = MmId(3);
+        // Front-to-back: kin, rival — the old shortcut stopped at kin.
+        rig.tasks.task_mut(prev).state = TaskState::Interruptible;
+        let next = rig.schedule(0, prev);
+        assert_eq!(next, rival, "strictly better goodness beats the mm kin");
     }
 
     #[test]
@@ -478,7 +550,6 @@ mod tests {
         let got = rig.schedule(0, rig.idle);
         assert_eq!(got, y);
         let o = rig.spawn("o");
-        rig.tasks.task_mut(o).mm = MmId(9); // avoid the mm shortcut oddity
         rig.tasks.task_mut(y).policy.yielded = true;
         let next = rig.schedule(0, y);
         assert_eq!(next, o);

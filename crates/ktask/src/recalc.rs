@@ -16,7 +16,7 @@
 //! recalculation storms expensive (Figure 2).
 
 use crate::table::TaskTable;
-use crate::task::Task;
+use crate::task::{Task, TaskState};
 
 /// Recalculates one task's counter; returns the new value.
 ///
@@ -28,13 +28,28 @@ pub fn recalculated_counter(task: &Task) -> i32 {
     (task.counter >> 1) + task.priority
 }
 
-/// Runs the recalculation loop over every task in the system.
+/// Whether the recalculation walk should touch this task.
+///
+/// Zombies are excluded: an exited task lingers in the [`TaskTable`]
+/// between its `exit()` and the post-`schedule()` reap, and a recalc
+/// that fires inside that very `schedule()` call would otherwise both
+/// walk the corpse and charge `RecalcPerTask` for it. The paper's
+/// recalc cost is per *live* task, and a zombie's counter can never be
+/// read again — every scheduler's recalc walk uses this filter so the
+/// charged count always matches the live population.
+#[inline]
+pub fn in_recalc_walk(task: &Task) -> bool {
+    task.state != TaskState::Zombie
+}
+
+/// Runs the recalculation loop over every live task in the system.
 ///
 /// Returns the number of tasks touched so the caller can charge
-/// `RecalcPerTask` cycles for each.
+/// `RecalcPerTask` cycles for each. Zombies awaiting reaping are
+/// skipped (see [`in_recalc_walk`]).
 pub fn recalculate_counters(tasks: &mut TaskTable) -> usize {
     let mut n = 0;
-    for task in tasks.iter_mut() {
+    for task in tasks.iter_mut().filter(|t| in_recalc_walk(t)) {
         task.counter = (task.counter >> 1) + task.priority;
         n += 1;
     }
@@ -86,6 +101,21 @@ mod tests {
             t.spawn(&TaskSpec::default());
         }
         assert_eq!(recalculate_counters(&mut t), 7);
+    }
+
+    #[test]
+    fn zombies_are_skipped_and_not_counted() {
+        use crate::task::TaskState;
+        let mut t = TaskTable::new();
+        let live = t.spawn(&TaskSpec::default().priority(20));
+        let dead = t.spawn(&TaskSpec::default().priority(20));
+        t.task_mut(live).counter = 0;
+        t.task_mut(dead).counter = 7;
+        t.task_mut(dead).state = TaskState::Zombie;
+        // Only the live task is walked *and* charged for.
+        assert_eq!(recalculate_counters(&mut t), 1);
+        assert_eq!(t.task(live).counter, 20);
+        assert_eq!(t.task(dead).counter, 7, "corpse untouched");
     }
 
     #[test]

@@ -22,16 +22,16 @@ impl WaitQueue {
 
     /// Parks `tid` at the back of the queue.
     ///
-    /// # Panics
-    ///
-    /// Panics (debug) if the task is already waiting here: a task cannot
-    /// block twice.
+    /// Idempotent, mirroring `prepare_to_wait()`: a task that was woken
+    /// spuriously (made runnable *without* being removed from the queue),
+    /// re-checked its condition, and blocks again keeps its original
+    /// position instead of being enqueued twice. Found by chaos testing:
+    /// a `spurious_wakeup` fault aimed at a parked pipe reader made the
+    /// retry path double-park the task.
     pub fn park(&mut self, tid: Tid) {
-        debug_assert!(
-            !self.q.contains(&tid),
-            "{tid:?} parked twice on the same wait queue"
-        );
-        self.q.push_back(tid);
+        if !self.q.contains(&tid) {
+            self.q.push_back(tid);
+        }
     }
 
     /// Removes and returns the longest-waiting task (`wake_one`).
@@ -116,11 +116,15 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "parked twice")]
-    fn double_park_panics_in_debug() {
+    fn repark_is_idempotent_and_keeps_position() {
+        // prepare_to_wait() semantics: a spuriously woken task that blocks
+        // again must neither duplicate its entry nor lose its FIFO slot.
         let mut w = WaitQueue::new();
         w.park(tid(1));
-        w.park(tid(1));
+        w.park(tid(2));
+        w.park(tid(1)); // woken spuriously, re-parks
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.wake_one(), Some(tid(1)), "original position kept");
+        assert_eq!(w.wake_one(), Some(tid(2)));
     }
 }

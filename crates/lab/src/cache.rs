@@ -101,7 +101,7 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::{SchedId, Shape, WorkloadCell};
+    use crate::cell::{ChaosSpec, SchedId, Shape, WorkloadCell};
 
     fn cell(seed: u64) -> CellConfig {
         CellConfig {
@@ -114,6 +114,7 @@ mod tests {
                 rounds: 1,
                 burst: 100,
             },
+            chaos: ChaosSpec::default(),
         }
     }
 

@@ -11,7 +11,7 @@
 use std::fmt;
 
 use elsc::ElscScheduler;
-use elsc_machine::{MachineConfig, RunReport};
+use elsc_machine::{FaultPlan, MachineConfig, RunReport};
 use elsc_sched_api::{LockPlan, Scheduler};
 use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
 use elsc_sched_linux::LinuxScheduler;
@@ -248,6 +248,49 @@ impl WorkloadCell {
     }
 }
 
+/// The chaos axes of one cell: an optional fault plan, the fault-stream
+/// seed, and the differential-oracle toggle.
+///
+/// The plan is kept as **text** (a preset name or `key=rate` pairs with
+/// `;` separators, translated to the machine's `,` form at execution)
+/// so a cell stays pure, hashable data; [`execute_cell`] parses it. The
+/// default — no faults, no oracle — adds nothing to the cell id, so
+/// pre-chaos cache keys and manifests are unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Fault-plan text (`light`, `heavy`, `net`, or `key=rate[;...]`);
+    /// `None` injects nothing.
+    pub faults: Option<String>,
+    /// Seed for the fault RNG streams (independent of the sim seed).
+    pub fault_seed: u64,
+    /// Replay the O(n) reference scan beside every decision; an
+    /// unexplained divergence fails the cell ([`CellError::Oracle`]).
+    pub oracle: bool,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> ChaosSpec {
+        ChaosSpec {
+            faults: None,
+            fault_seed: 1,
+            oracle: false,
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// Whether this is the default (fault-free, oracle-off) spec.
+    pub fn is_default(&self) -> bool {
+        *self == ChaosSpec::default()
+    }
+
+    /// The machine-format fault plan (lab spec files use `;` between
+    /// `key=rate` pairs because `,` splits spec value lists).
+    pub fn plan_text(&self) -> Option<String> {
+        self.faults.as_ref().map(|f| f.replace(';', ","))
+    }
+}
+
 /// One point of the sweep grid. Pure data; building and running the
 /// machine happens in [`execute_cell`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -262,6 +305,8 @@ pub struct CellConfig {
     pub seed: u64,
     /// The workload and its pinned parameters.
     pub workload: WorkloadCell,
+    /// Fault injection and oracle settings (default: off).
+    pub chaos: ChaosSpec,
 }
 
 impl CellConfig {
@@ -277,7 +322,7 @@ impl CellConfig {
             .into_iter()
             .map(|(k, v)| format!("{k}={v}"))
             .collect();
-        format!(
+        let mut id = format!(
             "{}[{}]|sched={}|shape={}|plan={}|seed={}",
             self.workload.name(),
             params.join(","),
@@ -285,7 +330,16 @@ impl CellConfig {
             self.shape.label(),
             self.lock_plan.map_or("default".to_string(), |p| p.label()),
             self.seed
-        )
+        );
+        // Chaos axes appear only when active, so every pre-chaos cell id
+        // (and with it every cache key and baseline manifest) is stable.
+        if let Some(f) = &self.chaos.faults {
+            id.push_str(&format!("|faults={f}|fseed={}", self.chaos.fault_seed));
+        }
+        if self.chaos.oracle {
+            id.push_str("|oracle=on");
+        }
+        id
     }
 }
 
@@ -303,6 +357,10 @@ pub enum CellError {
     /// The run completed but the cycle-attribution conservation
     /// invariant did not hold — the measurement cannot be trusted.
     Conservation,
+    /// The differential oracle saw unexplained divergences from the
+    /// O(n) reference scan, or a run-queue invariant violation — the
+    /// scheduler broke the paper's §5 equivalence claim.
+    Oracle(String),
     /// The workload (or scheduler) panicked while executing the cell.
     Panic(String),
 }
@@ -312,6 +370,7 @@ impl fmt::Display for CellError {
         match self {
             CellError::Run(e) => write!(f, "run failed: {e}"),
             CellError::Conservation => f.write_str("cycle-attribution conservation check failed"),
+            CellError::Oracle(e) => write!(f, "oracle: {e}"),
             CellError::Panic(msg) => write!(f, "panicked: {msg}"),
         }
     }
@@ -423,11 +482,22 @@ pub struct CellResult {
 /// This is the only place in the lab where a `Machine` exists; callers
 /// on worker threads see only `CellConfig` in and `CellResult` out.
 pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
-    let cfg = cell
+    let mut cfg = cell
         .shape
         .machine()
         .with_seed(cell.seed)
         .with_lock_plan(cell.lock_plan);
+    if let Some(text) = cell.chaos.plan_text() {
+        let plan: FaultPlan = text
+            .parse()
+            .map_err(|e| CellError::Run(format!("bad fault plan: {e}")))?;
+        cfg = cfg
+            .with_faults(Some(plan))
+            .with_fault_seed(cell.chaos.fault_seed);
+    }
+    if cell.chaos.oracle {
+        cfg = cfg.with_oracle(true);
+    }
     let sched = cell.sched.build(cell.shape.nr_cpus());
     let report = match &cell.workload {
         WorkloadCell::Volano {
@@ -483,6 +553,20 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
     if !report.conservation_ok {
         return Err(CellError::Conservation);
     }
+    if let Some(o) = report.chaos.as_ref().and_then(|c| c.oracle.as_ref()) {
+        if !o.clean() {
+            return Err(CellError::Oracle(format!(
+                "{} unexplained divergence(s), {} invariant violation(s){}",
+                o.unexplained,
+                o.invariant_violations,
+                o.first_unexplained
+                    .as_ref()
+                    .or(o.first_violation.as_ref())
+                    .map(|d| format!(" (first: {d})"))
+                    .unwrap_or_default()
+            )));
+        }
+    }
     Ok(CellResult {
         metrics: Metrics::from_report(&report, cell.workload.metric_key()),
         report_json: report.to_json(),
@@ -527,6 +611,7 @@ mod tests {
                 messages: 2,
                 think: 0,
             },
+            chaos: ChaosSpec::default(),
         }
     }
 
@@ -567,6 +652,50 @@ mod tests {
     }
 
     #[test]
+    fn chaos_axes_extend_the_id_only_when_active() {
+        let a = tiny_volano(SchedId::Elsc, Shape::Up, 1);
+        assert!(!a.id().contains("faults"), "default id unchanged");
+        assert!(!a.id().contains("oracle"), "default id unchanged");
+        let mut b = a.clone();
+        b.chaos.faults = Some("light".to_string());
+        b.chaos.fault_seed = 7;
+        b.chaos.oracle = true;
+        assert!(
+            b.id().ends_with("|faults=light|fseed=7|oracle=on"),
+            "{}",
+            b.id()
+        );
+        let mut c = b.clone();
+        c.chaos.fault_seed = 8;
+        assert_ne!(b.id(), c.id(), "fault seed is an axis");
+    }
+
+    #[test]
+    fn chaos_cell_runs_faulted_with_a_clean_oracle() {
+        let mut cell = tiny_volano(SchedId::Elsc, Shape::Up, 5);
+        cell.chaos = ChaosSpec {
+            faults: Some("light".to_string()),
+            fault_seed: 3,
+            oracle: true,
+        };
+        let r = execute_cell(&cell).expect("faulted cell completes");
+        assert!(r.report_json.contains("\"chaos\""), "summary embedded");
+        // Determinism extends to the fault streams.
+        let again = execute_cell(&cell).unwrap();
+        assert_eq!(r.report_json, again.report_json);
+    }
+
+    #[test]
+    fn bad_fault_plan_is_a_run_error() {
+        let mut cell = tiny_volano(SchedId::Reg, Shape::Up, 1);
+        cell.chaos.faults = Some("banana".to_string());
+        match execute_cell(&cell) {
+            Err(CellError::Run(e)) => assert!(e.contains("bad fault plan"), "{e}"),
+            other => panic!("expected fault-plan error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn execute_is_deterministic() {
         let cell = tiny_volano(SchedId::Reg, Shape::Smp(2), 42);
         let one = execute_cell(&cell).unwrap();
@@ -591,6 +720,7 @@ mod tests {
                 rounds: u64::MAX / 4,
                 burst: u64::MAX / 1_000_000,
             },
+            chaos: ChaosSpec::default(),
         };
         match execute_cell(&cell) {
             Err(CellError::Run(e)) => assert!(e.contains("watchdog"), "{e}"),

@@ -37,7 +37,8 @@ pub mod spec;
 
 pub use cache::Cache;
 pub use cell::{
-    execute_cell, CellConfig, CellError, CellResult, Metrics, SchedId, Shape, WorkloadCell,
+    execute_cell, CellConfig, CellError, CellResult, ChaosSpec, Metrics, SchedId, Shape,
+    WorkloadCell,
 };
 pub use compare::{compare, CompareReport, Regression, GATED_METRICS};
 pub use manifest::{cell_record, manifest, write_manifest};

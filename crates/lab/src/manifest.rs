@@ -110,7 +110,7 @@ pub fn metrics_from_record(record: &Value) -> Result<Metrics, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::{execute_cell, SchedId, Shape, WorkloadCell};
+    use crate::cell::{execute_cell, ChaosSpec, SchedId, Shape, WorkloadCell};
 
     fn tiny() -> CellConfig {
         CellConfig {
@@ -124,6 +124,7 @@ mod tests {
                 messages: 2,
                 think: 0,
             },
+            chaos: ChaosSpec::default(),
         }
     }
 

@@ -12,7 +12,7 @@ use std::str::FromStr;
 
 use elsc_sched_api::LockPlan;
 
-use crate::cell::{CellConfig, SchedId, Shape, WorkloadCell};
+use crate::cell::{CellConfig, ChaosSpec, SchedId, Shape, WorkloadCell};
 
 /// The base seed shared with the bench binaries (`volano_throughput`),
 /// so lab cells and legacy bench runs measure the same simulations.
@@ -86,6 +86,14 @@ pub struct SweepSpec {
     /// Workload parameter axes in the workload's canonical order; every
     /// canonical parameter appears exactly once (defaults filled in).
     pub params: Vec<(String, Vec<u64>)>,
+    /// Fault-plan axis (`none` in spec text is `None`); default: no
+    /// faults. Custom `key=rate` plans use `;` between pairs because
+    /// `,` separates spec values.
+    pub faults: Vec<Option<String>>,
+    /// Fault-stream seeds; only meaningful for faulted cells.
+    pub fault_seeds: Vec<u64>,
+    /// Run the differential oracle in every cell (`oracle = on`).
+    pub oracle: bool,
 }
 
 impl FromStr for SweepSpec {
@@ -163,6 +171,9 @@ impl FromStr for SweepSpec {
         let mut shapes = Vec::new();
         let mut plans = Vec::new();
         let mut seeds = Vec::new();
+        let mut faults: Vec<Option<String>> = Vec::new();
+        let mut fault_seeds = Vec::new();
+        let mut oracle = false;
         let mut param_axes: BTreeMap<String, Vec<u64>> = BTreeMap::new();
         for (key, vals) in &raw {
             match key.as_str() {
@@ -186,19 +197,32 @@ impl FromStr for SweepSpec {
                         });
                     }
                 }
-                "seed" => {
+                "seed" => seeds.extend(parse_seed_list(vals)?),
+                "fault_seed" => fault_seeds.extend(parse_seed_list(vals)?),
+                "faults" => {
                     for v in vals {
-                        if let Some((a, b)) = v.split_once("..") {
-                            let a: u64 = a.trim().parse().map_err(|_| bad_seed(v))?;
-                            let b: u64 = b.trim().parse().map_err(|_| bad_seed(v))?;
-                            if a >= b {
-                                return Err(format!("empty seed range '{v}'"));
-                            }
-                            seeds.extend(a..b);
+                        if v == "none" {
+                            faults.push(None);
                         } else {
-                            seeds.push(v.parse().map_err(|_| bad_seed(v))?);
+                            // Validate now so a typo fails at parse time,
+                            // not mid-sweep. `;` stands in for the
+                            // machine's `,` pair separator.
+                            v.replace(';', ",")
+                                .parse::<elsc_machine::FaultPlan>()
+                                .map_err(|e| format!("bad fault plan '{v}': {e}"))?;
+                            faults.push(Some(v.clone()));
                         }
                     }
+                }
+                "oracle" => {
+                    if vals.len() != 1 {
+                        return Err("'oracle' takes exactly one value".to_string());
+                    }
+                    oracle = match vals[0].as_str() {
+                        "on" | "true" => true,
+                        "off" | "false" => false,
+                        other => return Err(format!("bad oracle value '{other}' (on|off)")),
+                    };
                 }
                 param => {
                     if !canon.iter().any(|(k, _)| *k == param) {
@@ -231,6 +255,12 @@ impl FromStr for SweepSpec {
         if seeds.is_empty() {
             seeds.push(1);
         }
+        if faults.is_empty() {
+            faults.push(None);
+        }
+        if fault_seeds.is_empty() {
+            fault_seeds.push(1);
+        }
         // Parameter axes in the workload's canonical order, defaults
         // filled in for omissions.
         let params = canon
@@ -249,8 +279,30 @@ impl FromStr for SweepSpec {
             plans,
             seeds,
             params,
+            faults,
+            fault_seeds,
+            oracle,
         })
     }
+}
+
+/// Parses a seed value list (numbers and half-open `a..b` ranges) —
+/// shared by the `seed` and `fault_seed` axes.
+fn parse_seed_list(vals: &[String]) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    for v in vals {
+        if let Some((a, b)) = v.split_once("..") {
+            let a: u64 = a.trim().parse().map_err(|_| bad_seed(v))?;
+            let b: u64 = b.trim().parse().map_err(|_| bad_seed(v))?;
+            if a >= b {
+                return Err(format!("empty seed range '{v}'"));
+            }
+            seeds.extend(a..b);
+        } else {
+            seeds.push(v.parse().map_err(|_| bad_seed(v))?);
+        }
+    }
+    Ok(seeds)
 }
 
 fn bad_seed(v: &str) -> String {
@@ -278,13 +330,29 @@ impl SweepSpec {
                 for &sched in &self.scheds {
                     for &lock_plan in &self.plans {
                         for &seed in &self.seeds {
-                            cells.push(CellConfig {
-                                sched,
-                                shape,
-                                lock_plan,
-                                seed,
-                                workload: workload.clone(),
-                            });
+                            for f in &self.faults {
+                                // A fault-free cell does not consume the
+                                // fault-seed axis: its id (and result)
+                                // would be identical for every value.
+                                let fseeds: &[u64] = match f {
+                                    Some(_) => &self.fault_seeds,
+                                    None => &[1],
+                                };
+                                for &fault_seed in fseeds {
+                                    cells.push(CellConfig {
+                                        sched,
+                                        shape,
+                                        lock_plan,
+                                        seed,
+                                        workload: workload.clone(),
+                                        chaos: ChaosSpec {
+                                            faults: f.clone(),
+                                            fault_seed,
+                                            oracle: self.oracle,
+                                        },
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -373,6 +441,20 @@ impl SweepSpec {
                  seed = {seeds}\n\
                  jobs = 4\n units = 160\n"
             ),
+            // Chaos sweep: every scheduler under the oracle, clean and
+            // faulted. Any unexplained divergence from the O(n)
+            // reference scan fails its cell (the §5 equivalence gate).
+            "chaos" => format!(
+                "name = chaos\n\
+                 workload = volano\n\
+                 sched = reg, elsc, heap, aheap, mq\n\
+                 shape = UP, 2P\n\
+                 seed = {BASE_SEED}\n\
+                 oracle = on\n\
+                 faults = none, light, heavy\n\
+                 fault_seed = 1, 2\n\
+                 rooms = 1\n users = 4\n messages = 2\n think = 0\n"
+            ),
             // §4 kernel-share claim: 5 vs 25 rooms, UP and 4P.
             "kernel_share" => format!(
                 "name = kernel_share\n\
@@ -387,8 +469,10 @@ impl SweepSpec {
         Some(text.parse().expect("builtin specs always parse"))
     }
 
-    /// Names of every builtin spec, in `--all-figures` run order.
-    pub const BUILTINS: [&'static str; 8] = [
+    /// Names of every builtin spec, in `--all-figures` run order (the
+    /// non-figure `smoke` and `chaos` sweeps are excluded from
+    /// `--all-figures` by the CLI).
+    pub const BUILTINS: [&'static str; 9] = [
         "smoke",
         "figure2",
         "figure3",
@@ -397,6 +481,7 @@ impl SweepSpec {
         "figure6",
         "table2",
         "kernel_share",
+        "chaos",
     ];
 }
 
@@ -534,6 +619,59 @@ mod tests {
         for c in SweepSpec::builtin("figure4").unwrap().cells() {
             assert!(f3.contains(&c.id()), "figure4 cell not in figure3: {c}");
         }
+    }
+
+    #[test]
+    fn chaos_axes_parse_and_expand() {
+        let spec: SweepSpec = "
+            name = x
+            workload = stress
+            sched = elsc
+            shape = UP
+            oracle = on
+            faults = none, light, ipi_drop=0.5;tick_jitter=0.1
+            fault_seed = 1..3
+            tasks = 4
+        "
+        .parse()
+        .unwrap();
+        assert!(spec.oracle);
+        assert_eq!(spec.faults.len(), 3);
+        assert_eq!(spec.fault_seeds, vec![1, 2]);
+        // none consumes no fault-seed axis: 1 + 2×2 cells.
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 5);
+        assert!(cells.iter().all(|c| c.chaos.oracle));
+        assert_eq!(cells.iter().filter(|c| c.chaos.faults.is_none()).count(), 1);
+        // Ids are all distinct (the axes really are axes).
+        let ids: std::collections::BTreeSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), cells.len());
+    }
+
+    #[test]
+    fn chaos_spec_rejects_bad_values() {
+        let base = "name = x\nworkload = stress\n";
+        assert!(format!("{base}faults = banana")
+            .parse::<SweepSpec>()
+            .is_err());
+        assert!(format!("{base}oracle = maybe")
+            .parse::<SweepSpec>()
+            .is_err());
+        assert!(format!("{base}oracle = on, off")
+            .parse::<SweepSpec>()
+            .is_err());
+        assert!(format!("{base}fault_seed = many")
+            .parse::<SweepSpec>()
+            .is_err());
+    }
+
+    #[test]
+    fn chaos_builtin_is_oracle_gated_and_ci_sized() {
+        let spec = SweepSpec::builtin("chaos").unwrap();
+        assert!(spec.oracle);
+        let n = spec.cells().len();
+        // 5 scheds × 2 shapes × (1 none + 2 plans × 2 fault seeds).
+        assert_eq!(n, 50);
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub enum Syscall {
     Read(PipeId),
     /// Blocking write of a message into a pipe.
     Write(PipeId, Msg),
+    /// Close a pipe: every task parked on it (readers *and* writers) is
+    /// woken immediately so it can observe `Closed` — tasks must never
+    /// stay parked on a dead pipe until the deadlock detector trips.
+    Close(PipeId),
     /// Fork a new task running the given behaviour.
     Spawn(SpawnReq),
 }
@@ -40,6 +44,7 @@ impl core::fmt::Debug for Syscall {
             Syscall::Sleep(d) => write!(f, "Sleep({d})"),
             Syscall::Read(p) => write!(f, "Read({p:?})"),
             Syscall::Write(p, m) => write!(f, "Write({p:?}, tag={})", m.tag),
+            Syscall::Close(p) => write!(f, "Close({p:?})"),
             Syscall::Spawn(_) => write!(f, "Spawn(..)"),
         }
     }
@@ -100,6 +105,14 @@ impl Op {
         Op {
             compute: cycles,
             then: Syscall::Write(pipe, msg),
+        }
+    }
+
+    /// Close `pipe` after `cycles` of work.
+    pub fn close_after(cycles: u64, pipe: PipeId) -> Op {
+        Op {
+            compute: cycles,
+            then: Syscall::Close(pipe),
         }
     }
 

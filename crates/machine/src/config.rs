@@ -1,5 +1,6 @@
 //! Machine configuration.
 
+use elsc_chaos::FaultPlan;
 use elsc_sched_api::{LockPlan, SchedConfig};
 use elsc_simcore::CostModel;
 
@@ -38,6 +39,17 @@ pub struct MachineConfig {
     /// `Some(plan)` forces one (e.g. run the multi-queue scheduler under
     /// the global lock to isolate the locking regime's contribution).
     pub lock_plan: Option<LockPlan>,
+    /// Deterministic fault injection: `None` (the default) runs a clean
+    /// machine; `Some(plan)` perturbs it at the plan's rates, driven by
+    /// [`MachineConfig::fault_seed`].
+    pub faults: Option<FaultPlan>,
+    /// Seed for the fault-injection decision streams — deliberately
+    /// separate from [`MachineConfig::seed`] so the same workload can be
+    /// replayed under different fault schedules (and vice versa).
+    pub fault_seed: u64,
+    /// Run the differential scheduler oracle beside every `schedule()`
+    /// call. Pure observation: enabling it never changes the schedule.
+    pub oracle: bool,
 }
 
 impl MachineConfig {
@@ -55,6 +67,9 @@ impl MachineConfig {
             io_poll_yields: 2,
             trace_capacity: 0,
             lock_plan: None,
+            faults: None,
+            fault_seed: 0xFA17_5EED,
+            oracle: false,
         }
     }
 
@@ -105,6 +120,24 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style fault-plan enablement (`None` disables injection).
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Builder-style fault-seed override.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Builder-style oracle enablement.
+    pub fn with_oracle(mut self, on: bool) -> Self {
+        self.oracle = on;
+        self
+    }
+
     /// Number of processors.
     pub fn nr_cpus(&self) -> usize {
         self.sched.nr_cpus
@@ -142,6 +175,20 @@ mod tests {
         let c = MachineConfig::up().with_seed(42).with_max_secs(2.0);
         assert_eq!(c.seed, 42);
         assert_eq!(c.max_cycles, 2 * MachineConfig::DEFAULT_HZ);
+    }
+
+    #[test]
+    fn chaos_defaults_off() {
+        let c = MachineConfig::up();
+        assert!(c.faults.is_none());
+        assert!(!c.oracle);
+        let c = c
+            .with_faults(Some(FaultPlan::light()))
+            .with_fault_seed(7)
+            .with_oracle(true);
+        assert_eq!(c.faults.as_ref().unwrap().label(), "light");
+        assert_eq!(c.fault_seed, 7);
+        assert!(c.oracle);
     }
 
     #[test]

@@ -62,3 +62,7 @@ pub use config::MachineConfig;
 pub use machine::{Machine, RunError};
 pub use report::{Distributions, Ledger, RunReport};
 pub use trace::{Trace, TraceEvent, TraceRecord};
+
+// Chaos types that appear in [`MachineConfig`] and [`RunReport`], so
+// downstream users do not need a direct `elsc-chaos` dependency.
+pub use elsc_chaos::{ChaosSummary, FaultPlan, OracleReport};

@@ -1,5 +1,9 @@
 //! The machine: event loop, dispatch, syscalls, wakeups.
 
+use elsc_chaos::{
+    check_task_invariants, ChaosSummary, Decision, DivergenceClass, FaultInjector, IpiFault,
+    Oracle, OracleMode, TaskSnap,
+};
 use elsc_ktask::{CpuId, TaskSpec, TaskState, TaskTable, Tid};
 use elsc_netsim::{Msg, PipeError, PipeId, PipeTable};
 use elsc_sched_api::{
@@ -126,6 +130,10 @@ pub struct Machine {
     /// Every kernel cycle charged anywhere in the machine; must always
     /// equal `profiler.total()` (the conservation invariant).
     kernel_cycles: u64,
+    /// Chaos: the deterministic fault injector (None = clean machine).
+    injector: Option<FaultInjector>,
+    /// Chaos: the differential scheduler oracle (None = not judging).
+    oracle: Option<Oracle>,
     now: Cycles,
     live_users: usize,
     last_exit: Cycles,
@@ -167,6 +175,13 @@ impl Machine {
             cfg.costs.get(CostKind::LockTransfer),
         );
         let bus = EventBus::new(cfg.trace_capacity);
+        let injector = cfg
+            .faults
+            .clone()
+            .map(|plan| FaultInjector::new(plan, cfg.fault_seed));
+        let oracle = cfg
+            .oracle
+            .then(|| Oracle::new(OracleMode::for_scheduler(sched.name())));
         Machine {
             cfg,
             tasks,
@@ -185,6 +200,8 @@ impl Machine {
             bus,
             profiler: CycleProfiler::new(nr_cpus),
             kernel_cycles: 0,
+            injector,
+            oracle,
             now: Cycles::ZERO,
             live_users: 0,
             last_exit: Cycles::ZERO,
@@ -457,6 +474,23 @@ impl Machine {
             trace_dropped: self.bus.dropped(),
             profile: self.profiler.report(total.work_cycles, total.idle_cycles),
             conservation_ok: self.kernel_cycles == self.profiler.total(),
+            chaos: if self.injector.is_some() || self.oracle.is_some() {
+                Some(ChaosSummary {
+                    fault_plan: self
+                        .injector
+                        .as_ref()
+                        .map(|inj| inj.plan().label().to_string()),
+                    fault_seed: self.cfg.fault_seed,
+                    counts: self
+                        .injector
+                        .as_ref()
+                        .map(|inj| *inj.counts())
+                        .unwrap_or_default(),
+                    oracle: self.oracle.as_ref().map(|o| o.report().clone()),
+                })
+            } else {
+                None
+            },
         }
     }
 
@@ -467,9 +501,51 @@ impl Machine {
     fn on_tick(&mut self, cpu: CpuId) {
         let now = self.now;
         self.stats.cpu_mut(cpu).ticks += 1;
-        // Re-arm the periodic tick.
-        self.events
-            .push(now + self.cfg.tick_cycles, Event::Tick { cpu });
+        // Re-arm the periodic tick, optionally jittered by the fault plan
+        // (a sloppy timer: the next interrupt lands early or late).
+        let period = match self.injector.as_mut() {
+            Some(inj) => {
+                let (period, jittered) = inj.tick_period(self.cfg.tick_cycles);
+                if jittered {
+                    self.bus.emit_at(
+                        now,
+                        ObsEvent::FaultInjected {
+                            cpu,
+                            fault: "tick_jitter",
+                        },
+                    );
+                }
+                period
+            }
+            None => self.cfg.tick_cycles,
+        };
+        self.events.push(now + period, Event::Tick { cpu });
+        // Spurious wakeup: aim a wake_up_process() at a deterministically
+        // chosen live task. Waking a non-blocked task must be a no-op;
+        // waking a blocked one early is legal but hostile.
+        if self.injector.is_some() {
+            let idles: Vec<Tid> = self.cpus.iter().map(|c| c.idle).collect();
+            let cands: Vec<Tid> = self
+                .tasks
+                .iter()
+                .map(|t| t.tid)
+                .filter(|tid| !idles.contains(tid))
+                .collect();
+            if let Some(i) = self
+                .injector
+                .as_mut()
+                .and_then(|inj| inj.spurious_wakeup(cands.len()))
+            {
+                self.bus.emit_at(
+                    now,
+                    ObsEvent::FaultInjected {
+                        cpu,
+                        fault: "spurious_wakeup",
+                    },
+                );
+                self.wake_up(cands[i], cpu, now);
+            }
+        }
         let cur = self.cpus[cpu].current;
         if !self.cpus[cpu].is_idle() {
             // Quantum accounting: the timer interrupt decrements the
@@ -585,6 +661,30 @@ impl Machine {
         self.dists.record("runqueue_len", depth);
         self.bus
             .emit_at(t, ObsEvent::QueueDepthSample { cpu, depth });
+        // Chaos oracle: freeze the runnable set and prev's scheduling
+        // state *before* the scheduler under test runs (it may mutate
+        // counters, clear SCHED_YIELD, or recalculate). Idle tasks are
+        // excluded; tasks executing elsewhere carry `has_cpu` so the
+        // reference scan can apply `can_schedule()` itself.
+        let probe = if self.oracle.is_some() {
+            let idles: Vec<Tid> = self.cpus.iter().map(|c| c.idle).collect();
+            let snaps: Vec<TaskSnap> = self
+                .tasks
+                .iter()
+                .filter(|task| task.state.is_runnable() && !idles.contains(&task.tid))
+                .map(TaskSnap::of)
+                .collect();
+            let pt = self.tasks.task(prev);
+            Some((
+                snaps,
+                pt.mm,
+                pt.policy.yielded,
+                pt.state.is_runnable(),
+                self.stats.cpu(cpu).yield_reruns,
+            ))
+        } else {
+            None
+        };
         let (t_acq, home) = if self.cfg.sched.smp {
             self.acquire_home_domain(cpu, cpu, t)
         } else {
@@ -616,23 +716,89 @@ impl Machine {
             };
             self.sched.schedule(&mut ctx, cpu, prev, idle)
         };
+        // Chaos: a delayed lock holder stretches the held interval beyond
+        // the work the call actually did, so every other CPU contending
+        // for the domain spins correspondingly longer (SMP builds only —
+        // there is no held domain to delay on UP).
+        let hold_extra = match self.injector.as_mut() {
+            Some(inj) if domains.is_some() => inj.lock_hold(meter.cycles()).unwrap_or(0),
+            _ => 0,
+        };
         // Release every held domain before any further `&mut self` work:
         // the domain set borrows the lock bank. Mid-call spins stretch
         // the call, so they are part of the held interval.
         let (extra_spin, taken) = match domains {
             Some(d) => {
                 let extra = d.extra_spin();
-                (extra, d.release_all(t_acq + meter.cycles() + extra))
+                (
+                    extra,
+                    d.release_all(t_acq + meter.cycles() + extra + hold_extra),
+                )
             }
             None => (0, Vec::new()),
         };
         self.charge_kernel_meter(cpu, Phase::Schedule, &meter);
+        if hold_extra > 0 {
+            // The extra held time is real CPU time on the holder; charge
+            // it as lock-domain cycles so the conservation invariant
+            // (`kernel_cycles == profiler.total()`) keeps holding.
+            self.bus.emit_at(
+                t_acq,
+                ObsEvent::FaultInjected {
+                    cpu,
+                    fault: "lock_hold",
+                },
+            );
+            self.charge_kernel_raw(cpu, Phase::LockSpin, hold_extra);
+        }
         let cycles = meter.take();
-        let t_done = t_acq + cycles + extra_spin;
+        let t_done = t_acq + cycles + extra_spin + hold_extra;
         for a in taken {
             self.account_domain_acquire(cpu, a);
         }
         self.stats.cpu_mut(cpu).sched_cycles += cycles;
+        // Chaos oracle: replay the reference O(n) scan over the frozen
+        // snapshot, classify this decision, and check the run-queue
+        // invariants the scheduler must have preserved. Pure observation:
+        // no simulated cycles are charged and no task state is touched.
+        if let Some((snaps, prev_mm, prev_yielded, prev_runnable, reruns_before)) = probe {
+            let d = Decision {
+                cpu,
+                prev,
+                idle,
+                prev_mm,
+                prev_yielded,
+                prev_runnable,
+                chosen: next,
+                yield_rerun: self.stats.cpu(cpu).yield_reruns > reruns_before,
+                search_limit: self.cfg.sched.search_limit(),
+                smp: self.cfg.sched.smp,
+                snaps: &snaps,
+            };
+            let v = self
+                .oracle
+                .as_mut()
+                .expect("probe implies oracle")
+                .judge_full(&d);
+            if v.class != DivergenceClass::Match {
+                self.bus.emit_at(
+                    t_done,
+                    ObsEvent::OracleDivergence {
+                        cpu,
+                        chosen: next,
+                        expected: v.expected,
+                        class: v.class.label(),
+                    },
+                );
+            }
+            let violations = check_task_invariants(&self.tasks);
+            if !violations.is_empty() {
+                self.oracle
+                    .as_mut()
+                    .expect("probe implies oracle")
+                    .record_violations(&violations);
+            }
+        }
         self.cpus[cpu].need_resched = false;
         self.cpus[cpu].gen += 1; // cancel any outstanding Resume
 
@@ -775,6 +941,11 @@ impl Machine {
                     self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::PipeOp, pipe_cost);
                     match self.pipes.pipe_mut(pipe).try_read() {
                         Ok((msg, waker)) => {
+                            // finish_wait(): a spuriously woken reader may
+                            // still hold its queue entry; drop it so a
+                            // later wake_one() cannot be swallowed by the
+                            // stale slot.
+                            self.pipes.pipe_mut(pipe).readers.unpark(cur);
                             let polls = self.cfg.io_poll_yields;
                             let run = self.run_mut(cur);
                             run.last_read = Some(msg);
@@ -796,6 +967,7 @@ impl Machine {
                             return Some(t);
                         }
                         Err(PipeError::Closed) => {
+                            self.pipes.pipe_mut(pipe).readers.unpark(cur);
                             self.run_mut(cur).last_read = None;
                         }
                     }
@@ -805,8 +977,55 @@ impl Machine {
                     t += base + pipe_cost;
                     self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
                     self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::PipeOp, pipe_cost);
+                    // Chaos: the peer may reset the connection under this
+                    // write, or the write may be cut short (charged but
+                    // not delivered; the writer retries).
+                    let (reset, short) = match self.injector.as_mut() {
+                        Some(inj) => {
+                            let reset = inj.peer_reset();
+                            (reset, !reset && inj.short_write())
+                        }
+                        None => (false, false),
+                    };
+                    if reset {
+                        self.bus.emit_at(
+                            t,
+                            ObsEvent::FaultInjected {
+                                cpu,
+                                fault: "peer_reset",
+                            },
+                        );
+                        // The peer closes the pipe under the conversation:
+                        // every parked reader and writer wakes to observe
+                        // `Closed`, and the `try_write` below fails like a
+                        // real post-reset send.
+                        let wakers = self.pipes.pipe_mut(pipe).close();
+                        for w in wakers {
+                            t = self.wake_up(w, cpu, t);
+                        }
+                    } else if short {
+                        self.bus.emit_at(
+                            t,
+                            ObsEvent::FaultInjected {
+                                cpu,
+                                fault: "short_write",
+                            },
+                        );
+                        // Retry the write via a yield, like a would-block
+                        // poll. Time advanced, so progress is preserved
+                        // with probability one for any rate < 1.
+                        self.run_mut(cur).pending = Some(Pending {
+                            remaining: 0,
+                            syscall: Syscall::Write(pipe, msg),
+                        });
+                        self.tasks.task_mut(cur).policy.yielded = true;
+                        self.stats.cpu_mut(cpu).yields += 1;
+                        return Some(t);
+                    }
                     match self.pipes.pipe_mut(pipe).try_write(msg) {
                         Ok(waker) => {
+                            // finish_wait(), as on the read side.
+                            self.pipes.pipe_mut(pipe).writers.unpark(cur);
                             self.run_mut(cur).polls_left = self.cfg.io_poll_yields;
                             if let Some(w) = waker {
                                 t = self.wake_up(w, cpu, t);
@@ -824,7 +1043,22 @@ impl Machine {
                         }
                         Err(PipeError::Closed) => {
                             // Writing to a closed pipe: message dropped.
+                            self.pipes.pipe_mut(pipe).writers.unpark(cur);
                         }
+                    }
+                }
+                Syscall::Close(pipe) => {
+                    let pipe_cost = self.cfg.costs.get(CostKind::PipeOp);
+                    t += base + pipe_cost;
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::SyscallBase, base);
+                    self.charge_kernel_kind(cpu, Phase::Syscall, CostKind::PipeOp, pipe_cost);
+                    // Closing must wake *every* parked reader and writer
+                    // so each observes `Closed` now — a task parked on a
+                    // dead pipe would otherwise wedge until the deadlock
+                    // detector trips.
+                    let wakers = self.pipes.pipe_mut(pipe).close();
+                    for w in wakers {
+                        t = self.wake_up(w, cpu, t);
                     }
                 }
                 Syscall::Spawn(req) => {
@@ -914,6 +1148,41 @@ impl Machine {
         self.make_runnable(tid, waker_cpu, t)
     }
 
+    /// Sends a reschedule IPI to `target`, subject to the fault plan:
+    /// delivery may be delayed (latency inflated) or dropped outright.
+    /// A dropped IPI is safe because `need_resched` stays set on the
+    /// target — its next timer tick performs the reschedule, the same
+    /// safety net the kernel itself relies on.
+    fn send_ipi(&mut self, target: CpuId, t: Cycles) {
+        let base = self.cfg.costs.get(CostKind::IpiLatency);
+        let fault = self
+            .injector
+            .as_mut()
+            .map_or(IpiFault::None, |inj| inj.ipi_fault(base));
+        match fault {
+            IpiFault::None => self.push_event(t + base, Event::Ipi { cpu: target }),
+            IpiFault::Delay(extra) => {
+                self.bus.emit_at(
+                    t,
+                    ObsEvent::FaultInjected {
+                        cpu: target,
+                        fault: "ipi_delay",
+                    },
+                );
+                self.push_event(t + base + extra, Event::Ipi { cpu: target });
+            }
+            IpiFault::Drop => {
+                self.bus.emit_at(
+                    t,
+                    ObsEvent::FaultInjected {
+                        cpu: target,
+                        fault: "ipi_drop",
+                    },
+                );
+            }
+        }
+    }
+
     /// Enqueues a runnable task and runs `reschedule_idle()` placement.
     fn make_runnable(&mut self, tid: Tid, waker_cpu: CpuId, t: Cycles) -> Cycles {
         debug_assert!(self.tasks.task(tid).state.is_runnable());
@@ -991,19 +1260,13 @@ impl Machine {
                 self.cpus[target].need_resched = true;
                 self.stats.cpu_mut(waker_cpu).ipis_sent += 1;
                 t3 += 1;
-                self.push_event(
-                    t3 + self.cfg.costs.get(CostKind::IpiLatency),
-                    Event::Ipi { cpu: target },
-                );
+                self.send_ipi(target, t3);
             }
             WakeTarget::Preempt(target) => {
                 self.cpus[target].need_resched = true;
                 if target != waker_cpu {
                     self.stats.cpu_mut(waker_cpu).ipis_sent += 1;
-                    self.push_event(
-                        t3 + self.cfg.costs.get(CostKind::IpiLatency),
-                        Event::Ipi { cpu: target },
-                    );
+                    self.send_ipi(target, t3);
                 }
                 // target == waker_cpu: the need_resched check at the top
                 // of run_segments picks this up at the syscall boundary.
@@ -1343,6 +1606,256 @@ mod tests {
         let r = m.run().expect("completes");
         let t = r.stats.total();
         assert!(t.work_cycles >= 1_000_000, "work {}", t.work_cycles);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::behavior::Script;
+    use elsc_chaos::FaultPlan;
+    use elsc_ktask::MmId;
+
+    /// A small mixed workload: pipe traffic plus compute, enough to
+    /// exercise wakeups, preemptions, and many `schedule()` decisions.
+    fn load(m: &mut Machine) {
+        let pipe = m.create_pipe(2);
+        m.spawn(
+            &TaskSpec::named("w").mm(MmId(1)),
+            Box::new(Script::new(
+                (0..15)
+                    .map(|i| Op::write_after(20_000, pipe, Msg::tagged(i)))
+                    .collect(),
+            )),
+        );
+        m.spawn(
+            &TaskSpec::named("r").mm(MmId(2)),
+            Box::new(Script::new(
+                (0..15).map(|_| Op::read_after(10_000, pipe)).collect(),
+            )),
+        );
+        for i in 0..2u32 {
+            m.spawn(
+                &TaskSpec::named("c").mm(MmId(3 + i)),
+                Box::new(Script::new(vec![Op::compute(9_000_000, Syscall::Nop)])),
+            );
+        }
+    }
+
+    fn machine_with(cfg: MachineConfig, sched: Box<dyn Scheduler>) -> Result<RunReport, RunError> {
+        let mut m = Machine::new(cfg.with_max_secs(50.0), sched);
+        load(&mut m);
+        m.run()
+    }
+
+    #[test]
+    fn oracle_reports_clean_equivalence_on_up() {
+        for sched in ["elsc", "reg"] {
+            let s: Box<dyn Scheduler> = match sched {
+                "elsc" => Box::new(elsc::ElscScheduler::new()),
+                _ => Box::new(elsc_sched_linux::LinuxScheduler::new()),
+            };
+            let r = machine_with(MachineConfig::up().with_oracle(true), s).expect("completes");
+            let chaos = r.chaos.as_ref().expect("oracle enables the summary");
+            let o = chaos.oracle.as_ref().expect("oracle report present");
+            assert!(
+                o.decisions > 10,
+                "{sched}: judged {} decisions",
+                o.decisions
+            );
+            assert!(
+                o.clean(),
+                "{sched}: {} unexplained / {} violations (first: {:?})",
+                o.unexplained,
+                o.invariant_violations,
+                o.first_unexplained.as_ref().or(o.first_violation.as_ref())
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_is_pure_observation() {
+        let with = machine_with(
+            MachineConfig::up().with_oracle(true),
+            Box::new(elsc::ElscScheduler::new()),
+        )
+        .expect("completes");
+        let without = machine_with(MachineConfig::up(), Box::new(elsc::ElscScheduler::new()))
+            .expect("completes");
+        assert_eq!(
+            with.elapsed, without.elapsed,
+            "judging must never change the schedule"
+        );
+        assert!(without.chaos.is_none(), "clean runs carry no chaos summary");
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let run = |fault_seed| {
+            machine_with(
+                MachineConfig::up()
+                    .with_faults(Some(FaultPlan::heavy()))
+                    .with_fault_seed(fault_seed),
+                Box::new(elsc::ElscScheduler::new()),
+            )
+            .expect("heavy faults stay completion-safe")
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.to_json(), b.to_json(), "same fault seed, same bytes");
+        let counts = a.chaos.as_ref().expect("summary").counts;
+        assert!(counts.total() > 0, "heavy plan must inject something");
+        let c = run(8);
+        assert_ne!(
+            a.to_json(),
+            c.to_json(),
+            "different fault seeds must perturb differently"
+        );
+    }
+
+    #[test]
+    fn dropped_ipis_are_recovered_by_ticks() {
+        // Drop *every* reschedule IPI on a 2-CPU machine: need_resched
+        // stays set and the next timer tick performs the reschedule, so
+        // the workload still completes.
+        let r = machine_with(
+            MachineConfig::smp(2)
+                .with_faults(Some("ipi_drop=1.0".parse().unwrap()))
+                .with_fault_seed(3),
+            Box::new(elsc_sched_linux::LinuxScheduler::new()),
+        )
+        .expect("tick recovery must rescue every lost IPI");
+        let counts = r.chaos.as_ref().expect("summary").counts;
+        assert!(counts.ipi_dropped > 0, "the plan must actually drop IPIs");
+    }
+
+    #[test]
+    fn faulted_run_keeps_cycle_conservation() {
+        let r = machine_with(
+            MachineConfig::smp(2)
+                .with_faults(Some(FaultPlan::heavy()))
+                .with_fault_seed(11)
+                .with_oracle(true),
+            Box::new(elsc::ElscScheduler::new()),
+        )
+        .expect("completes");
+        assert!(
+            r.conservation_ok,
+            "lock-hold charging must stay conservative"
+        );
+    }
+
+    #[test]
+    fn exit_recalc_charges_live_tasks_only() {
+        // Spawn-exit-recalc cost conservation: a hog exhausts its
+        // quantum, then the exiter runs and exits — and the
+        // recalculation triggered by that very exit's `schedule()` call
+        // fires while the corpse is still in the TaskTable (zombies are
+        // reaped only after `schedule()` returns). The walk must count
+        // the hog and the idle task, never the zombie, and the
+        // RecalcPerTask cycles charged must match that count (the
+        // conservation check ties the meter to the profiler).
+        for sched in ["elsc", "reg"] {
+            let s: Box<dyn Scheduler> = match sched {
+                "elsc" => Box::new(elsc::ElscScheduler::new()),
+                _ => Box::new(elsc_sched_linux::LinuxScheduler::new()),
+            };
+            let mut m = Machine::new(MachineConfig::up().with_max_secs(50.0), s);
+            let hog = Box::new(Script::new(vec![Op::compute(100_000_000, Syscall::Nop)]));
+            let exiter = Box::new(Script::new(vec![Op::compute(12_000_000, Syscall::Nop)]));
+            // The hog must run first so its quantum is exhausted by the
+            // time the exiter dies. elsc's run queue inserts at the
+            // front (reverse spawn order) while the baseline scans in
+            // table order, so the spawn order differs per scheduler.
+            if sched == "elsc" {
+                m.spawn(&TaskSpec::named("exiter").mm(MmId(1)), exiter);
+                m.spawn(&TaskSpec::named("hog").mm(MmId(2)), hog);
+            } else {
+                m.spawn(&TaskSpec::named("hog").mm(MmId(2)), hog);
+                m.spawn(&TaskSpec::named("exiter").mm(MmId(1)), exiter);
+            }
+            let r = m.run().expect("completes");
+            let t = r.stats.total();
+            assert_eq!(t.recalc_entries, 1, "{sched}: exactly one recalc");
+            assert_eq!(t.recalc_tasks, 2, "{sched}: hog + idle, never the zombie");
+            assert!(r.conservation_ok, "{sched}: recalc charging must conserve");
+        }
+    }
+
+    #[test]
+    fn close_wakes_parked_reader_and_writer() {
+        // Regression: a reader parked on an empty pipe and a writer
+        // parked on a full one; closing both must wake *both* tasks so
+        // they observe `Closed` instead of wedging until the deadlock
+        // detector trips.
+        let cfg = MachineConfig::up().with_max_secs(50.0).with_poll_yields(0);
+        let mut m = Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()));
+        let empty = m.create_pipe(1);
+        let full = m.create_pipe(1);
+        // add_to_runqueue inserts at the front, so tasks run in reverse
+        // spawn order: reader parks, writer parks, then the closer runs.
+        m.spawn(
+            &TaskSpec::named("closer").mm(MmId(3)),
+            Box::new(Script::new(vec![
+                Op::close_after(2_000_000, empty),
+                Op::close_after(1_000, full),
+            ])),
+        );
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(2)),
+            Box::new(Script::new(vec![
+                Op::write_after(1_000, full, Msg::tagged(1)),
+                Op::write_after(1_000, full, Msg::tagged(2)),
+            ])),
+        );
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::read_after(1_000, empty)])),
+        );
+        let r = m.run().expect("close must unwedge both parked tasks");
+        assert_eq!(r.messages_read, 0, "nothing is ever read");
+        assert!(
+            r.stats.total().wakeups >= 2,
+            "both parked tasks must be woken by the closes"
+        );
+    }
+
+    #[test]
+    fn spurious_wakeup_of_a_parked_reader_reparks_cleanly() {
+        // Regression (found by the `net` chaos sweep): a spurious
+        // `wake_up_process()` makes a parked pipe reader runnable without
+        // removing it from the wait queue — real kernels leave the wait
+        // entry queued until `finish_wait()`. The woken reader re-checks,
+        // still sees an empty pipe, and blocks again: parking must be
+        // idempotent (`prepare_to_wait()` semantics), not a double-park,
+        // and the eventual real wakeup must still reach it.
+        let cfg = MachineConfig::up()
+            .with_max_secs(50.0)
+            .with_poll_yields(0)
+            .with_faults(Some("spurious_wakeup=1.0".parse().unwrap()))
+            .with_fault_seed(5);
+        let mut m = Machine::new(cfg, Box::new(elsc::ElscScheduler::new()));
+        let pipe = m.create_pipe(1);
+        // Reverse spawn order: the reader runs first and parks; the writer
+        // then computes across several timer ticks (each tick aims a
+        // spurious wakeup at a live task) before delivering the message.
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(2)),
+            Box::new(Script::new(vec![Op::write_after(
+                20_000_000,
+                pipe,
+                Msg::tagged(1),
+            )])),
+        );
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::read_after(1_000, pipe)])),
+        );
+        let r = m.run().expect("the spuriously woken reader must re-park");
+        assert_eq!(r.messages_read, 1, "the real wakeup still delivers");
+        let counts = r.chaos.as_ref().expect("summary").counts;
+        assert!(counts.spurious_wakeups > 0, "the fault must actually fire");
+        assert!(r.conservation_ok);
     }
 }
 

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use elsc_chaos::ChaosSummary;
 use elsc_obs::json::{array, Obj};
 use elsc_obs::{stats_json, Percentiles, ProfileReport};
 use elsc_simcore::{Cycles, DomainStats, Histogram};
@@ -132,6 +133,10 @@ pub struct RunReport {
     /// Debug builds assert this; release builds record it here so
     /// downstream gates (`elsc lab`) can fail runs that violate it.
     pub conservation_ok: bool,
+    /// Chaos summary: fault-injection counts and oracle verdicts.
+    /// `None` when neither faults nor the oracle were enabled, so clean
+    /// runs serialize exactly as they did before chaos existed.
+    pub chaos: Option<ChaosSummary>,
 }
 
 impl RunReport {
@@ -205,6 +210,9 @@ impl RunReport {
             .raw("distributions", dists);
         if let Some(p) = self.wake_latency() {
             obj = obj.raw("wake_latency", p.to_json());
+        }
+        if let Some(c) = &self.chaos {
+            obj = obj.raw("chaos", c.to_json());
         }
         obj.build()
     }
@@ -282,6 +290,39 @@ impl fmt::Display for RunReport {
                 self.trace_dropped
             )?;
         }
+        if let Some(c) = &self.chaos {
+            if let Some(plan) = &c.fault_plan {
+                writeln!(
+                    f,
+                    "  chaos: plan={} fault_seed={:#x} injected={}",
+                    plan,
+                    c.fault_seed,
+                    c.counts.total()
+                )?;
+            }
+            if let Some(o) = &c.oracle {
+                writeln!(
+                    f,
+                    "  oracle: decisions={} matches={} ties={} yield_reruns={} \
+                     truncations={} affinity={} design={} unexplained={} violations={}",
+                    o.decisions,
+                    o.matches,
+                    o.ties,
+                    o.yield_reruns,
+                    o.truncations,
+                    o.affinity,
+                    o.design,
+                    o.unexplained,
+                    o.invariant_violations
+                )?;
+                if let Some(d) = &o.first_unexplained {
+                    writeln!(f, "    first unexplained: {d}")?;
+                }
+                if let Some(d) = &o.first_violation {
+                    writeln!(f, "    first violation: {d}")?;
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -328,6 +369,7 @@ mod tests {
             trace_dropped: 0,
             profile: ProfileReport::empty(2),
             conservation_ok: true,
+            chaos: None,
         }
     }
 

@@ -80,6 +80,30 @@ pub enum ObsEvent {
         /// Runnable tasks (excluding idle).
         depth: u64,
     },
+    /// The chaos fault injector perturbed the machine.
+    ///
+    /// `fault` is the static fault-class label ("ipi_delay", "ipi_drop",
+    /// "spurious_wakeup", "tick_jitter", "lock_hold", "short_write",
+    /// "peer_reset"). Emitting every injection keeps traces diffable:
+    /// a fault-free and a faulted run differ exactly where the plan fired.
+    FaultInjected {
+        /// The CPU the fault landed on.
+        cpu: CpuId,
+        /// Static fault-class label.
+        fault: &'static str,
+    },
+    /// The differential oracle saw the scheduler pick a different task
+    /// than the O(n) reference scan, and classified the divergence.
+    OracleDivergence {
+        /// The deciding CPU.
+        cpu: CpuId,
+        /// What the scheduler under test picked.
+        chosen: Tid,
+        /// What the reference scan would have picked.
+        expected: Tid,
+        /// Divergence class label (`tie`, `truncation`, ...).
+        class: &'static str,
+    },
 }
 
 impl ObsEvent {
@@ -96,6 +120,8 @@ impl ObsEvent {
             ObsEvent::RecalcEnd { .. } => "recalc_end",
             ObsEvent::LockContended { .. } => "lock_contended",
             ObsEvent::QueueDepthSample { .. } => "queue_depth",
+            ObsEvent::FaultInjected { .. } => "fault",
+            ObsEvent::OracleDivergence { .. } => "oracle_divergence",
         }
     }
 }
@@ -147,6 +173,17 @@ impl ObsRecord {
             ObsEvent::QueueDepthSample { cpu, depth } => {
                 o.u64("cpu", cpu as u64).u64("depth", depth)
             }
+            ObsEvent::FaultInjected { cpu, fault } => o.u64("cpu", cpu as u64).str("fault", fault),
+            ObsEvent::OracleDivergence {
+                cpu,
+                chosen,
+                expected,
+                class,
+            } => o
+                .u64("cpu", cpu as u64)
+                .u64("chosen", chosen.index() as u64)
+                .u64("expected", expected.index() as u64)
+                .str("class", class),
         };
         o.build()
     }
@@ -192,6 +229,16 @@ mod tests {
                 spin: 600,
             },
             ObsEvent::QueueDepthSample { cpu: 0, depth: 5 },
+            ObsEvent::FaultInjected {
+                cpu: 0,
+                fault: "ipi_drop",
+            },
+            ObsEvent::OracleDivergence {
+                cpu: 0,
+                chosen: tid(2),
+                expected: tid(3),
+                class: "tie",
+            },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -235,6 +282,30 @@ mod tests {
         assert_eq!(
             r3.to_json_line(),
             r#"{"at":9,"event":"lock_contended","cpu":2,"domain":1,"spin":350}"#
+        );
+        let r4 = ObsRecord {
+            at: Cycles(11),
+            event: ObsEvent::FaultInjected {
+                cpu: 1,
+                fault: "tick_jitter",
+            },
+        };
+        assert_eq!(
+            r4.to_json_line(),
+            r#"{"at":11,"event":"fault","cpu":1,"fault":"tick_jitter"}"#
+        );
+        let r5 = ObsRecord {
+            at: Cycles(13),
+            event: ObsEvent::OracleDivergence {
+                cpu: 0,
+                chosen: tid(4),
+                expected: tid(6),
+                class: "truncation",
+            },
+        };
+        assert_eq!(
+            r5.to_json_line(),
+            r#"{"at":13,"event":"oracle_divergence","cpu":0,"chosen":4,"expected":6,"class":"truncation"}"#
         );
     }
 

@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use elsc_ktask::recalc::recalculated_counter;
+use elsc_ktask::recalc::{in_recalc_walk, recalculated_counter};
 use elsc_ktask::{CpuId, SchedClass, TaskState, TaskTable, Tid};
 use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
 use elsc_simcore::CostKind;
@@ -98,7 +98,9 @@ impl HeapScheduler {
     fn recalculate(&mut self, ctx: &mut SchedCtx<'_>, cpu: CpuId) {
         ctx.stats.cpu_mut(cpu).recalc_entries += 1;
         let mut n = 0u64;
-        for task in ctx.tasks.iter_mut() {
+        // Zombies awaiting the post-schedule reap are not walked (or
+        // charged for): recalc cost is per *live* task.
+        for task in ctx.tasks.iter_mut().filter(|t| in_recalc_walk(t)) {
             task.counter = recalculated_counter(task);
             n += 1;
         }

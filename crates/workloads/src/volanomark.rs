@@ -181,17 +181,28 @@ struct ClientRx {
     expected: u32,
     work: u64,
     jitter: f64,
+    /// Whether the previous `resume` issued a read (so a `None`
+    /// `last_read` now means the socket died, not "first resume").
+    awaiting: bool,
 }
 
 impl Behavior for ClientRx {
     fn resume(&mut self, sys: &mut SysView<'_>) -> Op {
-        if sys.last_read.is_some() {
-            sys.ledger.add("messages", 1);
+        if self.awaiting {
+            self.awaiting = false;
+            match sys.last_read {
+                Some(_) => sys.ledger.add("messages", 1),
+                // The connection was reset under the read (chaos
+                // `peer_reset`): a real chat client sees EOF/ECONNRESET
+                // and gives up rather than re-reading a dead socket.
+                None => return Op::exit(),
+            }
         }
         if self.expected == 0 {
             return Op::exit();
         }
         self.expected -= 1;
+        self.awaiting = true;
         let work = sys.rng.jitter(self.work, self.jitter);
         Op::read_after(work, self.s2c)
     }
@@ -218,6 +229,8 @@ struct ServerRx {
     spins: u32,
     jitter: f64,
     phase: SrvPhase,
+    /// Whether the previous `resume` issued a read — see [`ClientRx`].
+    awaiting: bool,
 }
 
 /// Where a server reader thread is in its read/route/broadcast cycle.
@@ -231,14 +244,30 @@ enum SrvPhase {
     Routing(u64),
     /// Monitor released; writing the message to each outbox.
     Fanout(u64, usize),
+    /// Connection reset observed: closing every room outbox (index of the
+    /// next one to close), so the server writers and — transitively — the
+    /// clients unwedge instead of waiting for broadcasts that will never
+    /// arrive.
+    Teardown(usize),
 }
 
 impl Behavior for ServerRx {
     fn resume(&mut self, sys: &mut SysView<'_>) -> Op {
         if let Some(msg) = sys.last_read {
             debug_assert!(matches!(self.phase, SrvPhase::Reading));
+            self.awaiting = false;
             self.to_read -= 1;
             self.phase = SrvPhase::Acquire(msg.tag);
+        } else if self.awaiting {
+            // The client connection was reset under our read (chaos
+            // `peer_reset`). Re-issuing the read would return `Closed`
+            // immediately, forever — the wedge the `net` chaos sweep
+            // caught (`to_read` never advances, so the thread spins until
+            // the watchdog). A real server drops the connection and tears
+            // the room down: without that, every other member of the room
+            // waits forever for this client's remaining broadcasts.
+            self.awaiting = false;
+            self.phase = SrvPhase::Teardown(0);
         }
         loop {
             match self.phase {
@@ -278,7 +307,15 @@ impl Behavior for ServerRx {
                     if self.to_read == 0 {
                         return Op::exit();
                     }
+                    self.awaiting = true;
                     return Op::read_after(2_000, self.c2s);
+                }
+                SrvPhase::Teardown(idx) => {
+                    if idx < self.outboxes.len() {
+                        self.phase = SrvPhase::Teardown(idx + 1);
+                        return Op::close_after(200, self.outboxes[idx]);
+                    }
+                    return Op::exit();
                 }
             }
         }
@@ -294,12 +331,33 @@ struct ServerTx {
     work: u64,
     jitter: f64,
     forward: Option<Msg>,
+    /// True while a read on the outbox is outstanding, so a `None`
+    /// `last_read` on resume means "outbox closed", not "first resume".
+    awaiting: bool,
+    /// Set once the outbox died and we've issued the `s2c` close; the
+    /// next resume just exits.
+    dying: bool,
 }
 
 impl Behavior for ServerTx {
     fn resume(&mut self, sys: &mut SysView<'_>) -> Op {
-        if let Some(msg) = sys.last_read {
-            self.forward = Some(msg);
+        if self.dying {
+            return Op::exit();
+        }
+        if self.awaiting {
+            self.awaiting = false;
+            match sys.last_read {
+                Some(msg) => self.forward = Some(msg),
+                None => {
+                    // The outbox was closed under our read: the room is
+                    // tearing down after a connection reset (chaos
+                    // `peer_reset`). Propagate the shutdown to our client
+                    // socket so ClientRx — parked on `s2c` — unwedges and
+                    // exits instead of deadlocking the whole room.
+                    self.dying = true;
+                    return Op::close_after(200, self.s2c);
+                }
+            }
         }
         if let Some(msg) = self.forward.take() {
             let work = sys.rng.jitter(self.work, self.jitter);
@@ -309,6 +367,7 @@ impl Behavior for ServerTx {
             return Op::exit();
         }
         self.expected -= 1;
+        self.awaiting = true;
         Op::read_after(200, self.outbox)
     }
 }
@@ -348,6 +407,7 @@ pub fn build(m: &mut Machine, cfg: &VolanoConfig) {
                     expected: per_user_expected,
                     work: cfg.client_recv_work,
                     jitter: cfg.jitter,
+                    awaiting: false,
                 }),
             );
             m.spawn(
@@ -362,6 +422,7 @@ pub fn build(m: &mut Machine, cfg: &VolanoConfig) {
                     spins: 0,
                     jitter: cfg.jitter,
                     phase: SrvPhase::Reading,
+                    awaiting: false,
                 }),
             );
             m.spawn(
@@ -373,6 +434,8 @@ pub fn build(m: &mut Machine, cfg: &VolanoConfig) {
                     work: cfg.server_send_work,
                     jitter: cfg.jitter,
                     forward: None,
+                    awaiting: false,
+                    dying: false,
                 }),
             );
         }
