@@ -119,7 +119,13 @@ pub enum OracleMode {
 
 impl OracleMode {
     /// The mode for a scheduler, keyed by its `Scheduler::name()`.
+    ///
+    /// Interpreted policies report themselves as `policy:<name>`; the
+    /// prefix is stripped so `policy:reg` — the bundled `.pol` transcription
+    /// of the baseline scheduler — is held to the same strict claim as the
+    /// native implementation, while arbitrary policies default to relaxed.
     pub fn for_scheduler(name: &str) -> OracleMode {
+        let name = name.strip_prefix("policy:").unwrap_or(name);
         match name {
             "elsc" | "reg" => OracleMode::Strict,
             _ => OracleMode::Relaxed,
@@ -614,6 +620,15 @@ mod tests {
             smp: false,
             snaps,
         }
+    }
+
+    #[test]
+    fn oracle_mode_strips_the_policy_prefix() {
+        assert_eq!(OracleMode::for_scheduler("reg"), OracleMode::Strict);
+        assert_eq!(OracleMode::for_scheduler("policy:reg"), OracleMode::Strict);
+        assert_eq!(OracleMode::for_scheduler("policy:elsc"), OracleMode::Strict);
+        assert_eq!(OracleMode::for_scheduler("policy:rr"), OracleMode::Relaxed);
+        assert_eq!(OracleMode::for_scheduler("mq"), OracleMode::Relaxed);
     }
 
     #[test]

@@ -83,6 +83,9 @@ const OPTIONS: &[&str] = &[
     "lock-plan",
     "faults",
     "fault-seed",
+    // policy runtime options.
+    "policy-budget",
+    "policy-dir",
     // `lab` subcommand options.
     "workers",
     "spec",
@@ -243,6 +246,14 @@ mod tests {
         assert!(a.flag("oracle"));
         assert_eq!(a.get("faults"), Some("light"));
         assert_eq!(a.get_or("fault-seed", 0u64).unwrap(), 9);
+    }
+
+    #[test]
+    fn policy_options_are_registered() {
+        let a = parse(&["stress", "--policy-budget", "4096"]).unwrap();
+        assert_eq!(a.get_or("policy-budget", 0u64).unwrap(), 4096);
+        let a = parse(&["ls", "--policy-dir=policies"]).unwrap();
+        assert_eq!(a.get("policy-dir"), Some("policies"));
     }
 
     #[test]

@@ -46,9 +46,10 @@ fn specs(a: &Args) -> Result<Vec<SweepSpec>, String> {
     let mut chosen = Vec::new();
     if a.flag("all-figures") {
         for name in SweepSpec::BUILTINS {
-            // `smoke` is a CI gate and `chaos` an oracle sweep — neither is
-            // a paper figure, so `--all-figures` skips both.
-            if name != "smoke" && name != "chaos" {
+            // `smoke` is a CI gate, `chaos` an oracle sweep, and `policy`
+            // a policy-runtime conformance sweep — none is a paper
+            // figure, so `--all-figures` skips all three.
+            if name != "smoke" && name != "chaos" && name != "policy" {
                 chosen.push(SweepSpec::builtin(name).expect("builtin"));
             }
         }
@@ -198,7 +199,8 @@ sweep options:
   --spec NAME      a builtin spec (elsc-sim lab ls)
   --spec-file P    a spec file in the lab text format (see DESIGN.md sec. 7)
   --all-figures    every paper artifact: figure2..figure6, table2,
-                   kernel_share (manifests under results/lab/)
+                   kernel_share (manifests under results/lab/; the
+                   smoke, chaos, and policy gates are separate specs)
   --workers N      worker threads                  [host parallelism]
   --out PATH       manifest path (single spec only) [results/lab/<name>.json]
   --cache-dir P    result cache directory           [results/lab/cache]

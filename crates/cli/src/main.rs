@@ -10,7 +10,8 @@
 //!   stress    synthetic run-queue stress
 //!
 //! common options:
-//!   --sched LIST   comma list of reg,elsc,heap,aheap,mq  [reg,elsc]
+//!   --sched LIST   comma list of reg,elsc,heap,aheap,mq and/or
+//!                  policy:FILE.pol                       [reg,elsc]
 //!   --cpus N       processors                            [1]
 //!   --up           non-SMP kernel build (forces 1 CPU)
 //!   --seed N       simulation seed                       [23062]
@@ -37,6 +38,7 @@ use std::io::BufWriter;
 use elsc::ElscScheduler;
 use elsc_machine::{FaultPlan, Machine, MachineConfig, RunReport, TraceRecord};
 use elsc_obs::{first_divergence, JsonLinesSink};
+use elsc_policy::PolicyScheduler;
 use elsc_sched_api::{LockPlan, Scheduler};
 use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
 use elsc_sched_linux::LinuxScheduler;
@@ -44,8 +46,24 @@ use elsc_stats::render::render_proc;
 use elsc_workloads::{httpd, kbuild, rtmix, stress, volanomark};
 use elsc_workloads::{HttpdConfig, KbuildConfig, RtMixConfig, StressConfig, VolanoConfig};
 
-/// Builds one scheduler by name.
-fn scheduler(name: &str, nr_cpus: usize) -> Result<Box<dyn Scheduler>, String> {
+/// Builds one scheduler by name. `policy:<file>` loads an interpreted
+/// `.pol` program through the verifying loader; a rejected program
+/// surfaces as `file:line:col: message`, never a panic.
+fn scheduler(
+    name: &str,
+    nr_cpus: usize,
+    policy_budget: Option<u64>,
+) -> Result<Box<dyn Scheduler>, String> {
+    if let Some(path) = name.strip_prefix("policy:") {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("--sched policy: {path}: {e}"))?;
+        let mut sched =
+            PolicyScheduler::load_str(&src, nr_cpus).map_err(|e| format!("{path}:{e}"))?;
+        if let Some(budget) = policy_budget {
+            sched = sched.with_budget(budget);
+        }
+        return Ok(Box::new(sched));
+    }
     Ok(match name {
         "reg" => Box::new(LinuxScheduler::new()),
         "elsc" => Box::new(ElscScheduler::new()),
@@ -54,6 +72,17 @@ fn scheduler(name: &str, nr_cpus: usize) -> Result<Box<dyn Scheduler>, String> {
         "mq" => Box::new(MultiQueueScheduler::new(nr_cpus)),
         other => return Err(format!("unknown scheduler '{other}'")),
     })
+}
+
+/// Reads `--policy-budget` (per-decision interpreter instruction cap).
+fn policy_budget(a: &Args) -> Result<Option<u64>, String> {
+    match a.get("policy-budget") {
+        None => Ok(None),
+        Some(text) => text
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--policy-budget: invalid value '{text}'")),
+    }
 }
 
 /// Builds the machine configuration from the common options.
@@ -193,10 +222,11 @@ fn run_one(
 }
 
 /// When several schedulers share one output path, suffix each file with
-/// the scheduler name so they do not overwrite each other.
+/// the scheduler name so they do not overwrite each other. Policy specs
+/// (`policy:policies/rr.pol`) are flattened to a path-safe tag.
 fn per_sched_path(base: &str, name: &str, multi: bool) -> String {
     if multi {
-        format!("{base}.{name}")
+        format!("{base}.{}", name.replace(['/', ':', '\\'], "_"))
     } else {
         base.to_string()
     }
@@ -218,11 +248,12 @@ fn run(a: &Args) -> Result<(), String> {
         .filter(|s| !s.is_empty())
         .collect();
     let multi = names.len() > 1;
+    let budget = policy_budget(a)?;
     // `--oracle` turns the §5 equivalence claim into the exit code:
     // any unexplained divergence or invariant violation fails the run.
     let mut oracle_failures: Vec<String> = Vec::new();
     for name in names {
-        let sched = scheduler(name, cpus.max(1))?;
+        let sched = scheduler(name, cpus.max(1), budget)?;
         let trace_out = a.get("trace-out").map(|p| per_sched_path(p, name, multi));
         let out = run_one(a, sched, trace_out.as_deref())?;
         let report = &out.report;
@@ -289,8 +320,9 @@ fn run_diff(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
             "--diff compares exactly two schedulers (got '{scheds}'; try --sched reg,elsc)"
         ));
     }
-    let first = run_one(a, scheduler(names[0], cpus)?, None)?;
-    let second = run_one(a, scheduler(names[1], cpus)?, None)?;
+    let budget = policy_budget(a)?;
+    let first = run_one(a, scheduler(names[0], cpus, budget)?, None)?;
+    let second = run_one(a, scheduler(names[1], cpus, budget)?, None)?;
     println!("trace diff: {} vs {}", names[0], names[1]);
     println!("{}", first_divergence(&first.records, &second.records));
     Ok(())
@@ -302,8 +334,9 @@ fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
         "{:<7} {:>10} {:>10} {:>12} {:>10} {:>9} {:>9}",
         "sched", "elapsed_s", "cyc/sched", "exam/sched", "recalcs", "new_cpu", "metric/s"
     );
+    let budget = policy_budget(a)?;
     for name in scheds.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let sched = scheduler(name, cpus)?;
+        let sched = scheduler(name, cpus, budget)?;
         let RunOutcome { report, metric, .. } = run_one(a, sched, None)?;
         let t = report.stats.total();
         let rate = metric.as_deref().map(|m| report.per_sec(m)).unwrap_or(0.0);
@@ -317,6 +350,70 @@ fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
             t.picked_new_cpu,
             rate
         );
+    }
+    Ok(())
+}
+
+/// `elsc-sim ls`: enumerate everything runnable — the native schedulers,
+/// every `.pol` policy discovered on disk, and the workloads. The policy
+/// column shows load-time facts (or the first diagnostic) so a glance
+/// tells you what `--sched policy:<file>` would accept.
+fn run_ls(a: &Args) -> Result<(), String> {
+    println!("native schedulers (--sched NAME):");
+    for (name, what) in [
+        ("reg", "vanilla Linux 2.2/2.3 scheduler (paper sec. 3)"),
+        ("elsc", "30-list static-goodness table (paper sec. 5)"),
+        ("heap", "goodness-ordered heap prototype (paper sec. 8)"),
+        ("aheap", "affinity-aware heap prototype (paper sec. 8)"),
+        ("mq", "per-CPU multi-queue prototype (paper sec. 8)"),
+    ] {
+        println!("  {name:<10} {what}");
+    }
+    let dir = a.get("policy-dir").unwrap_or("policies");
+    println!("\npolicies ({dir}/*.pol, run with --sched policy:<file>):");
+    let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "pol"))
+            .collect(),
+        Err(e) => {
+            println!("  (cannot read {dir}: {e})");
+            Vec::new()
+        }
+    };
+    entries.sort();
+    for path in &entries {
+        let shown = path.display();
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| elsc_policy::load_str(&src).map_err(|e| e.to_string()))
+        {
+            Ok(prog) => {
+                let lists = match prog.lists {
+                    elsc_policy::ListsDecl::Fixed(n) => n.to_string(),
+                    elsc_policy::ListsDecl::PerCpu => "percpu".to_string(),
+                };
+                println!(
+                    "  {shown:<28} policy:{:<8} lists={lists:<7} static_insns={}",
+                    prog.name,
+                    prog.total_static_insns()
+                );
+            }
+            Err(e) => println!("  {shown:<28} INVALID: {e}"),
+        }
+    }
+    if entries.is_empty() {
+        println!("  (none found)");
+    }
+    println!("\nworkloads:");
+    for (name, what) in [
+        ("volano", "VolanoMark chat benchmark (paper sec. 4/6)"),
+        ("kbuild", "kernel compile, make -jN (paper Table 2)"),
+        ("httpd", "Apache-like web server (paper sec. 8)"),
+        ("stress", "synthetic run-queue stress"),
+        ("rtmix", "mixed SCHED_FIFO/SCHED_RR/SCHED_OTHER criticality"),
+    ] {
+        println!("  {name:<10} {what}");
     }
     Ok(())
 }
@@ -352,6 +449,13 @@ fn main() {
         print!("{}", USAGE);
         return;
     }
+    if a.command.as_deref() == Some("ls") {
+        if let Err(e) = run_ls(&a) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Err(e) = run(&a) {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -363,6 +467,8 @@ const USAGE: &str = "\
 elsc-sim: scheduler simulator for 'Scalable Linux Scheduling' (CITI TR 01-7)
 
 usage: elsc-sim <workload> [options]
+       elsc-sim ls [--policy-dir DIR]              (list schedulers,
+                                                    policies, workloads)
        elsc-sim lab <sweep|compare|ls> [options]   (elsc-sim lab --help)
 
 workloads:
@@ -373,7 +479,8 @@ workloads:
   rtmix     mixed SCHED_FIFO/SCHED_RR/SCHED_OTHER criticality
 
 common options:
-  --sched LIST   comma list of reg,elsc,heap,aheap,mq  [reg,elsc]
+  --sched LIST   comma list of reg,elsc,heap,aheap,mq, and/or
+                 policy:FILE.pol (interpreted policy)   [reg,elsc]
   --cpus N       processors                            [1]
   --up           non-SMP kernel build (forces 1 CPU)
   --seed N       simulation seed                       [23062]
@@ -384,6 +491,14 @@ common options:
                  sharded:N (default: whatever the scheduler declares)
   --compare      one summary row per scheduler instead of full reports
   --quiet        suppress the standard report
+
+policy runtime (interpreted .pol schedulers):
+  --sched policy:FILE.pol  load a text policy through the verifying
+                 loader; rejects malformed programs with file:line:col
+  --policy-budget N  per-decision interpreter instruction cap [65536];
+                 blowing it (or a bad pick, or starving the queue) gets
+                 the policy watchdog-ejected mid-run: the vanilla reg
+                 scheduler takes over and the run completes
 
 observability:
   --profile        print the cycle-attribution profile (per CPU x phase
@@ -424,9 +539,9 @@ mod tests {
     #[test]
     fn scheduler_factory_knows_all_names() {
         for name in ["reg", "elsc", "heap", "aheap", "mq"] {
-            assert_eq!(scheduler(name, 2).unwrap().name(), name);
+            assert_eq!(scheduler(name, 2, None).unwrap().name(), name);
         }
-        assert!(scheduler("cfs", 2).is_err());
+        assert!(scheduler("cfs", 2, None).is_err());
     }
 
     #[test]
@@ -465,7 +580,7 @@ mod tests {
             "percpu",
             "--quiet",
         ]);
-        let out = run_one(&a, scheduler("reg", 2).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("reg", 2, None).unwrap(), None).unwrap();
         assert_eq!(out.report.lock_plan, "percpu");
         assert_eq!(out.report.lock_domains.len(), 2);
     }
@@ -496,7 +611,7 @@ mod tests {
         let a = args(&[
             "stress", "--tasks", "8", "--rounds", "3", "--oracle", "--quiet",
         ]);
-        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
         let o = out
             .report
             .chaos
@@ -519,7 +634,7 @@ mod tests {
             "2",
             "--quiet",
         ]);
-        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
         assert_eq!(out.metric.as_deref(), Some("messages"));
         assert_eq!(out.report.ledger.get("messages"), 3 * 3 * 2);
         assert!(out.trace_text.is_none(), "tracing is off by default");
@@ -528,14 +643,14 @@ mod tests {
     #[test]
     fn small_stress_runs_end_to_end() {
         let a = args(&["stress", "--tasks", "4", "--rounds", "3"]);
-        let out = run_one(&a, scheduler("reg", 1).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("reg", 1, None).unwrap(), None).unwrap();
         assert_eq!(out.report.ledger.get("spins"), 12);
     }
 
     #[test]
     fn trace_flag_produces_a_summary() {
         let a = args(&["stress", "--tasks", "2", "--rounds", "2", "--trace", "100"]);
-        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
         let text = out.trace_text.expect("trace requested");
         assert!(text.contains("Switch"));
         assert!(text.contains("records kept"));
@@ -560,7 +675,7 @@ mod tests {
     #[test]
     fn rtmix_runs_end_to_end() {
         let a = args(&["rtmix", "--quiet"]);
-        let out = run_one(&a, scheduler("elsc", 1).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
         assert!(out.report.ledger.get("fifo_activations") > 0);
     }
 
@@ -568,5 +683,68 @@ mod tests {
     fn unknown_workload_is_an_error() {
         let a = args(&["beleaguer"]);
         assert!(run(&a).is_err());
+    }
+
+    fn pol(file: &str) -> String {
+        format!(
+            "policy:{}/../../policies/{file}",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    }
+
+    #[test]
+    fn policy_factory_loads_pol_files() {
+        let s = scheduler(&pol("reg.pol"), 2, None).unwrap();
+        assert_eq!(s.name(), "policy:reg");
+        let err = scheduler("policy:/no/such/file.pol", 1, None)
+            .err()
+            .unwrap();
+        assert!(err.contains("/no/such/file.pol"), "{err}");
+    }
+
+    #[test]
+    fn malformed_policy_is_a_diagnostic_not_a_panic() {
+        let err = scheduler(&pol("bad/undefined_var.pol"), 1, None)
+            .err()
+            .unwrap();
+        // file:line:col: message — clickable, never a panic.
+        assert!(err.contains("undefined_var.pol:"), "{err}");
+        assert!(err.contains("winner"), "{err}");
+    }
+
+    #[test]
+    fn policy_budget_flag_is_parsed() {
+        let a = args(&["stress", "--policy-budget", "128"]);
+        assert_eq!(policy_budget(&a).unwrap(), Some(128));
+        assert_eq!(policy_budget(&args(&["stress"])).unwrap(), None);
+        let err = policy_budget(&args(&["stress", "--policy-budget", "lots"])).unwrap_err();
+        assert!(err.contains("--policy-budget"), "{err}");
+    }
+
+    #[test]
+    fn reg_policy_survives_the_strict_oracle_from_the_cli() {
+        let a = args(&[
+            "stress", "--tasks", "6", "--rounds", "3", "--oracle", "--quiet",
+        ]);
+        let out = run_one(&a, scheduler(&pol("reg.pol"), 1, None).unwrap(), None).unwrap();
+        assert_eq!(out.report.scheduler, "policy:reg");
+        let o = out
+            .report
+            .chaos
+            .as_ref()
+            .and_then(|c| c.oracle.as_ref())
+            .expect("oracle report");
+        assert!(o.clean(), "policy:reg must match the reference scan: {o:?}");
+        let p = out.report.policy.as_ref().expect("policy summary");
+        assert!(!p.ejected);
+    }
+
+    #[test]
+    fn starving_policy_is_ejected_but_the_cli_run_succeeds() {
+        let a = args(&["stress", "--tasks", "6", "--rounds", "3", "--quiet"]);
+        let out = run_one(&a, scheduler(&pol("starve.pol"), 1, None).unwrap(), None).unwrap();
+        let p = out.report.policy.as_ref().expect("policy summary");
+        assert!(p.ejected, "the watchdog must fire");
+        assert_eq!(p.eject_reason, Some("starvation"));
     }
 }

@@ -20,7 +20,7 @@ use elsc_workloads::{
 };
 
 /// The scheduler designs the lab can sweep over.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SchedId {
     /// The stock 2.3.99 scheduler ("reg").
     Reg,
@@ -32,10 +32,24 @@ pub enum SchedId {
     AHeap,
     /// §8 per-CPU multi-queue design ("mq").
     Mq,
+    /// An interpreted `.pol` policy program (see `elsc-policy`). The
+    /// program source travels *inside* the cell so cell execution stays
+    /// pure `CellConfig`-in / `CellResult`-out — no worker-thread file
+    /// IO, no mid-sweep edits changing results behind the cache's back.
+    Policy {
+        /// Display name, `policy:<file stem>` — figure-legend form.
+        name: String,
+        /// The full program source, verified at construction.
+        src: String,
+        /// FNV-1a digest of `src`; part of the cell id, so editing a
+        /// policy dirties exactly its own cache entries.
+        digest: u64,
+    },
 }
 
 impl SchedId {
-    /// All five designs, in the order used everywhere in this repo.
+    /// The five native designs, in the order used everywhere in this
+    /// repo (policy cells are constructed explicitly, never defaulted).
     pub const ALL: [SchedId; 5] = [
         SchedId::Reg,
         SchedId::Elsc,
@@ -44,25 +58,51 @@ impl SchedId {
         SchedId::Mq,
     ];
 
+    /// Builds a policy scheduler id from a display name and program
+    /// source, verifying the program up front so a typo fails at spec
+    /// parse time, not mid-sweep on a worker thread.
+    pub fn policy(name: impl Into<String>, src: impl Into<String>) -> Result<SchedId, String> {
+        let (name, src) = (name.into(), src.into());
+        elsc_policy::load_str(&src).map_err(|e| format!("{name}: {e}"))?;
+        let digest = crate::hash::fnv1a(src.as_bytes());
+        Ok(SchedId::Policy { name, src, digest })
+    }
+
     /// Display name matching the paper's figure legends.
-    pub fn label(self) -> &'static str {
+    pub fn label(&self) -> &str {
         match self {
             SchedId::Reg => "reg",
             SchedId::Elsc => "elsc",
             SchedId::Heap => "heap",
             SchedId::AHeap => "aheap",
             SchedId::Mq => "mq",
+            SchedId::Policy { name, .. } => name,
         }
     }
 
-    /// Instantiates the scheduler (`nr_cpus` only matters for `Mq`).
-    pub fn build(self, nr_cpus: usize) -> Box<dyn Scheduler> {
+    /// The cell-id token: the label, plus the program digest for policy
+    /// schedulers (two sweeps of the same-named but edited `.pol` file
+    /// must not share cache entries or baseline rows).
+    pub fn id_token(&self) -> String {
+        match self {
+            SchedId::Policy { name, digest, .. } => format!("{name}#{digest:016x}"),
+            native => native.label().to_string(),
+        }
+    }
+
+    /// Instantiates the scheduler (`nr_cpus` matters for `Mq` and
+    /// policies with `lists percpu`).
+    pub fn build(&self, nr_cpus: usize) -> Box<dyn Scheduler> {
         match self {
             SchedId::Reg => Box::new(LinuxScheduler::new()),
             SchedId::Elsc => Box::new(ElscScheduler::new()),
             SchedId::Heap => Box::new(HeapScheduler::new()),
             SchedId::AHeap => Box::new(AffinityHeapScheduler::new()),
             SchedId::Mq => Box::new(MultiQueueScheduler::new(nr_cpus)),
+            SchedId::Policy { src, name, .. } => Box::new(
+                elsc_policy::PolicyScheduler::load_str(src, nr_cpus)
+                    .unwrap_or_else(|e| panic!("{name} verified at construction: {e}")),
+            ),
         }
     }
 }
@@ -70,12 +110,22 @@ impl SchedId {
 impl std::str::FromStr for SchedId {
     type Err = String;
 
-    /// Parses a scheduler name (`reg`, `elsc`, `heap`, `aheap`, `mq`).
+    /// Parses a scheduler name: `reg`, `elsc`, `heap`, `aheap`, `mq`, or
+    /// `policy:PATH` for an interpreted `.pol` program (read and verified
+    /// immediately; the cell embeds the source, not the path).
     fn from_str(s: &str) -> Result<SchedId, String> {
+        if let Some(path) = s.strip_prefix("policy:") {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("policy program {path}: {e}"))?;
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.to_string(), |x| x.to_string_lossy().into_owned());
+            return SchedId::policy(format!("policy:{stem}"), src);
+        }
         SchedId::ALL
             .into_iter()
             .find(|k| k.label() == s)
-            .ok_or_else(|| format!("unknown scheduler '{s}' (reg|elsc|heap|aheap|mq)"))
+            .ok_or_else(|| format!("unknown scheduler '{s}' (reg|elsc|heap|aheap|mq|policy:FILE)"))
     }
 }
 
@@ -326,7 +376,7 @@ impl CellConfig {
             "{}[{}]|sched={}|shape={}|plan={}|seed={}",
             self.workload.name(),
             params.join(","),
-            self.sched.label(),
+            self.sched.id_token(),
             self.shape.label(),
             self.lock_plan.map_or("default".to_string(), |p| p.label()),
             self.seed
@@ -634,6 +684,49 @@ mod tests {
             assert_eq!(k.build(2).name(), k.label());
         }
         assert!("cfs".parse::<SchedId>().is_err());
+    }
+
+    #[test]
+    fn policy_sched_id_embeds_source_and_digest() {
+        let src = include_str!("../../../policies/rr.pol");
+        let id = SchedId::policy("policy:rr", src).unwrap();
+        assert_eq!(id.label(), "policy:rr");
+        // The id token pins the program *content*, not just the name.
+        let token = id.id_token();
+        assert!(token.starts_with("policy:rr#"), "{token}");
+        let edited = SchedId::policy("policy:rr", format!("{src}\n# tweak\n")).unwrap();
+        assert_ne!(
+            token,
+            edited.id_token(),
+            "editing the source moves the digest"
+        );
+        // A broken program is rejected at construction, with the
+        // loader's spanned diagnostic.
+        let err = SchedId::policy("policy:bad", "policy p\n").unwrap_err();
+        assert!(err.starts_with("policy:bad: "), "{err}");
+    }
+
+    #[test]
+    fn policy_cell_executes_deterministically() {
+        let mut cell = tiny_volano(SchedId::Elsc, Shape::Smp(2), 11);
+        cell.sched =
+            SchedId::policy("policy:rr", include_str!("../../../policies/rr.pol")).unwrap();
+        let one = execute_cell(&cell).expect("policy cell completes");
+        let two = execute_cell(&cell).unwrap();
+        assert_eq!(one.report_json, two.report_json);
+        assert!(one.report_json.contains("\"policy\""), "summary embedded");
+        assert!(one.metrics.sched_calls > 0);
+    }
+
+    #[test]
+    fn policy_reg_cell_survives_the_strict_oracle() {
+        let mut cell = tiny_volano(SchedId::Elsc, Shape::Up, 3);
+        cell.sched =
+            SchedId::policy("policy:reg", include_str!("../../../policies/reg.pol")).unwrap();
+        cell.chaos.oracle = true;
+        // `policy:reg` is held to the reg equivalence claim: an
+        // unexplained divergence would fail the cell.
+        execute_cell(&cell).expect("policy:reg is decision-identical to reg");
     }
 
     #[test]

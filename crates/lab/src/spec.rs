@@ -327,7 +327,7 @@ impl SweepSpec {
                 .collect();
             let workload = workload_cell(&self.workload, &vals);
             for &shape in &self.shapes {
-                for &sched in &self.scheds {
+                for sched in &self.scheds {
                     for &lock_plan in &self.plans {
                         for &seed in &self.seeds {
                             for f in &self.faults {
@@ -340,7 +340,7 @@ impl SweepSpec {
                                 };
                                 for &fault_seed in fseeds {
                                     cells.push(CellConfig {
-                                        sched,
+                                        sched: sched.clone(),
                                         shape,
                                         lock_plan,
                                         seed,
@@ -455,6 +455,36 @@ impl SweepSpec {
                  fault_seed = 1, 2\n\
                  rooms = 1\n users = 4\n messages = 2\n think = 0\n"
             ),
+            // Policy-runtime smoke sweep: the native baseline beside the
+            // bundled interpreted programs, oracle on in every cell
+            // (strict for `policy:reg`, relaxed invariants-only for the
+            // rest — see `elsc_chaos::OracleMode::for_scheduler`). The
+            // sources are embedded at compile time so the builtin works
+            // from any working directory; spec *files* can instead say
+            // `sched = policy:policies/rr.pol`.
+            "policy" => {
+                let mut spec: SweepSpec = format!(
+                    "name = policy\n\
+                     workload = volano\n\
+                     shape = UP, 2P\n\
+                     seed = {BASE_SEED}\n\
+                     oracle = on\n\
+                     rooms = 1\n users = 4\n messages = 2\n think = 0\n"
+                )
+                .parse()
+                .expect("builtin specs always parse");
+                let bundled = [
+                    ("policy:reg", include_str!("../../../policies/reg.pol")),
+                    ("policy:rr", include_str!("../../../policies/rr.pol")),
+                    ("policy:table", include_str!("../../../policies/table.pol")),
+                ];
+                spec.scheds = std::iter::once(SchedId::Reg)
+                    .chain(bundled.into_iter().map(|(name, src)| {
+                        SchedId::policy(name, src).expect("bundled policies verify")
+                    }))
+                    .collect();
+                return Some(spec);
+            }
             // §4 kernel-share claim: 5 vs 25 rooms, UP and 4P.
             "kernel_share" => format!(
                 "name = kernel_share\n\
@@ -470,9 +500,9 @@ impl SweepSpec {
     }
 
     /// Names of every builtin spec, in `--all-figures` run order (the
-    /// non-figure `smoke` and `chaos` sweeps are excluded from
-    /// `--all-figures` by the CLI).
-    pub const BUILTINS: [&'static str; 9] = [
+    /// non-figure `smoke`, `chaos`, and `policy` sweeps are excluded
+    /// from `--all-figures` by the CLI).
+    pub const BUILTINS: [&'static str; 10] = [
         "smoke",
         "figure2",
         "figure3",
@@ -482,6 +512,7 @@ impl SweepSpec {
         "table2",
         "kernel_share",
         "chaos",
+        "policy",
     ];
 }
 
@@ -672,6 +703,42 @@ mod tests {
         let n = spec.cells().len();
         // 5 scheds × 2 shapes × (1 none + 2 plans × 2 fault seeds).
         assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn policy_builtin_mixes_native_and_interpreted_cells() {
+        let spec = SweepSpec::builtin("policy").unwrap();
+        assert!(spec.oracle, "every policy cell runs under the oracle");
+        let cells = spec.cells();
+        // 1 native + 3 bundled policies × 2 shapes.
+        assert_eq!(cells.len(), 8);
+        let ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
+        assert!(ids.iter().any(|i| i.contains("sched=reg|")));
+        for name in ["policy:reg#", "policy:rr#", "policy:table#"] {
+            assert!(
+                ids.iter().any(|i| i.contains(name)),
+                "missing {name} in {ids:?}"
+            );
+        }
+        // CI-sized, like smoke.
+        assert!(cells.len() <= 16);
+    }
+
+    #[test]
+    fn spec_files_accept_policy_paths() {
+        // Paths in spec text resolve against the working directory, so
+        // point at the bundled corpus via the crate manifest dir.
+        let pol = format!("{}/../../policies/rr.pol", env!("CARGO_MANIFEST_DIR"));
+        let spec: SweepSpec = format!(
+            "name = p\nworkload = stress\nsched = reg, policy:{pol}\nshape = UP\ntasks = 4"
+        )
+        .parse()
+        .unwrap();
+        assert_eq!(spec.scheds.len(), 2);
+        assert_eq!(spec.scheds[1].label(), "policy:rr");
+        assert!("name = p\nworkload = stress\nsched = policy:/no/such.pol"
+            .parse::<SweepSpec>()
+            .is_err());
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct MachineConfig {
     /// Run the differential scheduler oracle beside every `schedule()`
     /// call. Pure observation: enabling it never changes the schedule.
     pub oracle: bool,
+    /// Policy-runtime watchdog: eject an interpreted policy that picks
+    /// idle this many *consecutive* decisions while a runnable,
+    /// unclaimed task sits on the run queue. Ignored for native
+    /// schedulers.
+    pub policy_starve_k: u32,
 }
 
 impl MachineConfig {
@@ -70,6 +75,7 @@ impl MachineConfig {
             faults: None,
             fault_seed: 0xFA17_5EED,
             oracle: false,
+            policy_starve_k: 8,
         }
     }
 
@@ -135,6 +141,13 @@ impl MachineConfig {
     /// Builder-style oracle enablement.
     pub fn with_oracle(mut self, on: bool) -> Self {
         self.oracle = on;
+        self
+    }
+
+    /// Builder-style override of the policy starvation-watchdog
+    /// threshold (consecutive idle picks with runnable work queued).
+    pub fn with_policy_starve_k(mut self, k: u32) -> Self {
+        self.policy_starve_k = k.max(1);
         self
     }
 

@@ -60,7 +60,7 @@ pub mod trace;
 pub use behavior::{Behavior, Op, SpawnReq, SysView, Syscall};
 pub use config::MachineConfig;
 pub use machine::{Machine, RunError};
-pub use report::{Distributions, Ledger, RunReport};
+pub use report::{Distributions, Ledger, PolicySummary, RunReport};
 pub use trace::{Trace, TraceEvent, TraceRecord};
 
 // Chaos types that appear in [`MachineConfig`] and [`RunReport`], so

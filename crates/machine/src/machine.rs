@@ -18,7 +18,7 @@ use elsc_obs::{CycleProfiler, EventBus, ObsEvent, Phase, Sink};
 use crate::behavior::{Behavior, Op, SysView, Syscall};
 use crate::config::MachineConfig;
 use crate::cpu::CpuState;
-use crate::report::{Distributions, Ledger, RunReport};
+use crate::report::{Distributions, Ledger, PolicySummary, RunReport};
 use crate::trace::Trace;
 
 /// Simulation events.
@@ -99,6 +99,26 @@ enum Drive {
     RunCurrent(Cycles),
 }
 
+/// Watchdog state for a run driven by an interpreted policy scheduler
+/// (one that reports [`Scheduler::loaded_info`]). `None` on native runs,
+/// so they stay byte-identical to the pre-policy machine.
+struct PolicyRun {
+    /// The policy's reported name (`policy:<name>`), kept across
+    /// ejection so the report names what the run was asked to do.
+    name: &'static str,
+    /// Verifier's static worst-case instruction bound.
+    static_insns: u64,
+    /// Per-decision runtime instruction budget.
+    budget: u64,
+    /// Consecutive idle picks with runnable, unclaimed work queued.
+    starve_streak: u32,
+    /// Set once the watchdog fires: `(when, why)`. The policy scheduler
+    /// is gone by then; `insns_final` froze its instruction count.
+    ejected: Option<(Cycles, &'static str)>,
+    /// Interpreter instructions executed up to ejection.
+    insns_final: u64,
+}
+
 /// The simulated machine.
 ///
 /// Construct with [`Machine::new`], create pipes and [`Machine::spawn`]
@@ -134,6 +154,8 @@ pub struct Machine {
     injector: Option<FaultInjector>,
     /// Chaos: the differential scheduler oracle (None = not judging).
     oracle: Option<Oracle>,
+    /// Policy runtime: watchdog state (None = native scheduler).
+    policy: Option<PolicyRun>,
     now: Cycles,
     live_users: usize,
     last_exit: Cycles,
@@ -182,6 +204,14 @@ impl Machine {
         let oracle = cfg
             .oracle
             .then(|| Oracle::new(OracleMode::for_scheduler(sched.name())));
+        let policy = sched.loaded_info().map(|info| PolicyRun {
+            name: info.name,
+            static_insns: info.static_insns,
+            budget: info.budget,
+            starve_streak: 0,
+            ejected: None,
+            insns_final: 0,
+        });
         Machine {
             cfg,
             tasks,
@@ -202,6 +232,7 @@ impl Machine {
             kernel_cycles: 0,
             injector,
             oracle,
+            policy,
             now: Cycles::ZERO,
             live_users: 0,
             last_exit: Cycles::ZERO,
@@ -403,6 +434,16 @@ impl Machine {
     }
 
     fn run_loop(&mut self) -> Result<(), RunError> {
+        if let Some(p) = &self.policy {
+            self.bus.emit_at(
+                Cycles::ZERO,
+                ObsEvent::PolicyLoaded {
+                    policy: p.name,
+                    insns: p.static_insns,
+                    budget: p.budget,
+                },
+            );
+        }
         for cpu in 0..self.cfg.nr_cpus() {
             self.push_event(self.cfg.tick_cycles.into(), Event::Tick { cpu });
             self.push_event(Cycles::ZERO, Event::Ipi { cpu });
@@ -457,7 +498,9 @@ impl Machine {
         );
         let total = self.stats.total();
         RunReport {
-            scheduler: self.sched.name(),
+            // An ejected policy run still reports under the policy's
+            // name: the run *was* the policy plus its ejection.
+            scheduler: self.policy.as_ref().map_or(self.sched.name(), |p| p.name),
             config: self.cfg.label(),
             seed: self.cfg.seed,
             elapsed: self.last_exit,
@@ -491,6 +534,19 @@ impl Machine {
             } else {
                 None
             },
+            policy: self.policy.as_ref().map(|p| PolicySummary {
+                name: p.name,
+                static_insns: p.static_insns,
+                budget: p.budget,
+                insns_executed: if p.ejected.is_some() {
+                    p.insns_final
+                } else {
+                    self.sched.policy_insns_executed()
+                },
+                ejected: p.ejected.is_some(),
+                ejected_at: p.ejected.map(|(at, _)| at),
+                eject_reason: p.ejected.map(|(_, r)| r),
+            }),
         }
     }
 
@@ -561,6 +617,36 @@ impl Machine {
                     || task.policy.class == elsc_ktask::SchedClass::Rr)
             {
                 self.cpus[cpu].need_resched = true;
+            }
+            // Policy tick hook: runs after the machine's own quantum
+            // bookkeeping. Gated on an active interpreted policy, so
+            // native runs never see the extra call and stay
+            // byte-identical to the pre-policy machine.
+            if self.policy.as_ref().is_some_and(|p| p.ejected.is_none()) {
+                let mut meter = CycleMeter::new();
+                self.bus.set_now(now);
+                {
+                    let mut ctx = SchedCtx {
+                        tasks: &mut self.tasks,
+                        stats: &mut self.stats,
+                        meter: &mut meter,
+                        costs: &self.cfg.costs,
+                        cfg: &self.cfg.sched,
+                        probe: Some(&mut self.bus),
+                        locks: None,
+                    };
+                    self.sched.on_tick(&mut ctx, cpu, cur);
+                }
+                self.charge_kernel_meter(cpu, Phase::Schedule, &meter);
+                // The hook may have zeroed the running task's counter;
+                // honour the expired quantum exactly as above.
+                let task = self.tasks.task(cur);
+                if task.counter == 0
+                    && (!task.policy.class.is_realtime()
+                        || task.policy.class == elsc_ktask::SchedClass::Rr)
+                {
+                    self.cpus[cpu].need_resched = true;
+                }
             }
         } else if self.has_waiting_work() {
             // Idle loop poll: runnable work exists somewhere.
@@ -799,6 +885,32 @@ impl Machine {
                     .record_violations(&violations);
             }
         }
+        // Policy watchdog. A policy that violated its contract this
+        // decision (budget blowout, illegal pick, corrupted state) or
+        // picked idle over a runnable, unclaimed task for
+        // `policy_starve_k` consecutive decisions is deterministically
+        // ejected: the vanilla baseline scheduler takes over from the
+        // *next* decision. The pick for this decision stands — the
+        // policy host already substituted a legal one.
+        if self.policy.as_ref().is_some_and(|p| p.ejected.is_none()) {
+            if let Some(v) = self.sched.take_violation() {
+                self.eject_policy(cpu, t_done, v.label());
+            } else {
+                let starving = next == idle
+                    && self.tasks.iter().any(|task| {
+                        task.on_runqueue() && task.state.is_runnable() && !task.has_cpu
+                    });
+                let p = self.policy.as_mut().expect("checked above");
+                if !starving {
+                    p.starve_streak = 0;
+                } else {
+                    p.starve_streak += 1;
+                    if p.starve_streak >= self.cfg.policy_starve_k {
+                        self.eject_policy(cpu, t_done, "starvation");
+                    }
+                }
+            }
+        }
         self.cpus[cpu].need_resched = false;
         self.cpus[cpu].gen += 1; // cancel any outstanding Resume
 
@@ -857,6 +969,54 @@ impl Machine {
         }
         self.cpus[cpu].running_since = Some(t2);
         Some(t2)
+    }
+
+    /// Ejects the active interpreted policy at `t`: freezes its
+    /// instruction count, emits [`ObsEvent::PolicyEjected`], swaps in
+    /// the vanilla baseline scheduler, and migrates every queued task
+    /// across with front-to-back order preserved. All list-surgery
+    /// cycles are charged to the ejecting CPU's `Schedule` phase, so the
+    /// conservation invariant keeps holding. Deterministic: the decision
+    /// stream up to this point is seed-determined, so same-seed runs
+    /// eject at the same instant with byte-identical reports.
+    fn eject_policy(&mut self, cpu: CpuId, t: Cycles, reason: &'static str) {
+        let insns = self.sched.policy_insns_executed();
+        let p = self.policy.as_mut().expect("eject without a policy run");
+        p.insns_final = insns;
+        p.ejected = Some((t, reason));
+        let name = p.name;
+        self.bus.emit_at(
+            t,
+            ObsEvent::PolicyEjected {
+                cpu,
+                policy: name,
+                reason,
+            },
+        );
+        let mut old = std::mem::replace(
+            &mut self.sched,
+            Box::new(elsc_sched_linux::LinuxScheduler::new()),
+        );
+        let mut meter = CycleMeter::new();
+        self.bus.set_now(t);
+        {
+            let mut ctx = SchedCtx {
+                tasks: &mut self.tasks,
+                stats: &mut self.stats,
+                meter: &mut meter,
+                costs: &self.cfg.costs,
+                cfg: &self.cfg.sched,
+                probe: Some(&mut self.bus),
+                locks: None,
+            };
+            let queued = old.drain(&mut ctx);
+            // The baseline's `add_to_runqueue` inserts at the *front*,
+            // so re-adding in reverse preserves the drained order.
+            for &tid in queued.iter().rev() {
+                self.sched.add_to_runqueue(&mut ctx, tid);
+            }
+        }
+        self.charge_kernel_meter(cpu, Phase::Schedule, &meter);
     }
 
     /// Runs the current task: dispatch compute segments and execute
@@ -1943,5 +2103,130 @@ mod trace_tests {
             m.run().expect("completes").elapsed
         };
         assert_eq!(run(0), run(100_000), "tracing must be observation-only");
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::behavior::Script;
+    use crate::trace::TraceEvent;
+    use elsc_ktask::MmId;
+    use elsc_policy::PolicyScheduler;
+
+    const REG_POL: &str = include_str!("../../../policies/reg.pol");
+    const STARVE_POL: &str = include_str!("../../../policies/starve.pol");
+
+    fn policy(src: &str, nr_cpus: usize) -> Box<PolicyScheduler> {
+        Box::new(PolicyScheduler::load_str(src, nr_cpus).expect("bundled policy loads"))
+    }
+
+    fn workload(m: &mut Machine) {
+        let pipe = m.create_pipe(2);
+        for i in 0..3u32 {
+            m.spawn(
+                &TaskSpec::named("w").mm(MmId(i + 1)),
+                Box::new(Script::new(
+                    (0..6)
+                        .map(|k| Op::write_after(30_000, pipe, Msg::tagged(k)))
+                        .collect(),
+                )),
+            );
+        }
+        m.spawn(
+            &TaskSpec::named("r").mm(MmId(9)),
+            Box::new(Script::new(
+                (0..18).map(|_| Op::read_after(10_000, pipe)).collect(),
+            )),
+        );
+    }
+
+    #[test]
+    fn reg_policy_survives_the_strict_oracle_end_to_end() {
+        let cfg = MachineConfig::up().with_max_secs(50.0).with_oracle(true);
+        let mut m = Machine::new(cfg, policy(REG_POL, 1));
+        workload(&mut m);
+        let r = m.run().expect("completes");
+        assert_eq!(r.scheduler, "policy:reg");
+        let p = r.policy.as_ref().expect("policy summary present");
+        assert!(!p.ejected, "reg.pol must never trip the watchdog");
+        assert!(p.insns_executed > 0, "the interpreter actually ran");
+        let o = r.chaos.as_ref().unwrap().oracle.as_ref().unwrap();
+        assert_eq!(
+            o.unexplained, 0,
+            "policy:reg is judged strictly and must match the native scan: {o:?}"
+        );
+        assert_eq!(o.invariant_violations, 0);
+        assert!(r.conservation_ok);
+    }
+
+    #[test]
+    fn starving_policy_is_ejected_and_the_run_still_completes() {
+        let cfg = MachineConfig::smp(2).with_max_secs(50.0).with_trace(10_000);
+        let mut m = Machine::new(cfg, policy(STARVE_POL, 2));
+        workload(&mut m);
+        let r = m.run().expect("the baseline takes over and finishes");
+        let p = r.policy.as_ref().expect("policy summary present");
+        assert!(p.ejected);
+        assert_eq!(p.eject_reason, Some("starvation"));
+        assert!(p.ejected_at.is_some());
+        assert_eq!(
+            r.scheduler, "policy:starve",
+            "the run keeps the policy's name"
+        );
+        assert!(r.conservation_ok);
+        // The trace carries the whole story: load, then ejection.
+        let trace = m.trace();
+        assert!(trace
+            .filter(|e| matches!(e, TraceEvent::PolicyLoaded { .. }))
+            .next()
+            .is_some());
+        let eject = trace
+            .filter(|e| matches!(e, TraceEvent::PolicyEjected { .. }))
+            .collect::<Vec<_>>();
+        assert_eq!(eject.len(), 1, "ejection fires exactly once");
+    }
+
+    #[test]
+    fn budget_blowout_is_ejected_with_the_budget_reason() {
+        let src = "policy spin\nlists 1\nhook enqueue { enqueue_front(0) }\n\
+                   hook pick_next {\n  repeat 1024 { let x = 1 }\n\
+                   if runnable(prev) { pick prev }\n  pick idle\n}\n";
+        let cfg = MachineConfig::up().with_max_secs(50.0);
+        let sched = Box::new(
+            PolicyScheduler::load_str(src, 1)
+                .expect("loads")
+                .with_budget(64),
+        );
+        let mut m = Machine::new(cfg, sched);
+        workload(&mut m);
+        let r = m.run().expect("completes after ejection");
+        let p = r.policy.as_ref().expect("policy summary present");
+        assert!(p.ejected);
+        assert_eq!(p.eject_reason, Some("budget_exhausted"));
+        assert_eq!(p.budget, 64);
+    }
+
+    #[test]
+    fn ejection_is_deterministic_across_reruns() {
+        let run = || {
+            let cfg = MachineConfig::smp(2).with_max_secs(50.0).with_seed(77);
+            let mut m = Machine::new(cfg, policy(STARVE_POL, 2));
+            workload(&mut m);
+            m.run().expect("completes").to_json()
+        };
+        assert_eq!(run(), run(), "same seed, byte-identical report");
+    }
+
+    #[test]
+    fn native_reports_carry_no_policy_summary() {
+        let mut m = {
+            let cfg = MachineConfig::up().with_max_secs(50.0);
+            Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()))
+        };
+        workload(&mut m);
+        let r = m.run().expect("completes");
+        assert!(r.policy.is_none());
+        assert!(!r.to_json().contains("\"policy\""));
     }
 }

@@ -79,6 +79,49 @@ impl Ledger {
     }
 }
 
+/// Policy-runtime summary: load-time facts plus what the machine's
+/// watchdog observed over the run. Present only when the run was driven
+/// by an interpreted `.pol` scheduler, so native runs serialize exactly
+/// as they did before the policy runtime existed.
+#[derive(Clone, Debug)]
+pub struct PolicySummary {
+    /// The policy's reported name (`policy:<name>`).
+    pub name: &'static str,
+    /// Verifier's static worst-case instruction bound across all hooks.
+    pub static_insns: u64,
+    /// The per-decision runtime instruction budget in force.
+    pub budget: u64,
+    /// Total interpreter instructions executed over the run (frozen at
+    /// ejection time if the watchdog fired).
+    pub insns_executed: u64,
+    /// Whether the watchdog ejected the policy mid-run.
+    pub ejected: bool,
+    /// Virtual time of the ejection, if any.
+    pub ejected_at: Option<Cycles>,
+    /// Why the watchdog fired (`"budget_exhausted"`, `"bad_pick"`,
+    /// `"state_corrupt"`, `"starvation"`), if it did.
+    pub eject_reason: Option<&'static str>,
+}
+
+impl PolicySummary {
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new()
+            .str("name", self.name)
+            .u64("static_insns", self.static_insns)
+            .u64("budget", self.budget)
+            .u64("insns_executed", self.insns_executed)
+            .raw("ejected", bool_json(self.ejected));
+        if let Some(at) = self.ejected_at {
+            obj = obj.u64("ejected_at", at.get());
+        }
+        if let Some(r) = self.eject_reason {
+            obj = obj.str("eject_reason", r);
+        }
+        obj.build()
+    }
+}
+
 /// The outcome of one machine run.
 ///
 /// A `RunReport` is plain owned data and therefore `Send`: the
@@ -137,6 +180,8 @@ pub struct RunReport {
     /// `None` when neither faults nor the oracle were enabled, so clean
     /// runs serialize exactly as they did before chaos existed.
     pub chaos: Option<ChaosSummary>,
+    /// Policy-runtime summary: `None` for native schedulers.
+    pub policy: Option<PolicySummary>,
 }
 
 impl RunReport {
@@ -213,6 +258,9 @@ impl RunReport {
         }
         if let Some(c) = &self.chaos {
             obj = obj.raw("chaos", c.to_json());
+        }
+        if let Some(p) = &self.policy {
+            obj = obj.raw("policy", p.to_json());
         }
         obj.build()
     }
@@ -323,6 +371,22 @@ impl fmt::Display for RunReport {
                 }
             }
         }
+        if let Some(p) = &self.policy {
+            write!(
+                f,
+                "  policy: {} static_insns={} budget={} insns={}",
+                p.name, p.static_insns, p.budget, p.insns_executed
+            )?;
+            if p.ejected {
+                write!(
+                    f,
+                    " EJECTED at {} ({})",
+                    p.ejected_at.unwrap_or(Cycles::ZERO),
+                    p.eject_reason.unwrap_or("?")
+                )?;
+            }
+            writeln!(f)?;
+        }
         Ok(())
     }
 }
@@ -370,6 +434,7 @@ mod tests {
             profile: ProfileReport::empty(2),
             conservation_ok: true,
             chaos: None,
+            policy: None,
         }
     }
 
@@ -410,5 +475,30 @@ mod tests {
         assert!(text.contains("elsc"));
         assert!(text.contains("2P"));
         assert!(text.contains("messages = 4000"));
+    }
+
+    #[test]
+    fn policy_summary_json_only_when_present() {
+        let r = report();
+        assert!(!r.to_json().contains("\"policy\""));
+        let mut r = report();
+        r.policy = Some(PolicySummary {
+            name: "policy:starve",
+            static_insns: 12,
+            budget: 65_536,
+            insns_executed: 480,
+            ejected: true,
+            ejected_at: Some(Cycles(4_000_000)),
+            eject_reason: Some("starvation"),
+        });
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"policy\":{\"name\":\"policy:starve\",\"static_insns\":12,\
+             \"budget\":65536,\"insns_executed\":480,\"ejected\":true,\
+             \"ejected_at\":4000000,\"eject_reason\":\"starvation\"}"
+        ));
+        let text = r.to_string();
+        assert!(text.contains("EJECTED"));
+        assert!(text.contains("starvation"));
     }
 }

@@ -104,6 +104,37 @@ pub enum ObsEvent {
         /// Divergence class label (`tie`, `truncation`, ...).
         class: &'static str,
     },
+    /// An interpreted `.pol` policy passed load-time verification and
+    /// took over scheduling (emitted once at machine boot).
+    PolicyLoaded {
+        /// The policy's report name (`policy:<name>`).
+        policy: &'static str,
+        /// Static instruction count across all hooks (verifier total).
+        insns: u64,
+        /// Runtime per-decision instruction budget in force.
+        budget: u64,
+    },
+    /// An interpreted policy hook blew its per-decision instruction
+    /// budget and was aborted with a safe default.
+    PolicyBudget {
+        /// The CPU the decision ran on.
+        cpu: CpuId,
+        /// Instructions executed when the budget tripped.
+        insns: u64,
+        /// The budget that was in force.
+        budget: u64,
+    },
+    /// The machine's watchdog ejected an interpreted policy and swapped
+    /// in the vanilla baseline scheduler mid-run.
+    PolicyEjected {
+        /// The CPU whose decision triggered the ejection.
+        cpu: CpuId,
+        /// The ejected policy's report name.
+        policy: &'static str,
+        /// Static violation label (`budget_exhausted`, `bad_pick`,
+        /// `state_corrupt`, `starvation`).
+        reason: &'static str,
+    },
 }
 
 impl ObsEvent {
@@ -122,6 +153,9 @@ impl ObsEvent {
             ObsEvent::QueueDepthSample { .. } => "queue_depth",
             ObsEvent::FaultInjected { .. } => "fault",
             ObsEvent::OracleDivergence { .. } => "oracle_divergence",
+            ObsEvent::PolicyLoaded { .. } => "policy_loaded",
+            ObsEvent::PolicyBudget { .. } => "policy_budget",
+            ObsEvent::PolicyEjected { .. } => "policy_ejected",
         }
     }
 }
@@ -184,6 +218,26 @@ impl ObsRecord {
                 .u64("chosen", chosen.index() as u64)
                 .u64("expected", expected.index() as u64)
                 .str("class", class),
+            ObsEvent::PolicyLoaded {
+                policy,
+                insns,
+                budget,
+            } => o
+                .str("policy", policy)
+                .u64("insns", insns)
+                .u64("budget", budget),
+            ObsEvent::PolicyBudget { cpu, insns, budget } => o
+                .u64("cpu", cpu as u64)
+                .u64("insns", insns)
+                .u64("budget", budget),
+            ObsEvent::PolicyEjected {
+                cpu,
+                policy,
+                reason,
+            } => o
+                .u64("cpu", cpu as u64)
+                .str("policy", policy)
+                .str("reason", reason),
         };
         o.build()
     }
@@ -238,6 +292,21 @@ mod tests {
                 chosen: tid(2),
                 expected: tid(3),
                 class: "tie",
+            },
+            ObsEvent::PolicyLoaded {
+                policy: "policy:rr",
+                insns: 40,
+                budget: 65536,
+            },
+            ObsEvent::PolicyBudget {
+                cpu: 0,
+                insns: 65537,
+                budget: 65536,
+            },
+            ObsEvent::PolicyEjected {
+                cpu: 0,
+                policy: "policy:rr",
+                reason: "starvation",
             },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
@@ -306,6 +375,30 @@ mod tests {
         assert_eq!(
             r5.to_json_line(),
             r#"{"at":13,"event":"oracle_divergence","cpu":0,"chosen":4,"expected":6,"class":"truncation"}"#
+        );
+        let r6 = ObsRecord {
+            at: Cycles(0),
+            event: ObsEvent::PolicyLoaded {
+                policy: "policy:reg",
+                insns: 64,
+                budget: 65536,
+            },
+        };
+        assert_eq!(
+            r6.to_json_line(),
+            r#"{"at":0,"event":"policy_loaded","policy":"policy:reg","insns":64,"budget":65536}"#
+        );
+        let r7 = ObsRecord {
+            at: Cycles(21),
+            event: ObsEvent::PolicyEjected {
+                cpu: 1,
+                policy: "policy:starve",
+                reason: "starvation",
+            },
+        };
+        assert_eq!(
+            r7.to_json_line(),
+            r#"{"at":21,"event":"policy_ejected","cpu":1,"policy":"policy:starve","reason":"starvation"}"#
         );
     }
 

@@ -1,0 +1,327 @@
+//! The `.pol` tokenizer.
+//!
+//! Whitespace-insensitive; `#` starts a comment that runs to end of line.
+//! Every token carries its 1-based line/column so later stages can point
+//! diagnostics at it.
+
+use crate::ast::Span;
+use crate::PolicyError;
+
+/// One token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`policy`, `hook`, `let`, names, ...).
+    Ident(String),
+    /// A non-negative integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("'{s}'"),
+            Tok::Int(n) => format!("integer {n}"),
+            Tok::LBrace => "'{'".into(),
+            Tok::RBrace => "'}'".into(),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::Comma => "','".into(),
+            Tok::Assign => "'='".into(),
+            Tok::EqEq => "'=='".into(),
+            Tok::Ne => "'!='".into(),
+            Tok::Lt => "'<'".into(),
+            Tok::Le => "'<='".into(),
+            Tok::Gt => "'>'".into(),
+            Tok::Ge => "'>='".into(),
+            Tok::Plus => "'+'".into(),
+            Tok::Minus => "'-'".into(),
+            Tok::Star => "'*'".into(),
+            Tok::Slash => "'/'".into(),
+            Tok::Percent => "'%'".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenizes a whole source string.
+///
+/// # Errors
+///
+/// [`PolicyError`] on an unexpected character or an integer literal that
+/// does not fit `i64`.
+pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+    macro_rules! push {
+        ($tok:expr, $span:expr) => {
+            out.push(Token {
+                tok: $tok,
+                span: $span,
+            })
+        };
+    }
+    while let Some(&c) = chars.peek() {
+        let span = Span::new(line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c2) = chars.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '{' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LBrace, span);
+            }
+            '}' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RBrace, span);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LParen, span);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RParen, span);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Comma, span);
+            }
+            '+' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Plus, span);
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Minus, span);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Star, span);
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Slash, span);
+            }
+            '%' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Percent, span);
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::EqEq, span);
+                } else {
+                    push!(Tok::Assign, span);
+                }
+            }
+            '!' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Ne, span);
+                } else {
+                    return Err(PolicyError::new(span, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Le, span);
+                } else {
+                    push!(Tok::Lt, span);
+                }
+            }
+            '>' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::Ge, span);
+                } else {
+                    push!(Tok::Gt, span);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((d as u8 - b'0') as i64))
+                        .ok_or_else(|| {
+                            PolicyError::new(span, "integer literal does not fit 64 bits")
+                        })?;
+                }
+                push!(Tok::Int(n), span);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if !(d.is_ascii_alphanumeric() || d == '_') {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                    s.push(d);
+                }
+                push!(Tok::Ident(s), span);
+            }
+            other => {
+                return Err(PolicyError::new(
+                    span,
+                    format!("unexpected character '{}'", other.escape_default()),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_program_skeleton() {
+        let toks = lex("policy p\nlists 1\nhook pick_next { pick idle }").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "policy"));
+        assert!(matches!(kinds[3], Tok::Int(1)));
+        assert_eq!(*kinds.last().unwrap(), &Tok::Eof);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("# header\npolicy p # trailing\nlists 2").unwrap();
+        assert_eq!(toks[0].span, Span::new(2, 1));
+        assert!(matches!(&toks[0].tok, Tok::Ident(s) if s == "policy"));
+        assert_eq!(toks[2].span.line, 3);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = lex("== != <= >= < > =").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert_eq!(
+            kinds[..7],
+            [
+                &Tok::EqEq,
+                &Tok::Ne,
+                &Tok::Le,
+                &Tok::Ge,
+                &Tok::Lt,
+                &Tok::Gt,
+                &Tok::Assign
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_is_a_spanned_error() {
+        let err = lex("policy p\n  @").unwrap_err();
+        assert_eq!(err.span, Span::new(2, 3));
+        assert!(err.msg.contains('@'));
+    }
+
+    #[test]
+    fn bare_bang_is_rejected() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn huge_integer_is_rejected_not_panicking() {
+        let err = lex("99999999999999999999999999").unwrap_err();
+        assert!(err.msg.contains("64 bits"));
+    }
+}

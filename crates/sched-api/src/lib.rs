@@ -36,4 +36,4 @@ pub use goodness::{
 };
 pub use lockplan::{DomainAcquire, DomainLocker, LockDomains, LockPlan};
 pub use resched::{reschedule_idle, CpuView, WakeTarget};
-pub use scheduler::{SchedCtx, Scheduler};
+pub use scheduler::{PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler};

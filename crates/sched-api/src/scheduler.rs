@@ -69,6 +69,56 @@ impl SchedCtx<'_> {
     }
 }
 
+/// Metadata a loaded (interpreted) policy reports to the machine, so the
+/// machine can announce it on the observability bus at boot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyLoadInfo {
+    /// The policy's declared name (leaked to `'static` at load time).
+    pub name: &'static str,
+    /// Static instruction count across all hooks (the verifier's budget
+    /// accounting).
+    pub static_insns: u64,
+    /// The runtime per-decision instruction budget in force.
+    pub budget: u64,
+}
+
+/// A safety violation an interpreted policy committed, reported to the
+/// machine's watchdog.
+///
+/// Native schedulers never produce these; the defaulted
+/// [`Scheduler::take_violation`] returns `None`. The machine reacts by
+/// *ejecting* the policy: swapping in the vanilla baseline scheduler and
+/// emitting `PolicyEjected` on the observability bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyViolation {
+    /// A hook exceeded the per-decision instruction budget and was
+    /// aborted; the interpreter substituted a safe default.
+    BudgetExhausted {
+        /// Instructions executed when the budget tripped.
+        insns: u64,
+        /// The budget that was in force.
+        budget: u64,
+    },
+    /// `pick_next` chose a task that is not legally runnable on this CPU
+    /// (not on the run queue, blocked, or running elsewhere).
+    BadPick,
+    /// The policy corrupted its own bookkeeping (host-side list state
+    /// desynchronized); the interpreter recovered but the program is
+    /// untrustworthy.
+    StateCorrupt,
+}
+
+impl PolicyViolation {
+    /// Static label used in obs events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyViolation::BudgetExhausted { .. } => "budget_exhausted",
+            PolicyViolation::BadPick => "bad_pick",
+            PolicyViolation::StateCorrupt => "state_corrupt",
+        }
+    }
+}
+
 /// A pluggable scheduler: the baseline, ELSC, or an experimental design.
 ///
 /// # Contract
@@ -121,6 +171,45 @@ pub trait Scheduler {
 
     /// Verifies internal invariants (tests/debug only). Default: no-op.
     fn debug_check(&self, _tasks: &TaskTable) {}
+
+    /// If this scheduler is an interpreted policy, its load metadata.
+    /// Native schedulers return `None` (the default).
+    fn loaded_info(&self) -> Option<PolicyLoadInfo> {
+        None
+    }
+
+    /// Takes (and clears) the most recent safety violation, if any.
+    ///
+    /// The machine polls this after every `schedule()` call; a `Some`
+    /// triggers watchdog ejection. Native schedulers never violate and
+    /// keep the `None` default.
+    fn take_violation(&mut self) -> Option<PolicyViolation> {
+        None
+    }
+
+    /// Removes every task from the run queue and returns them in queue
+    /// order (front to back, highest-priority list first), leaving each
+    /// task detached (`!on_runqueue()`). Used by the machine's watchdog to
+    /// migrate run-queue state into a replacement scheduler during
+    /// ejection. Native schedulers are never ejected; the default panics
+    /// to catch misuse.
+    fn drain(&mut self, _ctx: &mut SchedCtx<'_>) -> Vec<Tid> {
+        unreachable!("drain() called on a scheduler that cannot be ejected")
+    }
+
+    /// Cumulative interpreted instructions executed (policy schedulers
+    /// only; native schedulers report 0).
+    fn policy_insns_executed(&self) -> u64 {
+        0
+    }
+
+    /// Timer-tick hook: runs once per tick on a busy CPU, *after* the
+    /// machine's own quantum bookkeeping, with `current` the running
+    /// task. Interpreted policies use this to run their `tick` hook;
+    /// native schedulers keep the no-op default (the machine only calls
+    /// it for schedulers that report [`Scheduler::loaded_info`], so
+    /// native runs stay byte-identical).
+    fn on_tick(&mut self, _ctx: &mut SchedCtx<'_>, _cpu: CpuId, _current: Tid) {}
 }
 
 #[cfg(test)]

@@ -52,10 +52,16 @@ pub enum CostKind {
     Fork,
     /// Process teardown.
     Exit,
+    /// One interpreted policy-IR instruction (the `elsc-policy` runtime).
+    ///
+    /// Interpreted `.pol` schedulers charge one of these per executed IR
+    /// node, so an interpreted policy pays a realistic interpretation tax
+    /// in every figure instead of scheduling for free.
+    PolicyInsn,
 }
 
 /// Number of cost kinds (size of the model table).
-pub const COST_KINDS: usize = 16;
+pub const COST_KINDS: usize = 17;
 
 const ALL_KINDS: [CostKind; COST_KINDS] = [
     CostKind::SchedBase,
@@ -74,6 +80,7 @@ const ALL_KINDS: [CostKind; COST_KINDS] = [
     CostKind::LockTransfer,
     CostKind::Fork,
     CostKind::Exit,
+    CostKind::PolicyInsn,
 ];
 
 impl CostKind {
@@ -101,6 +108,7 @@ impl CostKind {
             CostKind::LockTransfer => "lock_transfer",
             CostKind::Fork => "fork",
             CostKind::Exit => "exit",
+            CostKind::PolicyInsn => "policy_insn",
         }
     }
 }
@@ -134,6 +142,9 @@ impl Default for CostModel {
         m.set(CostKind::LockTransfer, 600);
         m.set(CostKind::Fork, 30_000);
         m.set(CostKind::Exit, 10_000);
+        // ~10 cycles per interpreted IR node: a dispatch + a couple of
+        // loads on the paper's Pentium II class machine.
+        m.set(CostKind::PolicyInsn, 10);
         m
     }
 }
