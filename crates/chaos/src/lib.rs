@@ -14,6 +14,13 @@
 //!   diffable, and the same `--fault-seed` reproduces a byte-identical
 //!   run report.
 //!
+//! * **Cluster fault plan** ([`ClusterFaultPlan`] / [`ClusterInjector`]):
+//!   the same machinery one level up, for the federated multi-machine
+//!   simulation — link partitions (messages held, never dropped),
+//!   slow-link congestion windows, and whole-node pauses, drawn from
+//!   their own salted streams so fabric faults never correlate with any
+//!   node's internal fault schedule.
+//!
 //! * **Differential oracle** ([`Oracle`]): a pessimistic O(n) reference
 //!   `goodness()` scan replayed beside the scheduler under test on every
 //!   `schedule()` decision. Any divergence that is not explained by a
@@ -29,9 +36,11 @@
 #![warn(missing_docs)]
 #![deny(missing_docs)]
 
+mod cluster;
 mod oracle;
 mod plan;
 
+pub use cluster::{ClusterFaultCounts, ClusterFaultPlan, ClusterInjector, SlowWindow};
 pub use oracle::{
     check_task_invariants, ChaosSummary, Decision, DivergenceClass, Oracle, OracleMode,
     OracleReport, TaskSnap, Verdict,

@@ -83,6 +83,10 @@ const OPTIONS: &[&str] = &[
     "lock-plan",
     "faults",
     "fault-seed",
+    // `cluster` subcommand options.
+    "nodes",
+    "dispatcher",
+    "epoch",
     // policy runtime options.
     "policy-budget",
     "policy-dir",

@@ -46,10 +46,11 @@ fn specs(a: &Args) -> Result<Vec<SweepSpec>, String> {
     let mut chosen = Vec::new();
     if a.flag("all-figures") {
         for name in SweepSpec::BUILTINS {
-            // `smoke` is a CI gate, `chaos` an oracle sweep, and `policy`
-            // a policy-runtime conformance sweep — none is a paper
-            // figure, so `--all-figures` skips all three.
-            if name != "smoke" && name != "chaos" && name != "policy" {
+            // `smoke` is a CI gate, `chaos` an oracle sweep, `policy` a
+            // policy-runtime conformance sweep, and `cluster` the
+            // federation gate — none is a paper figure, so
+            // `--all-figures` skips all four.
+            if name != "smoke" && name != "chaos" && name != "policy" && name != "cluster" {
                 chosen.push(SweepSpec::builtin(name).expect("builtin"));
             }
         }
@@ -200,7 +201,8 @@ sweep options:
   --spec-file P    a spec file in the lab text format (see DESIGN.md sec. 7)
   --all-figures    every paper artifact: figure2..figure6, table2,
                    kernel_share (manifests under results/lab/; the
-                   smoke, chaos, and policy gates are separate specs)
+                   smoke, chaos, policy, and cluster gates are
+                   separate specs)
   --workers N      worker threads                  [host parallelism]
   --out PATH       manifest path (single spec only) [results/lab/<name>.json]
   --cache-dir P    result cache directory           [results/lab/cache]

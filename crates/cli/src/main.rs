@@ -8,6 +8,7 @@
 //!   kbuild    kernel compile, make -jN (paper Table 2)
 //!   httpd     Apache-like web server (paper §8)
 //!   stress    synthetic run-queue stress
+//!   cluster   federated VolanoMark across N simulated machines
 //!
 //! common options:
 //!   --sched LIST   comma list of reg,elsc,heap,aheap,mq and/or
@@ -36,6 +37,7 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use elsc::ElscScheduler;
+use elsc_cluster::{volano, ClusterConfig, ClusterFaultPlan, DispatcherId};
 use elsc_machine::{FaultPlan, Machine, MachineConfig, RunReport, TraceRecord};
 use elsc_obs::{first_divergence, JsonLinesSink};
 use elsc_policy::PolicyScheduler;
@@ -354,6 +356,139 @@ fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// `elsc-sim cluster`: run the federated VolanoMark cluster (the
+/// two-level scheduler of `elsc-cluster`) under each requested kernel
+/// scheduler and print the merged report.
+///
+/// `--faults` here takes *cluster* fault classes (partition, slow_link,
+/// node_pause, or the light/heavy presets), not the machine classes.
+fn run_cluster(a: &Args) -> Result<(), String> {
+    let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
+    let cpus = cpus.max(1);
+    let seed: u64 = a.get_or("seed", 23_062).map_err(|e| e.to_string())?;
+    let nodes: usize = a.get_or("nodes", 2).map_err(|e| e.to_string())?;
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".to_string());
+    }
+    let dispatcher: DispatcherId = match a.get("dispatcher") {
+        None => DispatcherId::LeastLoaded,
+        Some(text) => text.parse().map_err(|e| format!("--dispatcher: {e}"))?,
+    };
+    let mut node_cfg = if a.flag("up") {
+        MachineConfig::up()
+    } else {
+        MachineConfig::smp(cpus)
+    }
+    .with_seed(seed)
+    .with_max_secs(20_000.0);
+    if let Some(text) = a.get("lock-plan") {
+        let plan: LockPlan = text.parse().map_err(|e| format!("--lock-plan: {e}"))?;
+        node_cfg = node_cfg.with_lock_plan(Some(plan));
+    }
+    if a.flag("oracle") {
+        node_cfg = node_cfg.with_oracle(true);
+    }
+    let mut ccfg = ClusterConfig::new(nodes, dispatcher, node_cfg);
+    if let Some(text) = a.get("epoch") {
+        ccfg.epoch_cycles = text
+            .parse()
+            .map_err(|_| format!("--epoch: invalid cycle count '{text}'"))?;
+        if ccfg.epoch_cycles == 0 {
+            return Err("--epoch must be a positive cycle count".into());
+        }
+    }
+    if let Some(text) = a.get("faults") {
+        let plan: ClusterFaultPlan = text
+            .parse()
+            .map_err(|e| format!("--faults (cluster classes): {e}"))?;
+        ccfg = ccfg.with_faults(Some(plan));
+    }
+    if let Some(text) = a.get("fault-seed") {
+        let fseed: u64 = text
+            .parse()
+            .map_err(|_| format!("--fault-seed: invalid value '{text}'"))?;
+        ccfg = ccfg.with_fault_seed(fseed);
+    }
+    let w = VolanoConfig {
+        rooms: a.get_or("rooms", 5).map_err(|e| e.to_string())?,
+        users_per_room: a.get_or("users", 20).map_err(|e| e.to_string())?,
+        messages_per_user: a.get_or("messages", 10).map_err(|e| e.to_string())?,
+        ..VolanoConfig::default()
+    };
+    let budget = policy_budget(a)?;
+    let scheds = a.get("sched").unwrap_or("reg,elsc");
+    let names: Vec<&str> = scheds
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let multi = names.len() > 1;
+    let mut oracle_failures: Vec<String> = Vec::new();
+    for name in &names {
+        // Validate once so a bad name fails before any simulation; the
+        // per-node closure then builds a fresh instance per machine.
+        scheduler(name, cpus, budget)?;
+        let report = volano::run(
+            ccfg.clone(),
+            |_node| scheduler(name, cpus, budget).expect("validated above"),
+            &w,
+        )
+        .map_err(|e| e.to_string())?;
+        if !a.flag("quiet") {
+            println!(
+                "cluster: {} nodes, dispatcher={}, sched={}, seed={}",
+                nodes, dispatcher, name, seed
+            );
+            println!(
+                "  elapsed = {:.3}s (makespan)   messages = {} ({:.0}/s)",
+                report.elapsed_secs(),
+                report.ledger_total("messages"),
+                report.per_sec("messages")
+            );
+            println!("  tasks per node = {:?}", report.node_tasks());
+            for l in &report.links {
+                println!(
+                    "  link {}->{}: {} msgs, {} bytes, {} held by faults",
+                    l.from, l.to, l.stats.msgs, l.stats.bytes, l.stats.held
+                );
+            }
+            if report.links.is_empty() {
+                println!("  (no cross-node traffic: every room is self-contained)");
+            }
+            if report.fault_counts.total() > 0 {
+                println!("  cluster faults: {:?}", report.fault_counts);
+            }
+        }
+        if a.flag("proc") {
+            for (n, node) in report.nodes.iter().enumerate() {
+                println!("node {n}:\n{}", render_proc(&node.stats));
+            }
+        }
+        if let Some(path) = a.get("report-json") {
+            let path = per_sched_path(path, name, multi);
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !a.flag("quiet") {
+                println!("  report written to {path}");
+            }
+        }
+        for (n, node) in report.nodes.iter().enumerate() {
+            if let Some(o) = node.chaos.as_ref().and_then(|c| c.oracle.as_ref()) {
+                if !o.clean() {
+                    oracle_failures.push(format!(
+                        "{name} node {n}: {} unexplained divergence(s), {} invariant violation(s)",
+                        o.unexplained, o.invariant_violations
+                    ));
+                }
+            }
+        }
+    }
+    if !oracle_failures.is_empty() {
+        return Err(format!("oracle: {}", oracle_failures.join("; ")));
+    }
+    Ok(())
+}
+
 /// `elsc-sim ls`: enumerate everything runnable — the native schedulers,
 /// every `.pol` policy discovered on disk, and the workloads. The policy
 /// column shows load-time facts (or the first diagnostic) so a glance
@@ -412,9 +547,19 @@ fn run_ls(a: &Args) -> Result<(), String> {
         ("httpd", "Apache-like web server (paper sec. 8)"),
         ("stress", "synthetic run-queue stress"),
         ("rtmix", "mixed SCHED_FIFO/SCHED_RR/SCHED_OTHER criticality"),
+        (
+            "cluster",
+            "federated VolanoMark over netsim links (elsc-cluster)",
+        ),
     ] {
         println!("  {name:<10} {what}");
     }
+    println!("\ncluster dispatchers (elsc-sim cluster --dispatcher NAME):");
+    for d in DispatcherId::ALL {
+        println!("  {:<16} {}", d.label(), d.describe());
+    }
+    println!("\nlab builtins (elsc-sim lab sweep --spec NAME; elsc-sim lab ls for sizes):");
+    println!("  {}", elsc_lab::SweepSpec::BUILTINS.join(", "));
     Ok(())
 }
 
@@ -456,6 +601,13 @@ fn main() {
         }
         return;
     }
+    if a.command.as_deref() == Some("cluster") {
+        if let Err(e) = run_cluster(&a) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Err(e) = run(&a) {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -467,6 +619,8 @@ const USAGE: &str = "\
 elsc-sim: scheduler simulator for 'Scalable Linux Scheduling' (CITI TR 01-7)
 
 usage: elsc-sim <workload> [options]
+       elsc-sim cluster [options]                  (federated multi-node
+                                                    simulation)
        elsc-sim ls [--policy-dir DIR]              (list schedulers,
                                                     policies, workloads)
        elsc-sim lab <sweep|compare|ls> [options]   (elsc-sim lab --help)
@@ -521,6 +675,16 @@ chaos (fault injection & the differential oracle):
                    schedule() decision; any unexplained divergence or
                    run-queue invariant violation makes the run exit
                    non-zero (the paper's sec. 5 equivalence claim)
+
+cluster (federated VolanoMark across N simulated machines):
+  --nodes N        machines in the federation            [2]
+  --dispatcher D   placement policy: round-robin, least-loaded,
+                   consistent-hash, or locality          [least-loaded]
+  --epoch CYCLES   exchange-epoch length                 [400000]
+  --faults PLAN    *cluster* fault classes: a preset (light, heavy) or
+                   key=rate pairs (partition, slow_link, node_pause)
+  --rooms/--users/--messages as for volano; per-node machine options
+  (--cpus, --up, --seed, --lock-plan, --oracle) apply to every node
 
 volano: --rooms N --users N --messages N
 kbuild: --jobs N --units N
@@ -683,6 +847,69 @@ mod tests {
     fn unknown_workload_is_an_error() {
         let a = args(&["beleaguer"]);
         assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn cluster_subcommand_runs_end_to_end() {
+        let a = args(&[
+            "cluster",
+            "--nodes",
+            "2",
+            "--dispatcher",
+            "round-robin",
+            "--cpus",
+            "2",
+            "--rooms",
+            "2",
+            "--users",
+            "4",
+            "--messages",
+            "2",
+            "--sched",
+            "elsc",
+            "--quiet",
+        ]);
+        assert!(run_cluster(&a).is_ok());
+    }
+
+    #[test]
+    fn cluster_subcommand_rejects_bad_axes() {
+        let err =
+            run_cluster(&args(&["cluster", "--dispatcher", "psychic", "--quiet"])).unwrap_err();
+        assert!(err.contains("--dispatcher"), "{err}");
+        let err = run_cluster(&args(&["cluster", "--nodes", "0", "--quiet"])).unwrap_err();
+        assert!(err.contains("--nodes"), "{err}");
+        // Machine fault classes are not cluster fault classes.
+        let err =
+            run_cluster(&args(&["cluster", "--faults", "ipi_drop=0.5", "--quiet"])).unwrap_err();
+        assert!(err.contains("cluster classes"), "{err}");
+        // A zero-cycle exchange epoch must be a CLI error, not a panic
+        // from the federation's own assert.
+        let err = run_cluster(&args(&["cluster", "--epoch", "0", "--quiet"])).unwrap_err();
+        assert!(err.contains("--epoch"), "{err}");
+    }
+
+    #[test]
+    fn cluster_subcommand_gates_on_the_oracle() {
+        // Oracle on, light cluster faults: must stay clean and succeed.
+        let a = args(&[
+            "cluster",
+            "--nodes",
+            "2",
+            "--rooms",
+            "2",
+            "--users",
+            "4",
+            "--messages",
+            "2",
+            "--faults",
+            "light",
+            "--oracle",
+            "--sched",
+            "elsc",
+            "--quiet",
+        ]);
+        assert!(run_cluster(&a).is_ok());
     }
 
     fn pol(file: &str) -> String {

@@ -1,0 +1,38 @@
+//! elsc-cluster: deterministic federated multi-machine simulation with
+//! a two-level scheduler.
+//!
+//! The paper studies one box; services of the era scaled chat past one
+//! box with a connection router in front of N machines. This crate
+//! reproduces that architecture *inside* the simulation's determinism
+//! contract:
+//!
+//! * **Federation** ([`Cluster`]): N [`elsc_machine::Machine`]s advance
+//!   in conservative lock-step exchange epochs, connected by
+//!   [`elsc_netsim::Link`] delay models (latency + serialisation, with
+//!   partition / slow-link / node-pause fault windows from
+//!   [`elsc_chaos::ClusterFaultPlan`]).
+//! * **Dispatcher tier** ([`Dispatcher`]): pluggable placement policies
+//!   — `round-robin`, `least-loaded`, `consistent-hash`, `locality` —
+//!   routing VolanoMark rooms and connections across nodes. The lower
+//!   tier is whichever kernel scheduler each node runs, so the sweep
+//!   measures how placement skew amplifies (baseline) or doesn't (ELSC)
+//!   per-node scheduling cost.
+//! * **Merged report** ([`ClusterReport`]): per-node run reports plus
+//!   link traffic and cluster fault counts, rendered byte-identically
+//!   for the same `(seed, fault_seed, plan, cluster config)` no matter
+//!   how many lab workers ran the sweep.
+#![deny(missing_docs)]
+
+pub mod dispatch;
+pub mod federation;
+pub mod report;
+pub mod volano;
+
+pub use dispatch::{Dispatcher, DispatcherId};
+pub use federation::{node_seed, Cluster, ClusterConfig, ClusterError};
+pub use report::{ClusterReport, LinkReport};
+
+// Cluster fault types that appear in [`ClusterConfig`] and
+// [`ClusterReport`], so downstream users (the lab, the CLI) do not need
+// a direct `elsc-chaos` dependency.
+pub use elsc_chaos::{ClusterFaultCounts, ClusterFaultPlan, ClusterInjector};

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use elsc::ElscScheduler;
+use elsc_cluster::{volano, ClusterConfig, ClusterFaultPlan, DispatcherId};
 use elsc_machine::{FaultPlan, MachineConfig, RunReport};
 use elsc_sched_api::{LockPlan, Scheduler};
 use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
@@ -232,16 +233,37 @@ pub enum WorkloadCell {
         /// Cycles per round.
         burst: u64,
     },
+    /// A federated VolanoMark cluster: `nodes` machines of the cell's
+    /// shape under a cluster dispatcher, bridged by delay-modelled links
+    /// (the two-level scheduler — see `elsc-cluster`). The cell's seed,
+    /// fault plan, and oracle apply per the federation's contract: node
+    /// seeds derive from the cell seed, the fault text parses as a
+    /// *cluster* plan, and the oracle runs beside every node.
+    Cluster {
+        /// Federated machines (each of the cell's shape).
+        nodes: u64,
+        /// Placement policy of the dispatcher tier.
+        dispatcher: DispatcherId,
+        /// Chat rooms across the whole cluster.
+        rooms: u64,
+        /// Users per room.
+        users: u64,
+        /// Messages each user sends.
+        messages: u64,
+        /// Mean client think time between sends, cycles.
+        think: u64,
+    },
 }
 
 impl WorkloadCell {
-    /// Workload name ("volano", "kbuild", "httpd", "stress").
+    /// Workload name ("volano", "kbuild", "httpd", "stress", "cluster").
     pub fn name(&self) -> &'static str {
         match self {
             WorkloadCell::Volano { .. } => "volano",
             WorkloadCell::Kbuild { .. } => "kbuild",
             WorkloadCell::Httpd { .. } => "httpd",
             WorkloadCell::Stress { .. } => "stress",
+            WorkloadCell::Cluster { .. } => "cluster",
         }
     }
 
@@ -275,7 +297,37 @@ impl WorkloadCell {
                 rounds,
                 burst,
             } => vec![("tasks", tasks), ("rounds", rounds), ("burst", burst)],
+            WorkloadCell::Cluster {
+                nodes,
+                dispatcher: _,
+                rooms,
+                users,
+                messages,
+                think,
+            } => vec![
+                ("nodes", nodes),
+                ("rooms", rooms),
+                ("users", users),
+                ("messages", messages),
+                ("think", think),
+            ],
         }
+    }
+
+    /// The `key=value` tokens of the cell id's parameter segment: every
+    /// numeric parameter in canonical order, plus the dispatcher axis
+    /// for cluster workloads (a named, not numeric, axis — two cluster
+    /// cells differing only in dispatcher must not share an id).
+    pub fn id_params(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .params()
+            .into_iter()
+            .map(|(k, val)| format!("{k}={val}"))
+            .collect();
+        if let WorkloadCell::Cluster { dispatcher, .. } = self {
+            v.insert(1, format!("dispatcher={}", dispatcher.label()));
+        }
+        v
     }
 
     /// Reads one parameter by name (`None` if the workload has no such
@@ -291,7 +343,7 @@ impl WorkloadCell {
     /// it has one.
     pub fn metric_key(&self) -> Option<&'static str> {
         match self {
-            WorkloadCell::Volano { .. } => Some("messages"),
+            WorkloadCell::Volano { .. } | WorkloadCell::Cluster { .. } => Some("messages"),
             WorkloadCell::Httpd { .. } => Some("requests_served"),
             WorkloadCell::Kbuild { .. } | WorkloadCell::Stress { .. } => None,
         }
@@ -366,12 +418,7 @@ impl CellConfig {
     /// format (see `cache`). `compare` matches cells across manifests by
     /// this id, so it deliberately excludes versions.
     pub fn id(&self) -> String {
-        let params: Vec<String> = self
-            .workload
-            .params()
-            .into_iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect();
+        let params = self.workload.id_params();
         let mut id = format!(
             "{}[{}]|sched={}|shape={}|plan={}|seed={}",
             self.workload.name(),
@@ -532,6 +579,12 @@ pub struct CellResult {
 /// This is the only place in the lab where a `Machine` exists; callers
 /// on worker threads see only `CellConfig` in and `CellResult` out.
 pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
+    if matches!(cell.workload, WorkloadCell::Cluster { .. }) {
+        // Federated cells have their own machinery: N machines, a
+        // cluster fault plan (different classes from the machine plan),
+        // and a merged report.
+        return execute_cluster_cell(cell);
+    }
     let mut cfg = cell
         .shape
         .machine()
@@ -599,6 +652,8 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
             };
             run_built(cfg, sched, |m| stress::build(m, &w))
         }
+        // Handled by the early return above.
+        WorkloadCell::Cluster { .. } => unreachable!("cluster cells route to execute_cluster_cell"),
     }?;
     if !report.conservation_ok {
         return Err(CellError::Conservation);
@@ -621,6 +676,101 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
         metrics: Metrics::from_report(&report, cell.workload.metric_key()),
         report_json: report.to_json(),
     })
+}
+
+/// Executes a federated cluster cell: N machines of the cell's shape,
+/// the workload sharded by the cell's dispatcher, conservation and
+/// oracle checked per node, metrics merged across the cluster.
+fn execute_cluster_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
+    let WorkloadCell::Cluster {
+        nodes,
+        dispatcher,
+        rooms,
+        users,
+        messages,
+        think,
+    } = &cell.workload
+    else {
+        unreachable!("caller matched the workload")
+    };
+    let node_cfg = cell
+        .shape
+        .machine()
+        .with_seed(cell.seed)
+        .with_lock_plan(cell.lock_plan)
+        .with_oracle(cell.chaos.oracle);
+    let mut ccfg = ClusterConfig::new(*nodes as usize, *dispatcher, node_cfg);
+    if let Some(text) = cell.chaos.plan_text() {
+        let plan: ClusterFaultPlan = text
+            .parse()
+            .map_err(|e| CellError::Run(format!("bad cluster fault plan: {e}")))?;
+        ccfg = ccfg
+            .with_faults(Some(plan))
+            .with_fault_seed(cell.chaos.fault_seed);
+    }
+    let w = VolanoConfig {
+        rooms: *rooms as usize,
+        users_per_room: *users as usize,
+        messages_per_user: *messages as usize,
+        think_cycles: *think,
+        ..VolanoConfig::default()
+    };
+    let nr_cpus = cell.shape.nr_cpus();
+    let report = volano::run(ccfg, |_node| cell.sched.build(nr_cpus), &w)
+        .map_err(|e| CellError::Run(e.to_string()))?;
+    for (n, node) in report.nodes.iter().enumerate() {
+        if !node.conservation_ok {
+            return Err(CellError::Conservation);
+        }
+        if let Some(o) = node.chaos.as_ref().and_then(|c| c.oracle.as_ref()) {
+            if !o.clean() {
+                return Err(CellError::Oracle(format!(
+                    "node {n}: {} unexplained divergence(s), {} invariant violation(s){}",
+                    o.unexplained,
+                    o.invariant_violations,
+                    o.first_unexplained
+                        .as_ref()
+                        .or(o.first_violation.as_ref())
+                        .map(|d| format!(" (first: {d})"))
+                        .unwrap_or_default()
+                )));
+            }
+        }
+    }
+    Ok(CellResult {
+        metrics: cluster_metrics(&report),
+        report_json: report.to_json(),
+    })
+}
+
+/// Merges per-node reports into the lab's flat metric schema: counters
+/// sum across nodes, rates derive from the summed counters, and elapsed
+/// is the cluster makespan — so cluster cells gate through `compare`
+/// exactly like single-machine cells.
+fn cluster_metrics(report: &elsc_cluster::ClusterReport) -> Metrics {
+    let t = report
+        .nodes
+        .iter()
+        .map(|n| n.stats.total())
+        .reduce(|a, b| a + b)
+        .expect("a cluster has at least one node");
+    Metrics {
+        elapsed_secs: report.elapsed_secs(),
+        throughput: report.per_sec("messages"),
+        sched_calls: t.sched_calls,
+        cycles_per_schedule: t.cycles_per_schedule(),
+        tasks_examined_per_schedule: t.tasks_examined_per_schedule(),
+        sched_time_share: t.sched_time_share(),
+        recalc_entries: t.recalc_entries,
+        recalc_tasks: t.recalc_tasks,
+        picked_new_cpu: t.picked_new_cpu,
+        yields: t.yields,
+        ctx_switches: t.ctx_switches,
+        wakeups: t.wakeups,
+        lock_spin_cycles: report.nodes.iter().map(|n| n.lock_spin.get()).sum(),
+        lock_acquisitions: report.nodes.iter().map(|n| n.lock_acquisitions).sum(),
+        tasks_spawned: report.nodes.iter().map(|n| n.tasks_spawned).sum(),
+    }
 }
 
 /// Builds a machine, populates it via `build`, and runs it.
@@ -818,6 +968,75 @@ mod tests {
         match execute_cell(&cell) {
             Err(CellError::Run(e)) => assert!(e.contains("watchdog"), "{e}"),
             other => panic!("expected watchdog run error, got {other:?}"),
+        }
+    }
+
+    fn tiny_cluster(dispatcher: DispatcherId, seed: u64) -> CellConfig {
+        CellConfig {
+            sched: SchedId::Elsc,
+            shape: Shape::Smp(2),
+            lock_plan: None,
+            seed,
+            workload: WorkloadCell::Cluster {
+                nodes: 3,
+                dispatcher,
+                rooms: 3,
+                users: 4,
+                messages: 2,
+                think: 0,
+            },
+            chaos: ChaosSpec::default(),
+        }
+    }
+
+    #[test]
+    fn cluster_cell_id_carries_the_dispatcher_axis() {
+        let a = tiny_cluster(DispatcherId::LeastLoaded, 1);
+        assert_eq!(
+            a.id(),
+            "cluster[nodes=3,dispatcher=least-loaded,rooms=3,users=4,messages=2,think=0]\
+             |sched=elsc|shape=2P|plan=default|seed=1"
+        );
+        let b = tiny_cluster(DispatcherId::ConsistentHash, 1);
+        assert_ne!(a.id(), b.id(), "dispatcher is an axis");
+    }
+
+    #[test]
+    fn cluster_cell_executes_deterministically() {
+        let cell = tiny_cluster(DispatcherId::LeastLoaded, 7);
+        let one = execute_cell(&cell).expect("cluster cell completes");
+        let two = execute_cell(&cell).unwrap();
+        assert_eq!(one.report_json, two.report_json);
+        assert_eq!(one.metrics, two.metrics);
+        assert!(one.report_json.starts_with("{\"kind\":\"cluster\""));
+        // Merged metrics really merge: 3 nodes of chat threads.
+        assert!(one.metrics.sched_calls > 0);
+        assert!(one.metrics.tasks_spawned > 8, "all nodes counted");
+        assert!(one.metrics.throughput > 0.0);
+    }
+
+    #[test]
+    fn cluster_cell_runs_faulted_with_a_clean_oracle() {
+        let mut cell = tiny_cluster(DispatcherId::RoundRobin, 5);
+        cell.chaos = ChaosSpec {
+            faults: Some("light".to_string()),
+            fault_seed: 3,
+            oracle: true,
+        };
+        let r = execute_cell(&cell).expect("faulted cluster cell completes");
+        assert!(r.report_json.contains("\"cluster_faults\""));
+        let again = execute_cell(&cell).unwrap();
+        assert_eq!(r.report_json, again.report_json);
+    }
+
+    #[test]
+    fn bad_cluster_fault_plan_is_a_run_error() {
+        let mut cell = tiny_cluster(DispatcherId::LeastLoaded, 1);
+        // A *machine* fault class is not a cluster fault class.
+        cell.chaos.faults = Some("ipi_drop=0.5".to_string());
+        match execute_cell(&cell) {
+            Err(CellError::Run(e)) => assert!(e.contains("bad cluster fault plan"), "{e}"),
+            other => panic!("expected cluster fault-plan error, got {other:?}"),
         }
     }
 

@@ -276,6 +276,41 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_a_cluster_manifest() {
+        // The tentpole invariant at the lab tier: a federated sweep's
+        // merged reports are byte-identical no matter how many workers
+        // executed the cells.
+        let spec: SweepSpec = "name = clpool\n workload = cluster\n sched = elsc\n shape = 2P\n\
+             seed = 1\n dispatcher = least-loaded, locality\n nodes = 2\n\
+             rooms = 2\n users = 4\n messages = 2\n think = 0\n"
+            .parse()
+            .unwrap();
+        let c1 = tmpcache("clw1");
+        let c2 = tmpcache("clw4");
+        let one = run_sweep(
+            &spec,
+            &c1,
+            &RunOptions {
+                workers: 1,
+                force: false,
+            },
+        );
+        let four = run_sweep(
+            &spec,
+            &c2,
+            &RunOptions {
+                workers: 4,
+                force: false,
+            },
+        );
+        assert!(one.ok() && four.ok());
+        assert_eq!(one.manifest().unwrap(), four.manifest().unwrap());
+        assert_eq!(one.executed, 2);
+        let _ = std::fs::remove_dir_all(c1.dir());
+        let _ = std::fs::remove_dir_all(c2.dir());
+    }
+
+    #[test]
     fn warm_cache_executes_nothing_and_matches() {
         let spec = spec();
         let cache = tmpcache("warm");

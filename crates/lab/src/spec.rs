@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::str::FromStr;
 
+use elsc_cluster::DispatcherId;
 use elsc_sched_api::LockPlan;
 
 use crate::cell::{CellConfig, ChaosSpec, SchedId, Shape, WorkloadCell};
@@ -31,13 +32,25 @@ fn workload_params(workload: &str) -> Option<&'static [(&'static str, u64)]> {
         "kbuild" => Some(&[("jobs", 4), ("units", 160)]),
         "httpd" => Some(&[("clients", 64), ("workers", 8), ("requests", 10)]),
         "stress" => Some(&[("tasks", 100), ("rounds", 50), ("burst", 20_000)]),
+        "cluster" => Some(&[
+            ("nodes", 2),
+            ("rooms", 4),
+            ("users", 8),
+            ("messages", 4),
+            ("think", 60_000_000),
+        ]),
         _ => None,
     }
 }
 
 /// Builds a [`WorkloadCell`] from a workload name and a complete
-/// parameter assignment (one value per canonical parameter).
-fn workload_cell(workload: &str, vals: &BTreeMap<&str, u64>) -> WorkloadCell {
+/// parameter assignment (one value per canonical parameter). The
+/// dispatcher is an axis only for `cluster`; other workloads ignore it.
+fn workload_cell(
+    workload: &str,
+    dispatcher: DispatcherId,
+    vals: &BTreeMap<&str, u64>,
+) -> WorkloadCell {
     let p = |k: &str| vals[k];
     match workload {
         "volano" => WorkloadCell::Volano {
@@ -59,6 +72,14 @@ fn workload_cell(workload: &str, vals: &BTreeMap<&str, u64>) -> WorkloadCell {
             tasks: p("tasks"),
             rounds: p("rounds"),
             burst: p("burst"),
+        },
+        "cluster" => WorkloadCell::Cluster {
+            nodes: p("nodes"),
+            dispatcher,
+            rooms: p("rooms"),
+            users: p("users"),
+            messages: p("messages"),
+            think: p("think"),
         },
         other => unreachable!("workload '{other}' validated at parse time"),
     }
@@ -86,9 +107,13 @@ pub struct SweepSpec {
     /// Workload parameter axes in the workload's canonical order; every
     /// canonical parameter appears exactly once (defaults filled in).
     pub params: Vec<(String, Vec<u64>)>,
+    /// Dispatcher placement policies to sweep — an axis only for the
+    /// `cluster` workload (default: least-loaded); rejected elsewhere.
+    pub dispatchers: Vec<DispatcherId>,
     /// Fault-plan axis (`none` in spec text is `None`); default: no
     /// faults. Custom `key=rate` plans use `;` between pairs because
-    /// `,` separates spec values.
+    /// `,` separates spec values. For `cluster` the text parses as a
+    /// *cluster* fault plan (partition / slow-link / node-pause classes).
     pub faults: Vec<Option<String>>,
     /// Fault-stream seeds; only meaningful for faulted cells.
     pub fault_seeds: Vec<u64>,
@@ -164,13 +189,15 @@ impl FromStr for SweepSpec {
         };
         let name = single(&raw, "name")?.ok_or("spec is missing 'name'")?;
         let workload = single(&raw, "workload")?.ok_or("spec is missing 'workload'")?;
-        let canon = workload_params(&workload)
-            .ok_or_else(|| format!("unknown workload '{workload}' (volano|kbuild|httpd|stress)"))?;
+        let canon = workload_params(&workload).ok_or_else(|| {
+            format!("unknown workload '{workload}' (volano|kbuild|httpd|stress|cluster)")
+        })?;
 
         let mut scheds = Vec::new();
         let mut shapes = Vec::new();
         let mut plans = Vec::new();
         let mut seeds = Vec::new();
+        let mut dispatchers = Vec::new();
         let mut faults: Vec<Option<String>> = Vec::new();
         let mut fault_seeds = Vec::new();
         let mut oracle = false;
@@ -199,6 +226,16 @@ impl FromStr for SweepSpec {
                 }
                 "seed" => seeds.extend(parse_seed_list(vals)?),
                 "fault_seed" => fault_seeds.extend(parse_seed_list(vals)?),
+                "dispatcher" => {
+                    if workload != "cluster" {
+                        return Err(format!(
+                            "'dispatcher' is an axis of the cluster workload, not '{workload}'"
+                        ));
+                    }
+                    for v in vals {
+                        dispatchers.push(v.parse::<DispatcherId>()?);
+                    }
+                }
                 "faults" => {
                     for v in vals {
                         if v == "none" {
@@ -206,10 +243,16 @@ impl FromStr for SweepSpec {
                         } else {
                             // Validate now so a typo fails at parse time,
                             // not mid-sweep. `;` stands in for the
-                            // machine's `,` pair separator.
-                            v.replace(';', ",")
-                                .parse::<elsc_machine::FaultPlan>()
-                                .map_err(|e| format!("bad fault plan '{v}': {e}"))?;
+                            // machine's `,` pair separator. Cluster cells
+                            // take *cluster* fault classes.
+                            let text = v.replace(';', ",");
+                            if workload == "cluster" {
+                                text.parse::<elsc_cluster::ClusterFaultPlan>()
+                                    .map_err(|e| format!("bad cluster fault plan '{v}': {e}"))?;
+                            } else {
+                                text.parse::<elsc_machine::FaultPlan>()
+                                    .map_err(|e| format!("bad fault plan '{v}': {e}"))?;
+                            }
                             faults.push(Some(v.clone()));
                         }
                     }
@@ -255,6 +298,9 @@ impl FromStr for SweepSpec {
         if seeds.is_empty() {
             seeds.push(1);
         }
+        if dispatchers.is_empty() {
+            dispatchers.push(DispatcherId::LeastLoaded);
+        }
         if faults.is_empty() {
             faults.push(None);
         }
@@ -278,6 +324,7 @@ impl FromStr for SweepSpec {
             shapes,
             plans,
             seeds,
+            dispatchers,
             params,
             faults,
             fault_seeds,
@@ -311,11 +358,19 @@ fn bad_seed(v: &str) -> String {
 
 impl SweepSpec {
     /// Expands the grid into cells in the canonical order: workload
-    /// parameters vary slowest (first parameter outermost), then shape,
-    /// then scheduler, then lock plan, then seed innermost. Worker count
-    /// never changes this order — it is the manifest order.
+    /// parameters vary slowest (first parameter outermost), then the
+    /// dispatcher (cluster only), then shape, then scheduler, then lock
+    /// plan, then seed innermost. Worker count never changes this order
+    /// — it is the manifest order.
     pub fn cells(&self) -> Vec<CellConfig> {
         let mut cells = Vec::new();
+        // The dispatcher axis exists only for cluster cells; other
+        // workloads must not multiply by it.
+        let dispatchers: &[DispatcherId] = if self.workload == "cluster" {
+            &self.dispatchers
+        } else {
+            &[DispatcherId::LeastLoaded]
+        };
         // Odometer over the parameter axes.
         let mut idx = vec![0usize; self.params.len()];
         loop {
@@ -325,32 +380,34 @@ impl SweepSpec {
                 .zip(&idx)
                 .map(|((k, axis), &i)| (k.as_str(), axis[i]))
                 .collect();
-            let workload = workload_cell(&self.workload, &vals);
-            for &shape in &self.shapes {
-                for sched in &self.scheds {
-                    for &lock_plan in &self.plans {
-                        for &seed in &self.seeds {
-                            for f in &self.faults {
-                                // A fault-free cell does not consume the
-                                // fault-seed axis: its id (and result)
-                                // would be identical for every value.
-                                let fseeds: &[u64] = match f {
-                                    Some(_) => &self.fault_seeds,
-                                    None => &[1],
-                                };
-                                for &fault_seed in fseeds {
-                                    cells.push(CellConfig {
-                                        sched: sched.clone(),
-                                        shape,
-                                        lock_plan,
-                                        seed,
-                                        workload: workload.clone(),
-                                        chaos: ChaosSpec {
-                                            faults: f.clone(),
-                                            fault_seed,
-                                            oracle: self.oracle,
-                                        },
-                                    });
+            for &dispatcher in dispatchers {
+                let workload = workload_cell(&self.workload, dispatcher, &vals);
+                for &shape in &self.shapes {
+                    for sched in &self.scheds {
+                        for &lock_plan in &self.plans {
+                            for &seed in &self.seeds {
+                                for f in &self.faults {
+                                    // A fault-free cell does not consume the
+                                    // fault-seed axis: its id (and result)
+                                    // would be identical for every value.
+                                    let fseeds: &[u64] = match f {
+                                        Some(_) => &self.fault_seeds,
+                                        None => &[1],
+                                    };
+                                    for &fault_seed in fseeds {
+                                        cells.push(CellConfig {
+                                            sched: sched.clone(),
+                                            shape,
+                                            lock_plan,
+                                            seed,
+                                            workload: workload.clone(),
+                                            chaos: ChaosSpec {
+                                                faults: f.clone(),
+                                                fault_seed,
+                                                oracle: self.oracle,
+                                            },
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -485,6 +542,19 @@ impl SweepSpec {
                     .collect();
                 return Some(spec);
             }
+            // Federated cluster sweep: nodes × dispatcher × {reg, elsc}
+            // on the acceptance grid. Thinkless so the fabric, not the
+            // clients, bounds the run; CI-sized like smoke.
+            "cluster" => format!(
+                "name = cluster\n\
+                 workload = cluster\n\
+                 sched = reg, elsc\n\
+                 shape = 2P\n\
+                 seed = {BASE_SEED}\n\
+                 dispatcher = least-loaded, consistent-hash\n\
+                 nodes = 1, 2, 4\n\
+                 rooms = 4\n users = 8\n messages = 4\n think = 0\n"
+            ),
             // §4 kernel-share claim: 5 vs 25 rooms, UP and 4P.
             "kernel_share" => format!(
                 "name = kernel_share\n\
@@ -500,9 +570,9 @@ impl SweepSpec {
     }
 
     /// Names of every builtin spec, in `--all-figures` run order (the
-    /// non-figure `smoke`, `chaos`, and `policy` sweeps are excluded
-    /// from `--all-figures` by the CLI).
-    pub const BUILTINS: [&'static str; 10] = [
+    /// non-figure `smoke`, `chaos`, `policy`, and `cluster` sweeps are
+    /// excluded from `--all-figures` by the CLI).
+    pub const BUILTINS: [&'static str; 11] = [
         "smoke",
         "figure2",
         "figure3",
@@ -513,6 +583,7 @@ impl SweepSpec {
         "kernel_share",
         "chaos",
         "policy",
+        "cluster",
     ];
 }
 
@@ -739,6 +810,76 @@ mod tests {
         assert!("name = p\nworkload = stress\nsched = policy:/no/such.pol"
             .parse::<SweepSpec>()
             .is_err());
+    }
+
+    #[test]
+    fn cluster_spec_sweeps_the_dispatcher_axis() {
+        let spec: SweepSpec = "
+            name = cl
+            workload = cluster
+            sched = elsc
+            shape = 2P
+            dispatcher = round-robin, locality
+            nodes = 2, 4
+        "
+        .parse()
+        .unwrap();
+        assert_eq!(
+            spec.dispatchers,
+            vec![DispatcherId::RoundRobin, DispatcherId::Locality]
+        );
+        let cells = spec.cells();
+        // 2 nodes values × 2 dispatchers × 1 shape × 1 sched × 1 seed.
+        assert_eq!(cells.len(), 4);
+        let ids: std::collections::BTreeSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), 4, "dispatcher really is an id axis");
+        assert!(
+            cells[0].id().contains("dispatcher=round-robin"),
+            "{}",
+            cells[0]
+        );
+        // Defaulted: a cluster spec without the key gets least-loaded.
+        let dflt: SweepSpec = "name = d\nworkload = cluster\nsched = elsc\nshape = 2P\n"
+            .parse()
+            .unwrap();
+        assert_eq!(dflt.dispatchers, vec![DispatcherId::LeastLoaded]);
+    }
+
+    #[test]
+    fn cluster_spec_validates_its_own_fault_classes() {
+        let base = "name = x\nworkload = cluster\nsched = elsc\nshape = 2P\n";
+        // Cluster classes parse; machine classes are rejected.
+        let ok: SweepSpec = format!("{base}faults = partition=0.1;slow_link=0.2\n")
+            .parse()
+            .unwrap();
+        assert_eq!(ok.faults.len(), 1);
+        assert!(format!("{base}faults = ipi_drop=0.5\n")
+            .parse::<SweepSpec>()
+            .is_err());
+        // And the dispatcher key is cluster-only.
+        assert!("name = x\nworkload = volano\ndispatcher = locality\n"
+            .parse::<SweepSpec>()
+            .is_err());
+    }
+
+    #[test]
+    fn cluster_builtin_covers_the_acceptance_grid() {
+        let spec = SweepSpec::builtin("cluster").unwrap();
+        let cells = spec.cells();
+        // nodes {1,2,4} × dispatcher {least-loaded, consistent-hash} ×
+        // sched {reg, elsc}.
+        assert_eq!(cells.len(), 12);
+        for d in ["least-loaded", "consistent-hash"] {
+            assert!(
+                cells
+                    .iter()
+                    .filter(|c| c.id().contains(&format!("dispatcher={d}")))
+                    .count()
+                    == 6,
+                "{d}"
+            );
+        }
+        assert!(cells.len() <= 16, "cluster must stay CI-sized");
     }
 
     #[test]

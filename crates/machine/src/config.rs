@@ -55,6 +55,11 @@ pub struct MachineConfig {
     /// unclaimed task sits on the run queue. Ignored for native
     /// schedulers.
     pub policy_starve_k: u32,
+    /// This machine's node id in a federated cluster (0 for the first
+    /// node and for every standalone run). Purely an identity: it labels
+    /// per-node sections of the merged cluster report and error
+    /// messages, and never influences the schedule.
+    pub node_id: u32,
 }
 
 impl MachineConfig {
@@ -76,6 +81,7 @@ impl MachineConfig {
             fault_seed: 0xFA17_5EED,
             oracle: false,
             policy_starve_k: 8,
+            node_id: 0,
         }
     }
 
@@ -148,6 +154,12 @@ impl MachineConfig {
     /// threshold (consecutive idle picks with runnable work queued).
     pub fn with_policy_starve_k(mut self, k: u32) -> Self {
         self.policy_starve_k = k.max(1);
+        self
+    }
+
+    /// Builder-style cluster node identity.
+    pub fn with_node_id(mut self, node: u32) -> Self {
+        self.node_id = node;
         self
     }
 

@@ -59,7 +59,7 @@ pub mod trace;
 
 pub use behavior::{Behavior, Op, SpawnReq, SysView, Syscall};
 pub use config::MachineConfig;
-pub use machine::{Machine, RunError};
+pub use machine::{Machine, RunError, StepStatus};
 pub use report::{Distributions, Ledger, PolicySummary, RunReport};
 pub use trace::{Trace, TraceEvent, TraceRecord};
 

@@ -33,6 +33,12 @@ enum Event {
     Ipi { cpu: CpuId },
     /// A sleeping task's timer expires.
     Timer { tid: Tid },
+    /// An inter-node message arrives from the cluster fabric (NIC DMA
+    /// completion into `pipe`'s socket buffer).
+    Net { pipe: PipeId, msg: Msg },
+    /// The far end of an inter-node connection closed; the close
+    /// propagates to the local ingress pipe.
+    NetClose { pipe: PipeId },
 }
 
 impl Event {
@@ -70,6 +76,22 @@ impl core::fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
+
+/// The outcome of one [`Machine::step_until`] slice of a federated run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The barrier was reached with live tasks remaining. `idle` is true
+    /// when nothing on this node can make progress without external
+    /// input (the per-node half of the cluster deadlock check — a
+    /// pending inter-node message elsewhere may still unwedge it).
+    Paused {
+        /// Whether the node is locally wedged: no runnable task, no
+        /// pending wake-ish event.
+        idle: bool,
+    },
+    /// Every spawned task has exited; the node is finished.
+    Done,
+}
 
 /// A task's in-flight work: remaining compute cycles, then a syscall.
 struct Pending {
@@ -433,7 +455,9 @@ impl Machine {
         result.map(|()| self.report())
     }
 
-    fn run_loop(&mut self) -> Result<(), RunError> {
+    /// Pushes the boot events every run starts from: one armed tick and
+    /// one reschedule IPI per CPU.
+    fn boot_events(&mut self) {
         if let Some(p) = &self.policy {
             self.bus.emit_at(
                 Cycles::ZERO,
@@ -449,6 +473,36 @@ impl Machine {
             self.push_event(Cycles::ZERO, Event::Ipi { cpu });
             self.cpus[cpu].need_resched = true;
         }
+    }
+
+    /// Pops nothing — dispatches one already-popped event: advances the
+    /// clock, checks the watchdog, and runs the handler. Shared verbatim
+    /// by [`Machine::run`] and [`Machine::step_until`] so a single-node
+    /// federated run is byte-identical to a plain run.
+    fn dispatch_event(&mut self, t: Cycles, ev: Event) -> Result<(), RunError> {
+        if !ev.is_tick() {
+            self.pending_wakeish -= 1;
+        }
+        debug_assert!(t >= self.now, "time ran backwards");
+        self.now = t;
+        if t.get() > self.cfg.max_cycles {
+            return Err(RunError::Watchdog { at: t });
+        }
+        match ev {
+            Event::Tick { cpu } => self.on_tick(cpu),
+            Event::Resume { cpu, gen } => self.on_resume(cpu, gen),
+            Event::Ipi { cpu } => self.on_ipi(cpu),
+            Event::Timer { tid } => {
+                self.wake_up(tid, 0, self.now);
+            }
+            Event::Net { pipe, msg } => self.on_net_arrival(pipe, msg),
+            Event::NetClose { pipe } => self.on_net_close(pipe),
+        }
+        Ok(())
+    }
+
+    fn run_loop(&mut self) -> Result<(), RunError> {
+        self.boot_events();
         while self.live_users > 0 {
             let Some((t, ev)) = self.events.pop() else {
                 return Err(RunError::Deadlock {
@@ -456,22 +510,7 @@ impl Machine {
                     live: self.live_users,
                 });
             };
-            if !ev.is_tick() {
-                self.pending_wakeish -= 1;
-            }
-            debug_assert!(t >= self.now, "time ran backwards");
-            self.now = t;
-            if t.get() > self.cfg.max_cycles {
-                return Err(RunError::Watchdog { at: t });
-            }
-            match ev {
-                Event::Tick { cpu } => self.on_tick(cpu),
-                Event::Resume { cpu, gen } => self.on_resume(cpu, gen),
-                Event::Ipi { cpu } => self.on_ipi(cpu),
-                Event::Timer { tid } => {
-                    self.wake_up(tid, 0, self.now);
-                }
-            }
+            self.dispatch_event(t, ev)?;
             if self.live_users > 0 && self.is_wedged() {
                 return Err(RunError::Deadlock {
                     at: self.now,
@@ -480,6 +519,174 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Federated stepping (the cluster tier drives nodes through these)
+    // ------------------------------------------------------------------
+
+    /// Boots the machine for externally driven stepping: emits the same
+    /// initial events [`Machine::run`] would, without entering the loop.
+    /// Pair with [`Machine::step_until`] and [`Machine::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine already ran (or started).
+    pub fn start(&mut self) {
+        assert!(!self.ran, "Machine::start() after a run");
+        self.ran = true;
+        self.boot_events();
+    }
+
+    /// Runs the event loop up to (and including) `barrier`, then pauses.
+    ///
+    /// Unlike [`Machine::run`], a locally wedged node does *not* error:
+    /// ticks keep firing and virtual time keeps advancing to the
+    /// barrier, because an inter-node message may arrive next epoch.
+    /// Local wedging is reported through [`StepStatus::Paused`] so the
+    /// federation can detect a *cluster-wide* deadlock (every node idle,
+    /// nothing in flight).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Watchdog`] when virtual time exceeds the configured
+    /// limit — the only per-node failure in step mode.
+    pub fn step_until(&mut self, barrier: Cycles) -> Result<StepStatus, RunError> {
+        assert!(self.ran, "step_until() before start()");
+        while self.live_users > 0 {
+            match self.events.peek_time() {
+                Some(t) if t <= barrier => {
+                    let (t, ev) = self.events.pop().expect("peeked event exists");
+                    self.dispatch_event(t, ev)?;
+                }
+                // The tick re-arms itself unconditionally, so the queue
+                // cannot run dry while tasks live; the next event simply
+                // lies beyond the barrier.
+                _ => {
+                    return Ok(StepStatus::Paused {
+                        idle: self.is_wedged(),
+                    })
+                }
+            }
+        }
+        Ok(StepStatus::Done)
+    }
+
+    /// Finishes a stepped run: flushes sinks and renders the report.
+    /// The step-mode counterpart of the tail of [`Machine::run`].
+    pub fn finish(&mut self) -> RunReport {
+        assert!(self.ran, "finish() before start()");
+        self.bus.finish();
+        self.report()
+    }
+
+    /// Current virtual time (the clock of the last dispatched event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of spawned tasks that have not exited yet.
+    pub fn live_users(&self) -> usize {
+        self.live_users
+    }
+
+    /// This machine's cluster node identity (0 standalone).
+    pub fn node_id(&self) -> u32 {
+        self.cfg.node_id
+    }
+
+    /// Schedules an inter-node message to arrive in `pipe` at `at` —
+    /// the NIC interrupt for a segment the cluster fabric routed here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in this node's past (the federation must only
+    /// schedule arrivals at or after the exchange barrier).
+    pub fn inject_external_msg(&mut self, pipe: PipeId, msg: Msg, at: Cycles) {
+        assert!(
+            at >= self.now,
+            "arrival {at:?} before node time {:?}",
+            self.now
+        );
+        self.push_event(at, Event::Net { pipe, msg });
+    }
+
+    /// Schedules the far end's close of an inter-node connection to
+    /// reach `pipe` at `at` (FIN after the last in-flight segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in this node's past.
+    pub fn inject_external_close(&mut self, pipe: PipeId, at: Cycles) {
+        assert!(
+            at >= self.now,
+            "close {at:?} before node time {:?}",
+            self.now
+        );
+        self.push_event(at, Event::NetClose { pipe });
+    }
+
+    /// Drains every queued message from `pipe` for transmission across
+    /// the cluster fabric, waking parked writers at `at` (the NIC pulled
+    /// their backlog). Returns the messages and whether the pipe is
+    /// closed — a closed-and-drained egress means the connection's FIN
+    /// should propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in this node's past.
+    pub fn drain_external(&mut self, pipe: PipeId, at: Cycles) -> (Vec<Msg>, bool) {
+        assert!(
+            at >= self.now,
+            "drain {at:?} before node time {:?}",
+            self.now
+        );
+        let mut out = Vec::new();
+        while let Ok((msg, waker)) = self.pipes.pipe_mut(pipe).try_read() {
+            out.push(msg);
+            if let Some(w) = waker {
+                self.wake_up(w, 0, at);
+            }
+        }
+        (out, self.pipes.pipe(pipe).is_closed())
+    }
+
+    /// Records a node-level fault firing (partition, slow-link,
+    /// node-pause) as an observability event at the node's current time.
+    pub fn note_fault(&mut self, fault: &'static str) {
+        let now = self.now;
+        self.bus
+            .emit_at(now, ObsEvent::FaultInjected { cpu: 0, fault });
+    }
+
+    /// Freezes the whole node for `delta` cycles: every pending event
+    /// and every CPU's busy horizon moves `delta` later, like an SMI or
+    /// a virtualisation pause. Time spent frozen accrues to whatever
+    /// each CPU was doing (`running_since`/`idle_since` deliberately do
+    /// not move), exactly as a real stall would be accounted.
+    pub fn pause_for(&mut self, delta: u64) {
+        self.events.shift_pending(delta);
+        for cpu in &mut self.cpus {
+            cpu.busy_until += delta;
+        }
+    }
+
+    /// Delivers an inter-node message into its ingress pipe. Arrival on
+    /// a closed pipe drops the segment, as a dead socket would.
+    fn on_net_arrival(&mut self, pipe: PipeId, msg: Msg) {
+        let now = self.now;
+        if let Ok(Some(reader)) = self.pipes.pipe_mut(pipe).deliver(msg) {
+            self.wake_up(reader, 0, now);
+        }
+    }
+
+    /// Applies a propagated close to an ingress pipe and wakes every
+    /// task parked on it so it observes the shutdown.
+    fn on_net_close(&mut self, pipe: PipeId) {
+        let now = self.now;
+        for tid in self.pipes.pipe_mut(pipe).close() {
+            self.wake_up(tid, 0, now);
+        }
     }
 
     /// True when no task can ever run again: all CPUs idle, nothing on
@@ -2228,5 +2435,217 @@ mod policy_tests {
         let r = m.run().expect("completes");
         assert!(r.policy.is_none());
         assert!(!r.to_json().contains("\"policy\""));
+    }
+}
+
+#[cfg(test)]
+mod step_tests {
+    use super::*;
+    use crate::behavior::Script;
+    use elsc_ktask::MmId;
+
+    const EPOCH: u64 = 400_000; // 1 ms at 400 MHz
+
+    fn machine(seed: u64) -> Machine {
+        let cfg = MachineConfig::up()
+            .with_max_secs(50.0)
+            .with_seed(seed)
+            .with_poll_yields(0);
+        Machine::new(cfg, Box::new(elsc_sched_linux::LinuxScheduler::new()))
+    }
+
+    /// Two compute/pipe tasks — enough traffic to exercise wakeups,
+    /// preemption, and pipe parking in both run modes.
+    fn populate(m: &mut Machine) -> PipeId {
+        let pipe = m.create_pipe(2);
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(1)),
+            Box::new(Script::new(vec![
+                Op::write_after(50_000, pipe, Msg::tagged(1)),
+                Op::write_after(50_000, pipe, Msg::tagged(2)),
+                Op::write_after(50_000, pipe, Msg::tagged(3)),
+                Op::compute(5_000_000, Syscall::Nop),
+            ])),
+        );
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(2)),
+            Box::new(Script::new(vec![
+                Op::read_after(1_000, pipe),
+                Op::read_after(1_000, pipe),
+                Op::read_after(1_000, pipe),
+            ])),
+        );
+        pipe
+    }
+
+    /// Drives a started machine to completion in fixed epochs.
+    fn step_to_done(m: &mut Machine) -> RunReport {
+        let mut barrier = Cycles::ZERO;
+        loop {
+            barrier += EPOCH;
+            match m.step_until(barrier).expect("no watchdog") {
+                StepStatus::Done => return m.finish(),
+                StepStatus::Paused { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stepped_run_is_byte_identical_to_plain_run() {
+        let mut plain = machine(0xC1_057E);
+        populate(&mut plain);
+        let want = plain.run().expect("completes").to_json();
+
+        let mut stepped = machine(0xC1_057E);
+        populate(&mut stepped);
+        stepped.start();
+        let got = step_to_done(&mut stepped).to_json();
+        assert_eq!(want, got, "step_until must replay run() exactly");
+    }
+
+    #[test]
+    fn start_after_run_panics() {
+        let mut m = machine(1);
+        populate(&mut m);
+        let _ = m.run();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.start()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn idle_node_keeps_ticking_to_the_barrier() {
+        let mut m = machine(2);
+        let pipe = m.create_pipe(1);
+        // A lone reader on an empty pipe: locally wedged, not dead.
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::read_after(1_000, pipe)])),
+        );
+        m.start();
+        let tick = m.step_until(Cycles(10 * EPOCH)).unwrap();
+        assert_eq!(tick, StepStatus::Paused { idle: true });
+        // Virtual time advanced (ticks fired) even though no task ran.
+        assert!(m.stats().total().ticks > 0);
+        assert_eq!(m.live_users(), 1);
+        // An inter-node arrival unwedges it.
+        m.inject_external_msg(pipe, Msg::tagged(7), Cycles(10 * EPOCH + 1_000));
+        let end = m.step_until(Cycles(20 * EPOCH)).unwrap();
+        assert_eq!(end, StepStatus::Done);
+        let r = m.finish();
+        assert_eq!(r.messages_read, 1);
+    }
+
+    #[test]
+    fn external_close_unblocks_a_parked_reader() {
+        let mut m = machine(3);
+        let pipe = m.create_pipe(1);
+        m.spawn(
+            &TaskSpec::named("reader").mm(MmId(1)),
+            Box::new(Script::new(vec![Op::read_after(1_000, pipe)])),
+        );
+        m.start();
+        assert_eq!(
+            m.step_until(Cycles(EPOCH)).unwrap(),
+            StepStatus::Paused { idle: true }
+        );
+        m.inject_external_close(pipe, Cycles(EPOCH));
+        // The reader observes EOF and exits instead of wedging forever.
+        assert_eq!(m.step_until(Cycles(2 * EPOCH)).unwrap(), StepStatus::Done);
+        let r = m.finish();
+        assert_eq!(r.messages_read, 0);
+    }
+
+    #[test]
+    fn drain_external_pulls_backlog_and_wakes_writers() {
+        let mut m = machine(4);
+        let pipe = m.create_pipe(2);
+        // Four writes through a two-slot egress: the writer must park.
+        m.spawn(
+            &TaskSpec::named("writer").mm(MmId(1)),
+            Box::new(Script::new(vec![
+                Op::write_after(10_000, pipe, Msg::tagged(1)),
+                Op::write_after(10_000, pipe, Msg::tagged(2)),
+                Op::write_after(10_000, pipe, Msg::tagged(3)),
+                Op::write_after(10_000, pipe, Msg::tagged(4)),
+            ])),
+        );
+        m.start();
+        let mut barrier = Cycles::ZERO;
+        let mut drained = Vec::new();
+        loop {
+            barrier += EPOCH;
+            let status = m.step_until(barrier).expect("no watchdog");
+            let (msgs, closed) = m.drain_external(pipe, barrier);
+            drained.extend(msgs);
+            assert!(!closed);
+            if status == StepStatus::Done {
+                break;
+            }
+        }
+        let tags: Vec<u64> = drained.iter().map(|ms| ms.tag).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4]);
+        m.finish();
+    }
+
+    #[test]
+    fn pause_for_shifts_the_run_wholesale() {
+        let run_with_pause = |pause: u64| {
+            let mut m = machine(5);
+            m.spawn(
+                &TaskSpec::named("worker").mm(MmId(1)),
+                Box::new(Script::new(vec![Op::compute(3_000_000, Syscall::Nop)])),
+            );
+            m.start();
+            let mut barrier = Cycles(EPOCH);
+            assert!(matches!(
+                m.step_until(barrier).unwrap(),
+                StepStatus::Paused { .. }
+            ));
+            if pause > 0 {
+                m.pause_for(pause);
+                m.note_fault("node_pause");
+            }
+            loop {
+                barrier += EPOCH;
+                if m.step_until(barrier).unwrap() == StepStatus::Done {
+                    return m.finish();
+                }
+            }
+        };
+        let base = run_with_pause(0);
+        let paused = run_with_pause(700_000);
+        // Every pending event moved together: the exit lands exactly
+        // `pause` later, and no work was lost.
+        assert_eq!(paused.elapsed.get(), base.elapsed.get() + 700_000);
+        assert_eq!(
+            base.stats.total().ctx_switches,
+            paused.stats.total().ctx_switches
+        );
+    }
+
+    #[test]
+    fn injection_into_a_running_node_is_deterministic() {
+        let run = || {
+            let mut m = machine(6);
+            let ingress = m.create_pipe(4);
+            m.spawn(
+                &TaskSpec::named("consumer").mm(MmId(1)),
+                Box::new(Script::new(vec![
+                    Op::read_after(2_000, ingress),
+                    Op::read_after(2_000, ingress),
+                ])),
+            );
+            m.start();
+            m.inject_external_msg(ingress, Msg::tagged(1), Cycles(EPOCH));
+            m.inject_external_msg(ingress, Msg::tagged(2), Cycles(EPOCH));
+            let mut barrier = Cycles::ZERO;
+            loop {
+                barrier += EPOCH;
+                if m.step_until(barrier).unwrap() == StepStatus::Done {
+                    return m.finish().to_json();
+                }
+            }
+        };
+        assert_eq!(run(), run());
     }
 }

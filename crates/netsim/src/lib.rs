@@ -1,4 +1,4 @@
-//! The loopback socket substrate.
+//! The loopback socket substrate — and the inter-node wire model.
 //!
 //! VolanoMark runs over loopback TCP connections with *blocking* reads and
 //! writes — "Because Java does not provide non-blocking read and write,
@@ -9,10 +9,18 @@
 //! model turns `WouldBlock` results into task sleeps and the returned
 //! wake lists into `wake_up_process()` calls.
 //!
+//! The cluster federation (`elsc-cluster`) connects pipes on *different*
+//! machines through a [`Link`]: a pure-timing latency/bandwidth model
+//! that says when a message drained from an egress pipe arrives at the
+//! far ingress pipe ([`Pipe::deliver`]).
+//!
 //! Nothing here advances time; all costs (copying, syscall overhead) are
-//! charged by the machine's syscall layer.
-#![warn(missing_docs)]
+//! charged by the machine's syscall layer, and link delays are applied
+//! by the federation when it schedules deliveries.
+#![deny(missing_docs)]
 
+pub mod link;
 pub mod pipe;
 
+pub use link::{Link, LinkConfig, LinkStats};
 pub use pipe::{Msg, Pipe, PipeError, PipeId, PipeTable};

@@ -1,0 +1,226 @@
+//! Inter-node links: the delay model connecting cluster machines.
+//!
+//! A [`Link`] is one *direction* of a point-to-point connection between
+//! two nodes. It layers a latency/bandwidth cost model over the pipe
+//! abstraction: the cluster federation drains messages from an egress
+//! pipe on the sender, asks the link *when* each message arrives, and
+//! injects it into the ingress pipe on the receiver at that instant.
+//! The link itself never holds messages — it is pure timing — which is
+//! what keeps the federated simulation a deterministic function of its
+//! inputs.
+//!
+//! The model is deliberately simple and integer-only:
+//!
+//! * **serialisation**: a message of `len` bytes occupies the wire for
+//!   `len × cycles_per_byte` cycles, and transmissions serialise
+//!   (`next_free` tracks when the wire clears);
+//! * **propagation**: every message adds `latency_cycles` after it
+//!   leaves the wire;
+//! * **faults**: a *partition* holds the wire busy until it heals
+//!   (messages are delayed, never dropped — TCP retransmission
+//!   semantics, so a partitioned VolanoMark room stalls rather than
+//!   deadlocks), and a *slow link* multiplies propagation latency for a
+//!   window.
+
+use elsc_simcore::Cycles;
+
+/// Timing parameters of one link direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Propagation delay added to every message, in cycles. The default
+    /// is 40 000 cycles — 100 µs at the machine model's 400 MHz, a
+    /// LAN-class round-trip half.
+    pub latency_cycles: u64,
+    /// Serialisation cost per byte, in cycles. The default of 32
+    /// cycles/byte is roughly 100 Mbit/s Ethernet at 400 MHz.
+    pub cycles_per_byte: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            latency_cycles: 40_000,
+            cycles_per_byte: 32,
+        }
+    }
+}
+
+/// Lifetime traffic counters of one link (for the cluster report).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages transmitted.
+    pub msgs: u64,
+    /// Payload bytes transmitted.
+    pub bytes: u64,
+    /// Messages that had to wait for a partition to heal.
+    pub held: u64,
+}
+
+/// One direction of an inter-node connection: a wire with serialisation
+/// and propagation delay, plus fault windows.
+///
+/// # Examples
+///
+/// ```
+/// use elsc_netsim::{Link, LinkConfig};
+/// use elsc_simcore::Cycles;
+///
+/// let mut l = Link::new(LinkConfig { latency_cycles: 100, cycles_per_byte: 2 });
+/// // 10 bytes serialise for 20 cycles, then 100 cycles of latency.
+/// assert_eq!(l.transmit(Cycles(0), 10), Cycles(120));
+/// // The wire is busy until cycle 20: a second send queues behind it.
+/// assert_eq!(l.transmit(Cycles(0), 10), Cycles(140));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Link {
+    cfg: LinkConfig,
+    /// When the wire finishes serialising the previous message.
+    next_free: Cycles,
+    /// Partition window: the wire will not start a transmission before
+    /// this instant.
+    down_until: Cycles,
+    /// Slow-link window end, and the latency multiplier inside it.
+    slow_until: Cycles,
+    slow_factor: u64,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates an idle link with the given timing parameters.
+    pub fn new(cfg: LinkConfig) -> Link {
+        Link {
+            cfg,
+            next_free: Cycles::ZERO,
+            down_until: Cycles::ZERO,
+            slow_until: Cycles::ZERO,
+            slow_factor: 1,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Schedules a `len`-byte message handed to the link at `now` and
+    /// returns its arrival instant at the far end.
+    ///
+    /// Transmissions serialise; a message offered during a partition
+    /// waits for the heal; a message whose send starts inside a
+    /// slow-link window pays multiplied propagation latency.
+    pub fn transmit(&mut self, now: Cycles, len: u32) -> Cycles {
+        let mut start = now.max(self.next_free);
+        if start < self.down_until {
+            start = self.down_until;
+            self.stats.held += 1;
+        }
+        let done = start + len as u64 * self.cfg.cycles_per_byte;
+        let latency = if start < self.slow_until {
+            self.cfg.latency_cycles * self.slow_factor
+        } else {
+            self.cfg.latency_cycles
+        };
+        self.next_free = done;
+        self.stats.msgs += 1;
+        self.stats.bytes += len as u64;
+        done + latency
+    }
+
+    /// Opens (or extends) a partition window: no transmission starts
+    /// before `until`. Messages offered meanwhile are held, not dropped.
+    pub fn partition_until(&mut self, until: Cycles) {
+        self.down_until = self.down_until.max(until);
+    }
+
+    /// Opens (or extends) a slow-link window: transmissions starting
+    /// before `until` pay `factor ×` propagation latency.
+    pub fn degrade_until(&mut self, until: Cycles, factor: u64) {
+        self.slow_until = self.slow_until.max(until);
+        self.slow_factor = factor.max(1);
+    }
+
+    /// Whether the link is partitioned at `now`.
+    pub fn is_down(&self, now: Cycles) -> bool {
+        now < self.down_until
+    }
+
+    /// Lifetime traffic counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(LinkConfig {
+            latency_cycles: 1_000,
+            cycles_per_byte: 10,
+        })
+    }
+
+    #[test]
+    fn latency_plus_serialisation() {
+        let mut l = link();
+        // 8 bytes: 80 cycles on the wire, 1000 cycles of flight.
+        assert_eq!(l.transmit(Cycles(500), 8), Cycles(1_580));
+        let s = l.stats();
+        assert_eq!((s.msgs, s.bytes, s.held), (1, 8, 0));
+    }
+
+    #[test]
+    fn transmissions_serialise_in_offer_order() {
+        let mut l = link();
+        let a = l.transmit(Cycles(0), 10); // wire busy 0..100
+        let b = l.transmit(Cycles(0), 10); // starts at 100
+        let c = l.transmit(Cycles(50), 10); // starts at 200
+        assert_eq!(a, Cycles(1_100));
+        assert_eq!(b, Cycles(1_200));
+        assert_eq!(c, Cycles(1_300));
+        // Arrival order matches offer order — no reordering in flight.
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate() {
+        let mut l = link();
+        l.transmit(Cycles(0), 1); // wire free at 10
+                                  // Offered long after the wire cleared: starts immediately.
+        assert_eq!(l.transmit(Cycles(5_000), 1), Cycles(6_010));
+    }
+
+    #[test]
+    fn partition_holds_messages_until_heal() {
+        let mut l = link();
+        l.partition_until(Cycles(10_000));
+        assert!(l.is_down(Cycles(0)));
+        // Offered mid-partition: starts at the heal, not at `now`.
+        assert_eq!(l.transmit(Cycles(100), 1), Cycles(11_010));
+        assert_eq!(l.stats().held, 1);
+        // After the heal the wire behaves normally again.
+        assert!(!l.is_down(Cycles(10_000)));
+        assert_eq!(l.transmit(Cycles(20_000), 1), Cycles(21_010));
+        assert_eq!(l.stats().held, 1);
+        // Extending backwards is a no-op (windows only grow).
+        l.partition_until(Cycles(5));
+        assert!(!l.is_down(Cycles(20_000)));
+    }
+
+    #[test]
+    fn slow_window_multiplies_latency() {
+        let mut l = link();
+        l.degrade_until(Cycles(1_000), 5);
+        // Inside the window: 10 cycles wire + 5×1000 latency.
+        assert_eq!(l.transmit(Cycles(0), 1), Cycles(5_010));
+        // Outside the window: back to base latency.
+        assert_eq!(l.transmit(Cycles(2_000), 1), Cycles(3_010));
+        // A degenerate factor clamps to 1.
+        l.degrade_until(Cycles(10_000), 0);
+        assert_eq!(l.transmit(Cycles(3_000), 1), Cycles(4_010));
+    }
+
+    #[test]
+    fn zero_length_message_still_pays_latency() {
+        let mut l = link();
+        assert_eq!(l.transmit(Cycles(0), 0), Cycles(1_000));
+        assert_eq!(l.stats().bytes, 0);
+    }
+}

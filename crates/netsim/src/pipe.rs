@@ -103,6 +103,22 @@ impl Pipe {
         }
     }
 
+    /// Enqueues a message arriving from *outside* the machine — a NIC
+    /// delivering an inter-node segment. Capacity is ignored: the wire
+    /// already applied its own backpressure (see the cluster link
+    /// model), and a NIC does not consult socket buffers before DMA.
+    /// On success returns the reader to wake, as [`Pipe::try_write`]
+    /// does; fails only if the pipe is closed (the segment is dropped,
+    /// like data arriving for a dead socket).
+    pub fn deliver(&mut self, msg: Msg) -> Result<Option<Tid>, PipeError> {
+        if self.closed {
+            return Err(PipeError::Closed);
+        }
+        self.queue.push_back(msg);
+        self.total_written += 1;
+        Ok(self.readers.wake_one())
+    }
+
     /// Closes the pipe: subsequent writes fail, reads drain then fail.
     /// Returns every task that was blocked on it (they must be woken to
     /// observe the close).
@@ -284,6 +300,31 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         Pipe::new(0);
+    }
+
+    #[test]
+    fn deliver_ignores_capacity_and_wakes_a_reader() {
+        let mut p = Pipe::new(1);
+        p.try_write(Msg::tagged(1)).unwrap();
+        assert!(p.is_full());
+        // A NIC delivery lands even on a full socket buffer.
+        assert_eq!(p.deliver(Msg::tagged(2)), Ok(None));
+        assert_eq!(p.len(), 2);
+        p.readers.park(tid(3));
+        assert_eq!(p.deliver(Msg::tagged(3)), Ok(Some(tid(3))));
+        assert_eq!(p.total_written(), 3);
+        // FIFO with locally written messages.
+        assert_eq!(p.try_read().unwrap().0.tag, 1);
+        assert_eq!(p.try_read().unwrap().0.tag, 2);
+    }
+
+    #[test]
+    fn deliver_to_closed_pipe_drops_the_segment() {
+        let mut p = Pipe::new(1);
+        p.close();
+        assert_eq!(p.deliver(Msg::tagged(1)).unwrap_err(), PipeError::Closed);
+        assert!(p.is_empty());
+        assert_eq!(p.total_written(), 0);
     }
 
     #[test]

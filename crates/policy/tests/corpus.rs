@@ -2,8 +2,8 @@
 //!
 //! Two corpora live under `policies/`: the bundled runnable programs
 //! (every one must load) and `policies/bad/` (every one must be rejected
-//! with a spanned diagnostic). On top of that, two hand-rolled
-//! property suites — deterministic xorshift-driven, no external
+//! with a spanned diagnostic). On top of that, two property suites —
+//! driven by the simulator's own deterministic [`SimRng`], no external
 //! dependency — hammer the loader with random token soup and with
 //! mutated copies of the real programs. The invariant under test is the
 //! loader's contract: **every** input yields `Ok` or a `PolicyError`
@@ -14,6 +14,7 @@ use std::path::PathBuf;
 
 use elsc_policy::{load_str, PolicyScheduler};
 use elsc_sched_api::Scheduler;
+use elsc_simcore::SimRng;
 
 fn policies_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../policies")
@@ -85,22 +86,11 @@ fn every_malformed_fixture_is_rejected_with_a_span() {
 // Hand-rolled property suites (deterministic, dependency-free)
 // ---------------------------------------------------------------------
 
-/// xorshift64* — tiny, deterministic, good enough for fuzzing corpora.
-struct XorShift(u64);
-
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
+/// The simulator's own deterministic generator drives the fuzzing
+/// corpora too — one RNG for the whole workspace, same seeds, same
+/// corpus forever. `usize` shim over [`SimRng::below`]'s `u64` surface.
+fn below(rng: &mut SimRng, n: usize) -> usize {
+    rng.below(n as u64) as usize
 }
 
 /// Vocabulary for random token soup: every keyword, function, and a few
@@ -183,17 +173,17 @@ const VOCAB: &[&str] = &[
 
 #[test]
 fn random_token_soup_never_panics_the_loader() {
-    let mut rng = XorShift(0x0BAD_5EED_0BAD_5EED);
+    let mut rng = SimRng::new(0x0BAD_5EED_0BAD_5EED);
     for _ in 0..2000 {
-        let len = 1 + rng.below(120);
+        let len = 1 + below(&mut rng, 120);
         let mut src = String::new();
         // Half the soup starts with a plausible header so it survives the
         // first two lines and exercises the hook/statement grammar.
-        if rng.below(2) == 0 {
+        if below(&mut rng, 2) == 0 {
             src.push_str("policy soup\nlists 4\n");
         }
         for _ in 0..len {
-            src.push_str(VOCAB[rng.below(VOCAB.len())]);
+            src.push_str(VOCAB[below(&mut rng, VOCAB.len())]);
             src.push(' ');
         }
         // Contract: Ok or a spanned Err — never a panic.
@@ -205,10 +195,10 @@ fn random_token_soup_never_panics_the_loader() {
 
 #[test]
 fn random_byte_noise_never_panics_the_loader() {
-    let mut rng = XorShift(0xFEED_FACE_CAFE_BEEF);
+    let mut rng = SimRng::new(0xFEED_FACE_CAFE_BEEF);
     for _ in 0..2000 {
-        let len = rng.below(200);
-        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+        let len = below(&mut rng, 200);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
         let src = String::from_utf8_lossy(&bytes).into_owned();
         if let Err(e) = load_str(&src) {
             assert!(e.span.line >= 1 && e.span.col >= 1);
@@ -219,28 +209,28 @@ fn random_byte_noise_never_panics_the_loader() {
 #[test]
 fn mutated_real_programs_never_panic_the_loader() {
     let corpus = read_corpus("");
-    let mut rng = XorShift(0x005E_ED0F_0BAD_CA5E);
+    let mut rng = SimRng::new(0x005E_ED0F_0BAD_CA5E);
     for (_, src) in &corpus {
         for _ in 0..400 {
             let mut s: Vec<char> = src.chars().collect();
-            match rng.below(4) {
+            match below(&mut rng, 4) {
                 // Delete a character.
                 0 => {
-                    let i = rng.below(s.len());
+                    let i = below(&mut rng, s.len());
                     s.remove(i);
                 }
                 // Swap two characters.
                 1 => {
-                    let i = rng.below(s.len());
-                    let j = rng.below(s.len());
+                    let i = below(&mut rng, s.len());
+                    let j = below(&mut rng, s.len());
                     s.swap(i, j);
                 }
                 // Truncate.
-                2 => s.truncate(rng.below(s.len())),
+                2 => s.truncate(below(&mut rng, s.len())),
                 // Duplicate a random slice onto the end.
                 _ => {
-                    let i = rng.below(s.len());
-                    let j = i + rng.below(s.len() - i);
+                    let i = below(&mut rng, s.len());
+                    let j = i + below(&mut rng, s.len() - i);
                     let dup: Vec<char> = s[i..j].to_vec();
                     s.extend(dup);
                 }

@@ -127,6 +127,27 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Moves every pending event `delta` cycles later, preserving the
+    /// FIFO tie-break: sequence numbers are untouched and all keys shift
+    /// together, so the pop order is exactly the old order, delayed.
+    ///
+    /// This models a whole-machine stall (a virtualisation pause, an
+    /// SMI): nothing is lost, everything simply happens later. Lifetime
+    /// counters are unaffected.
+    pub fn shift_pending(&mut self, delta: u64) {
+        if delta == 0 || self.heap.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .map(|Reverse(mut e)| {
+                e.time += delta;
+                Reverse(e)
+            })
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +212,34 @@ mod tests {
         assert!(q.is_empty());
         // Clear drops pending events but preserves lifetime counters.
         assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn shift_pending_delays_everything_in_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(10), "a");
+        q.push(Cycles(10), "b"); // same instant: FIFO must survive
+        q.push(Cycles(30), "c");
+        q.shift_pending(5);
+        assert_eq!(q.pop(), Some((Cycles(15), "a")));
+        assert_eq!(q.pop(), Some((Cycles(15), "b")));
+        assert_eq!(q.pop(), Some((Cycles(35), "c")));
+        // Events pushed after a shift interleave normally.
+        q.push(Cycles(40), "d");
+        q.push(Cycles(38), "e");
+        q.shift_pending(0); // no-op
+        assert_eq!(q.pop(), Some((Cycles(38), "e")));
+        assert_eq!(q.pop(), Some((Cycles(40), "d")));
+    }
+
+    #[test]
+    fn shift_pending_keeps_counters() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(1), ());
+        q.shift_pending(100);
+        assert_eq!(q.total_pushed(), 1);
+        assert_eq!(q.total_popped(), 0);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

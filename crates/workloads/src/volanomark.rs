@@ -208,16 +208,25 @@ impl Behavior for ClientRx {
     }
 }
 
-/// Server-side reader thread for one connection: read each message from
-/// its client and broadcast it to every room member's outbox.
 /// A VolanoChat room object's Java monitor. The era's JVM spun on
 /// contended monitors with `sched_yield()` — with no bound — so a holder
 /// that blocks mid-broadcast leaves its contenders yielding in a loop.
 /// When such a spinner is the only runnable task, each of those yields
 /// drives the baseline scheduler through the system-wide counter
 /// recalculation (Figure 2's storm).
-type RoomMonitor = Rc<Cell<bool>>;
+///
+/// Public so the cluster federation can build a room's server side
+/// through [`spawn_server_pair`]: every reader thread of a room shares
+/// one monitor, so the builder owns it and threads it through.
+pub type RoomMonitor = Rc<Cell<bool>>;
 
+/// Creates a fresh (unlocked) room monitor for [`spawn_server_pair`].
+pub fn new_room_monitor() -> RoomMonitor {
+    Rc::new(Cell::new(false))
+}
+
+/// Server-side reader thread for one connection: read each message from
+/// its client and broadcast it to every room member's outbox.
 struct ServerRx {
     c2s: PipeId,
     outboxes: Vec<PipeId>,
@@ -372,72 +381,105 @@ impl Behavior for ServerTx {
     }
 }
 
+/// Spawns one connection's client side (`client_tx` then `client_rx`)
+/// onto `m`: the sender writes `messages_per_user` tagged messages into
+/// `c2s`, the receiver consumes the full room broadcast volume from
+/// `s2c`.
+///
+/// [`build`] calls this for every user; the cluster federation calls it
+/// on whichever node the dispatcher placed the client, with `c2s`/`s2c`
+/// being that node's local pipe endpoints (bridged when the room's
+/// server lives elsewhere).
+pub fn spawn_client_pair(m: &mut Machine, cfg: &VolanoConfig, c2s: PipeId, s2c: PipeId, tag: u64) {
+    let per_user_expected = (cfg.users_per_room * cfg.messages_per_user) as u32;
+    m.spawn(
+        &TaskSpec::named("client_tx").mm(CLIENT_MM),
+        Box::new(ClientTx {
+            c2s,
+            left: cfg.messages_per_user as u32,
+            work: cfg.client_send_work,
+            think: cfg.think_cycles,
+            thought: false,
+            spin: YieldSpin::new(cfg.yield_prob),
+            jitter: cfg.jitter,
+            tag,
+        }),
+    );
+    m.spawn(
+        &TaskSpec::named("client_rx").mm(CLIENT_MM),
+        Box::new(ClientRx {
+            s2c,
+            expected: per_user_expected,
+            work: cfg.client_recv_work,
+            jitter: cfg.jitter,
+            awaiting: false,
+        }),
+    );
+}
+
+/// Spawns one connection's server side (`server_rx` then `server_tx`)
+/// onto `m`: the reader routes this client's messages from `c2s` into
+/// every room `outbox` under the shared room `monitor`, the writer
+/// forwards this user's `outbox` onto `s2c`.
+///
+/// All pipes must live on `m`'s pipe table, and every reader of a room
+/// must share the room's `outboxes` slice (same order) and `monitor` —
+/// [`build`] is the single-machine reference caller.
+pub fn spawn_server_pair(
+    m: &mut Machine,
+    cfg: &VolanoConfig,
+    c2s: PipeId,
+    s2c: PipeId,
+    outbox: PipeId,
+    outboxes: &[PipeId],
+    monitor: &RoomMonitor,
+) {
+    let per_user_expected = (cfg.users_per_room * cfg.messages_per_user) as u32;
+    m.spawn(
+        &TaskSpec::named("server_rx").mm(SERVER_MM),
+        Box::new(ServerRx {
+            c2s,
+            outboxes: outboxes.to_vec(),
+            to_read: cfg.messages_per_user as u32,
+            route_work: cfg.server_route_work,
+            fanout_work: cfg.fanout_work,
+            monitor: Rc::clone(monitor),
+            spins: 0,
+            jitter: cfg.jitter,
+            phase: SrvPhase::Reading,
+            awaiting: false,
+        }),
+    );
+    m.spawn(
+        &TaskSpec::named("server_tx").mm(SERVER_MM),
+        Box::new(ServerTx {
+            outbox,
+            s2c,
+            expected: per_user_expected,
+            work: cfg.server_send_work,
+            jitter: cfg.jitter,
+            forward: None,
+            awaiting: false,
+            dying: false,
+        }),
+    );
+}
+
 /// Populates a machine with the VolanoMark topology.
 pub fn build(m: &mut Machine, cfg: &VolanoConfig) {
     assert!(cfg.rooms > 0 && cfg.users_per_room > 0 && cfg.messages_per_user > 0);
     let users = cfg.users_per_room;
-    let msgs = cfg.messages_per_user as u32;
-    let per_user_expected = (users * cfg.messages_per_user) as u32;
     for room in 0..cfg.rooms {
         let outboxes: Vec<PipeId> = (0..users)
             .map(|_| m.create_pipe(cfg.pipe_capacity))
             .collect();
-        let monitor: RoomMonitor = Rc::new(Cell::new(false));
+        let monitor = new_room_monitor();
         for user in 0..users {
             let c2s = m.create_pipe(cfg.pipe_capacity);
             let s2c = m.create_pipe(cfg.pipe_capacity);
             let tag = (room * users + user) as u64;
-            m.spawn(
-                &TaskSpec::named("client_tx").mm(CLIENT_MM),
-                Box::new(ClientTx {
-                    c2s,
-                    left: msgs,
-                    work: cfg.client_send_work,
-                    think: cfg.think_cycles,
-                    thought: false,
-                    spin: YieldSpin::new(cfg.yield_prob),
-                    jitter: cfg.jitter,
-                    tag,
-                }),
-            );
-            m.spawn(
-                &TaskSpec::named("client_rx").mm(CLIENT_MM),
-                Box::new(ClientRx {
-                    s2c,
-                    expected: per_user_expected,
-                    work: cfg.client_recv_work,
-                    jitter: cfg.jitter,
-                    awaiting: false,
-                }),
-            );
-            m.spawn(
-                &TaskSpec::named("server_rx").mm(SERVER_MM),
-                Box::new(ServerRx {
-                    c2s,
-                    outboxes: outboxes.clone(),
-                    to_read: msgs,
-                    route_work: cfg.server_route_work,
-                    fanout_work: cfg.fanout_work,
-                    monitor: Rc::clone(&monitor),
-                    spins: 0,
-                    jitter: cfg.jitter,
-                    phase: SrvPhase::Reading,
-                    awaiting: false,
-                }),
-            );
-            m.spawn(
-                &TaskSpec::named("server_tx").mm(SERVER_MM),
-                Box::new(ServerTx {
-                    outbox: outboxes[user],
-                    s2c,
-                    expected: per_user_expected,
-                    work: cfg.server_send_work,
-                    jitter: cfg.jitter,
-                    forward: None,
-                    awaiting: false,
-                    dying: false,
-                }),
-            );
+            spawn_client_pair(m, cfg, c2s, s2c, tag);
+            spawn_server_pair(m, cfg, c2s, s2c, outboxes[user], &outboxes, &monitor);
         }
     }
 }
