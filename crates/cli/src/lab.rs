@@ -47,10 +47,10 @@ fn specs(a: &Args) -> Result<Vec<SweepSpec>, String> {
     if a.flag("all-figures") {
         for name in SweepSpec::BUILTINS {
             // `smoke` is a CI gate, `chaos` an oracle sweep, `policy` a
-            // policy-runtime conformance sweep, and `cluster` the
-            // federation gate — none is a paper figure, so
-            // `--all-figures` skips all four.
-            if name != "smoke" && name != "chaos" && name != "policy" && name != "cluster" {
+            // policy-runtime conformance sweep, `cluster` the federation
+            // gate, and `mega` the engine-throughput gate — none is a
+            // paper figure, so `--all-figures` skips all five.
+            if !matches!(name, "smoke" | "chaos" | "policy" | "cluster" | "mega") {
                 chosen.push(SweepSpec::builtin(name).expect("builtin"));
             }
         }
@@ -201,7 +201,7 @@ sweep options:
   --spec-file P    a spec file in the lab text format (see DESIGN.md sec. 7)
   --all-figures    every paper artifact: figure2..figure6, table2,
                    kernel_share (manifests under results/lab/; the
-                   smoke, chaos, policy, and cluster gates are
+                   smoke, chaos, policy, cluster, and mega gates are
                    separate specs)
   --workers N      worker threads                  [host parallelism]
   --out PATH       manifest path (single spec only) [results/lab/<name>.json]
@@ -212,10 +212,12 @@ compare options:
   --manifest P     the freshly produced manifest
   --baseline P     the committed reference (BENCH_baseline.json)
   --threshold PCT  fail on > PCT% growth in cycles_per_schedule or
-                   sched_time_share                 [5]
+                   sched_time_share, or > PCT% decline in
+                   sim_events_per_sec where both manifests carry it [5]
 
 environment: ELSC_MESSAGES (messages/user, default 20),
-ELSC_ITERATIONS (seeds per cell, default 1; first discarded when > 1).
+ELSC_ITERATIONS (seeds per cell, default 1; first discarded when > 1),
+ELSC_MEGA_ROOMS (rooms list for the mega spec, default \"50, 250\").
 
 exit status: 0 all cells ran and the gate passed; 1 any cell failed,
 any regression, or any baseline cell missing; 2 bad usage.

@@ -1,6 +1,5 @@
 //! The ELSC `schedule()` implementation (paper §5.2).
 
-use elsc_ktask::recalc::{in_recalc_walk, recalculated_counter};
 use elsc_ktask::{CpuId, SchedClass, TaskTable, Tid};
 use elsc_obs::ObsEvent;
 use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
@@ -39,14 +38,11 @@ impl ElscScheduler {
             cpu,
             nr_running: self.nr_running as u64,
         });
-        let mut n = 0u64;
         // Zombies awaiting the post-schedule reap are not walked (or
-        // charged for): recalc cost is per *live* task.
-        for task in ctx.tasks.iter_mut().filter(|t| in_recalc_walk(t)) {
-            task.counter = recalculated_counter(task);
-            task.rq_zero = false;
-            n += 1;
-        }
+        // charged for): recalc cost is per *live* task. The walk is a
+        // dense sweep of the hot-field lanes; the `rq_zero` annotation is
+        // cleared in the same pass, ready for `merge_after_recalc`.
+        let n = ctx.tasks.recalc_counters(true) as u64;
         ctx.stats.cpu_mut(cpu).recalc_tasks += n;
         ctx.meter.charge_n(ctx.costs, CostKind::RecalcPerTask, n);
         ctx.emit(ObsEvent::RecalcEnd { cpu, updated: n });
@@ -126,7 +122,7 @@ impl Scheduler for ElscScheduler {
                 // *before* insertion so it is indexed correctly; it then
                 // goes to the end of its (new) list, as both schedulers do.
                 let rr_exhausted = {
-                    let t = ctx.tasks.task_mut(prev);
+                    let mut t = ctx.tasks.task_mut(prev);
                     if t.policy.class == SchedClass::Rr && t.counter == 0 {
                         t.counter = t.priority;
                         true
@@ -276,48 +272,52 @@ fn scan_list(
     };
     let mut examined = 0usize;
     let mut cur = sched.table.lists().first(idx);
+    // The whole scan — links, skip test, goodness arithmetic — reads the
+    // dense hot-field lanes; the full `Task` struct is touched only to
+    // materialize a candidate's handle.
     while let Some(i) = cur {
         let next_link = sched.table.lists().next_task(ctx.tasks, i);
-        let p = ctx.tasks.by_index(i as usize);
-        let tid = p.tid;
+        let li = i as usize;
+        let lanes = ctx.tasks.lanes();
         // Skip tasks executing on *another* CPU; if everything here is
         // skipped we fall through to the next populated list.
-        if ctx.cfg.smp && p.has_cpu && p.processor != cpu {
+        if ctx.cfg.smp && lanes.has_cpu(li) && lanes.processor(li) != cpu {
             cur = next_link;
             continue;
         }
-        let is_rt = p.policy.class.is_realtime();
-        if !is_rt && p.counter == 0 {
+        let is_rt = lanes.is_realtime(li);
+        if !is_rt && lanes.counter(li) == 0 {
             // The rest of the list is the parked zero section: unusable.
             break;
         }
         ctx.meter.charge(ctx.costs, CostKind::GoodnessEval);
         ctx.stats.cpu_mut(cpu).tasks_examined += 1;
-        if p.policy.yielded {
+        let lanes = ctx.tasks.lanes();
+        if lanes.yielded(li) {
             // Run a yielded task only if nothing else turns up.
             if out.yielded.is_none() {
-                out.yielded = Some(tid);
+                out.yielded = Some(ctx.tasks.by_index(li).tid);
             }
         } else if is_rt {
             // Real-time: no yield handling, no bonuses — highest
             // rt_priority wins (§5.2).
-            let w = RT_GOODNESS_BASE + p.rt_priority;
+            let w = RT_GOODNESS_BASE + lanes.rt_priority(li);
             if out.best.is_none_or(|(_, b)| beats(w, b)) {
-                out.best = Some((tid, w));
+                out.best = Some((ctx.tasks.by_index(li).tid, w));
             }
         } else {
-            let mut w = p.counter + p.priority;
-            if p.processor == cpu {
+            let mut w = lanes.counter(li) + lanes.priority(li);
+            if lanes.processor(li) == cpu {
                 w += PROC_CHANGE_PENALTY;
             }
-            let mm_match = p.mm == prev_mm;
+            let mm_match = lanes.mm(li) == prev_mm;
             if mm_match {
                 w += MM_BONUS;
             }
             if !ctx.cfg.smp
                 && mm_match
                 && idx < crate::table::RT_BASE_LIST - 1
-                && p.static_goodness() == (4 * idx as i32) + 3
+                && lanes.static_goodness(li) == (4 * idx as i32) + 3
             {
                 // Uniprocessor shortcut (§5.2): affinity always matches on
                 // UP, so a shared mm is the maximum possible *bonus* — but
@@ -329,12 +329,12 @@ fn scan_list(
                 // the same static goodness without the +1 mm bonus. The
                 // clamped top list (19) has no bucket maximum, so it never
                 // takes the shortcut.
-                out.best = Some((tid, w));
+                out.best = Some((ctx.tasks.by_index(li).tid, w));
                 out.shortcut = true;
                 return out;
             }
             if out.best.is_none_or(|(_, b)| beats(w, b)) {
-                out.best = Some((tid, w));
+                out.best = Some((ctx.tasks.by_index(li).tid, w));
             }
         }
         examined += 1;

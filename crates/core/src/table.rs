@@ -108,7 +108,7 @@ impl ElscTable {
     pub fn link(&mut self, tasks: &mut TaskTable, tid: Tid) -> usize {
         let (idx, is_zero) = index_for(tasks.task(tid));
         {
-            let t = tasks.task_mut(tid);
+            let mut t = tasks.task_mut(tid);
             t.rq_hint = idx as u8;
             t.rq_zero = is_zero;
         }
@@ -230,12 +230,12 @@ impl ElscTable {
     }
 
     /// Finds the first zero-section task in list `idx` (the section
-    /// boundary), if any.
+    /// boundary), if any. Walks the hot-field lanes only.
     fn first_zero(&self, tasks: &TaskTable, idx: usize) -> Option<Link> {
+        let lanes = tasks.lanes();
         let mut cur = self.lists.first(idx);
         while let Some(i) = cur {
-            let t = tasks.by_index(i as usize);
-            if t.rq_zero {
+            if lanes.rq_zero(i as usize) {
                 return Some(Link::Task(i));
             }
             cur = self.lists.next_task(tasks, i);
@@ -315,7 +315,7 @@ impl ElscTable {
     /// Fully detaches a task's node after an `unlink_keep_next` (used
     /// when the marked task re-enters the table).
     pub fn clear_marker(tasks: &mut TaskTable, tid: Tid) {
-        let t = tasks.task_mut(tid);
+        let mut t = tasks.task_mut(tid);
         debug_assert!(
             !t.in_list(),
             "clear_marker on a task still linked into a list"
@@ -437,7 +437,7 @@ mod tests {
         table.link(&mut tasks, z);
         assert_eq!(table.top(), None);
         // Simulate the recalculation walk.
-        for t in tasks.iter_mut() {
+        for mut t in tasks.iter_mut() {
             t.counter = (t.counter >> 1) + t.priority;
             t.rq_zero = false;
         }

@@ -37,7 +37,7 @@ impl Rig {
     fn spawn(&mut self, sched: &mut dyn Scheduler, counter: i32, cpu: CpuId, mm: MmId) -> Tid {
         let tid = self.tasks.spawn(&TaskSpec::named("t").mm(mm));
         {
-            let t = self.tasks.task_mut(tid);
+            let mut t = self.tasks.task_mut(tid);
             t.counter = counter;
             t.processor = cpu;
         }

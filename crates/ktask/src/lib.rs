@@ -17,7 +17,11 @@
 //! Tasks are identified by generation-checked [`tid::Tid`] handles into the
 //! table, the Rust-idiomatic equivalent of the kernel's task pointers: a
 //! stale handle is detected instead of dereferencing freed memory.
-#![warn(missing_docs)]
+//!
+//! For mega-scale sweeps the table also maintains [`table::HotLanes`], a
+//! struct-of-arrays mirror of the scheduler-hot fields that the goodness
+//! scans and the recalculation loop sweep instead of the full structs.
+#![deny(missing_docs)]
 
 pub mod list;
 pub mod recalc;
@@ -27,7 +31,7 @@ pub mod tid;
 pub mod waitqueue;
 
 pub use list::{Link, ListNode, Lists};
-pub use table::TaskTable;
+pub use table::{HotLanes, TaskMut, TaskTable};
 pub use task::{CpuId, MmId, Policy, SchedClass, Task, TaskSpec, TaskState};
 pub use tid::Tid;
 pub use waitqueue::WaitQueue;

@@ -122,7 +122,7 @@ impl Lists {
     fn insert_between(&mut self, tasks: &mut TaskTable, tid: Tid, before: Link, after: Link) {
         let me = Link::Task(tid.index() as u32);
         {
-            let t = tasks.task_mut(tid);
+            let mut t = tasks.task_mut(tid);
             debug_assert!(!t.in_list(), "inserting {} while already linked", t.name);
             t.run_list = ListNode {
                 next: after,
@@ -223,8 +223,12 @@ impl Lists {
     }
 
     /// The task after `idx` in its list, or `None` at the end.
+    ///
+    /// Reads the link from the [`HotLanes`](crate::table::HotLanes)
+    /// mirror — the scan loops that call this per-candidate stay inside
+    /// the dense lanes instead of touching the full task structs.
     pub fn next_task(&self, tasks: &TaskTable, idx: u32) -> Option<u32> {
-        match tasks.by_index(idx as usize).run_list.next {
+        match tasks.lanes().next(idx as usize) {
             Link::Task(i) => Some(i),
             Link::Head(_) => None,
             Link::Nil => panic!("walking from a detached node"),

@@ -47,13 +47,16 @@ pub fn in_recalc_walk(task: &Task) -> bool {
 /// Returns the number of tasks touched so the caller can charge
 /// `RecalcPerTask` cycles for each. Zombies awaiting reaping are
 /// skipped (see [`in_recalc_walk`]).
+///
+/// Implemented as a dense sweep over the [`HotLanes`] mirror
+/// ([`TaskTable::recalc_counters`]) rather than a walk of the full task
+/// structs: at 100k+ tasks the loop is memory-bound, and two contiguous
+/// `i32` lanes stream through the cache where the slab would thrash it.
+///
+/// [`HotLanes`]: crate::table::HotLanes
+/// [`TaskTable::recalc_counters`]: crate::table::TaskTable::recalc_counters
 pub fn recalculate_counters(tasks: &mut TaskTable) -> usize {
-    let mut n = 0;
-    for task in tasks.iter_mut().filter(|t| in_recalc_walk(t)) {
-        task.counter = (task.counter >> 1) + task.priority;
-        n += 1;
-    }
-    n
+    tasks.recalc_counters(false)
 }
 
 #[cfg(test)]

@@ -233,6 +233,24 @@ pub enum WorkloadCell {
         /// Cycles per round.
         burst: u64,
     },
+    /// A VolanoMark-shaped mega-scale cell (100k–1M tasks): the same
+    /// chat topology as [`WorkloadCell::Volano`], but executed with
+    /// engine metrics on, so the report (and the manifest record) carry
+    /// the simulator's own throughput — `sim_events_per_sec` — beside
+    /// the model metrics. Mega cells are the engine gate: they exist to
+    /// measure how fast the calendar event queue and the SoA hot-field
+    /// path push a huge task population, not to reproduce a paper
+    /// figure.
+    Mega {
+        /// Chat rooms (each room is `users × 4` threads).
+        rooms: u64,
+        /// Users per room.
+        users: u64,
+        /// Messages each user sends.
+        messages: u64,
+        /// Mean client think time between sends, cycles.
+        think: u64,
+    },
     /// A federated VolanoMark cluster: `nodes` machines of the cell's
     /// shape under a cluster dispatcher, bridged by delay-modelled links
     /// (the two-level scheduler — see `elsc-cluster`). The cell's seed,
@@ -256,13 +274,15 @@ pub enum WorkloadCell {
 }
 
 impl WorkloadCell {
-    /// Workload name ("volano", "kbuild", "httpd", "stress", "cluster").
+    /// Workload name ("volano", "kbuild", "httpd", "stress", "mega",
+    /// "cluster").
     pub fn name(&self) -> &'static str {
         match self {
             WorkloadCell::Volano { .. } => "volano",
             WorkloadCell::Kbuild { .. } => "kbuild",
             WorkloadCell::Httpd { .. } => "httpd",
             WorkloadCell::Stress { .. } => "stress",
+            WorkloadCell::Mega { .. } => "mega",
             WorkloadCell::Cluster { .. } => "cluster",
         }
     }
@@ -297,6 +317,17 @@ impl WorkloadCell {
                 rounds,
                 burst,
             } => vec![("tasks", tasks), ("rounds", rounds), ("burst", burst)],
+            WorkloadCell::Mega {
+                rooms,
+                users,
+                messages,
+                think,
+            } => vec![
+                ("rooms", rooms),
+                ("users", users),
+                ("messages", messages),
+                ("think", think),
+            ],
             WorkloadCell::Cluster {
                 nodes,
                 dispatcher: _,
@@ -343,7 +374,9 @@ impl WorkloadCell {
     /// it has one.
     pub fn metric_key(&self) -> Option<&'static str> {
         match self {
-            WorkloadCell::Volano { .. } | WorkloadCell::Cluster { .. } => Some("messages"),
+            WorkloadCell::Volano { .. }
+            | WorkloadCell::Mega { .. }
+            | WorkloadCell::Cluster { .. } => Some("messages"),
             WorkloadCell::Httpd { .. } => Some("requests_served"),
             WorkloadCell::Kbuild { .. } | WorkloadCell::Stress { .. } => None,
         }
@@ -511,6 +544,11 @@ pub struct Metrics {
     pub lock_acquisitions: u64,
     /// Tasks created over the run.
     pub tasks_spawned: u64,
+    /// Simulator event-dispatch throughput (events per virtual second),
+    /// present only for cells run with engine metrics on (the `mega`
+    /// workload). `None` keeps every pre-engine manifest byte-identical;
+    /// `compare` min-gates this metric only when both manifests carry it.
+    pub sim_events_per_sec: Option<f64>,
 }
 
 impl Metrics {
@@ -534,11 +572,14 @@ impl Metrics {
             lock_spin_cycles: report.lock_spin.get(),
             lock_acquisitions: report.lock_acquisitions,
             tasks_spawned: report.tasks_spawned,
+            sim_events_per_sec: report.engine.as_ref().map(|e| e.sim_events_per_sec),
         }
     }
 
-    /// The `(name, value)` pairs of every metric in canonical order —
-    /// drives both serialization and `compare`'s gate table.
+    /// The `(name, value)` pairs of every *unconditional* metric in
+    /// canonical order — drives both serialization and `compare`'s gate
+    /// table. The optional `sim_events_per_sec` is appended separately
+    /// by the manifest writer when present.
     pub fn fields(&self) -> Vec<(&'static str, f64)> {
         vec![
             ("elapsed_secs", self.elapsed_secs),
@@ -590,6 +631,10 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
         .machine()
         .with_seed(cell.seed)
         .with_lock_plan(cell.lock_plan);
+    if matches!(cell.workload, WorkloadCell::Mega { .. }) {
+        // Mega cells gate the engine itself: record dispatch throughput.
+        cfg = cfg.with_engine_metrics(true);
+    }
     if let Some(text) = cell.chaos.plan_text() {
         let plan: FaultPlan = text
             .parse()
@@ -604,6 +649,12 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
     let sched = cell.sched.build(cell.shape.nr_cpus());
     let report = match &cell.workload {
         WorkloadCell::Volano {
+            rooms,
+            users,
+            messages,
+            think,
+        }
+        | WorkloadCell::Mega {
             rooms,
             users,
             messages,
@@ -770,6 +821,7 @@ fn cluster_metrics(report: &elsc_cluster::ClusterReport) -> Metrics {
         lock_spin_cycles: report.nodes.iter().map(|n| n.lock_spin.get()).sum(),
         lock_acquisitions: report.nodes.iter().map(|n| n.lock_acquisitions).sum(),
         tasks_spawned: report.nodes.iter().map(|n| n.tasks_spawned).sum(),
+        sim_events_per_sec: None,
     }
 }
 
@@ -1038,6 +1090,43 @@ mod tests {
             Err(CellError::Run(e)) => assert!(e.contains("bad cluster fault plan"), "{e}"),
             other => panic!("expected cluster fault-plan error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn mega_cell_carries_engine_metrics() {
+        let cell = CellConfig {
+            sched: SchedId::Elsc,
+            shape: Shape::Smp(2),
+            lock_plan: None,
+            seed: 6,
+            workload: WorkloadCell::Mega {
+                rooms: 2,
+                users: 4,
+                messages: 2,
+                think: 0,
+            },
+            chaos: ChaosSpec::default(),
+        };
+        assert!(cell.id().starts_with("mega["), "{}", cell.id());
+        let r = execute_cell(&cell).expect("mega cell completes");
+        let eps = r.metrics.sim_events_per_sec.expect("engine metrics on");
+        assert!(eps > 0.0);
+        assert!(r.report_json.contains("\"engine\""), "summary embedded");
+        // Deterministic like every other cell — the engine summary is
+        // derived from virtual time, never the host clock.
+        let again = execute_cell(&cell).unwrap();
+        assert_eq!(r.report_json, again.report_json);
+        // The identical volano cell carries no engine summary.
+        let mut plain = cell.clone();
+        plain.workload = WorkloadCell::Volano {
+            rooms: 2,
+            users: 4,
+            messages: 2,
+            think: 0,
+        };
+        let p = execute_cell(&plain).unwrap();
+        assert_eq!(p.metrics.sim_events_per_sec, None);
+        assert!(!p.report_json.contains("\"engine\""));
     }
 
     #[test]

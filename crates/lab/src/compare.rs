@@ -9,6 +9,11 @@
 //! fraction; improvements never fail the gate. Baseline cells missing
 //! from the current run fail the gate too — deleting an experiment must
 //! be an explicit baseline update, not a silent pass.
+//!
+//! Engine throughput gates in the opposite direction: when **both**
+//! manifests carry `sim_events_per_sec` for a cell (mega cells do; the
+//! model sweeps never will), a *decline* beyond the threshold is a
+//! regression — the simulator getting slower, not the model changing.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,11 +24,17 @@ use crate::jsonv::Value;
 /// threshold is a regression.
 pub const GATED_METRICS: [&str; 2] = ["cycles_per_schedule", "sched_time_share"];
 
+/// Metrics gated on *decline*: lower is worse. Optional — a cell is
+/// gated on one of these only when both the baseline and the current
+/// record carry it, so model-only manifests are unaffected.
+pub const MIN_GATED_METRICS: [&str; 1] = ["sim_events_per_sec"];
+
 /// Baselines smaller than this are not gated relatively (a 0 → 0.0001
 /// change is not a "regression by ∞%").
 const ABS_FLOOR: f64 = 1e-9;
 
-/// One gated metric that grew beyond the threshold.
+/// One gated metric that moved the wrong way beyond the threshold:
+/// growth for [`GATED_METRICS`], decline for [`MIN_GATED_METRICS`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Regression {
     /// The cell's canonical id.
@@ -37,7 +48,7 @@ pub struct Regression {
 }
 
 impl Regression {
-    /// Fractional growth over the baseline.
+    /// Fractional change from the baseline (negative for declines).
     pub fn delta(&self) -> f64 {
         self.current / self.baseline - 1.0
     }
@@ -75,7 +86,7 @@ impl CompareReport {
         for r in &self.regressions {
             let _ = writeln!(
                 out,
-                "  REGRESSION {}: {} {:.4} -> {:.4} (+{:.1}%)",
+                "  REGRESSION {}: {} {:.4} -> {:.4} ({:+.1}%)",
                 r.id,
                 r.metric,
                 r.baseline,
@@ -94,9 +105,16 @@ impl CompareReport {
     }
 }
 
+/// One cell's gated metric values, in the gate tables' order: the
+/// max-gated metrics are required, the min-gated ones optional.
+struct Gated {
+    maxg: Vec<f64>,
+    ming: Vec<Option<f64>>,
+}
+
 /// Indexes a manifest's results by cell id, keeping each cell's gated
 /// metric values.
-fn index(manifest: &Value, which: &str) -> Result<BTreeMap<String, Vec<(usize, f64)>>, String> {
+fn index(manifest: &Value, which: &str) -> Result<BTreeMap<String, Gated>, String> {
     let results = manifest
         .get("results")
         .and_then(Value::as_arr)
@@ -110,15 +128,19 @@ fn index(manifest: &Value, which: &str) -> Result<BTreeMap<String, Vec<(usize, f
         let metrics = r
             .get("metrics")
             .ok_or_else(|| format!("{which} record '{id}' has no 'metrics'"))?;
-        let mut gated = Vec::new();
-        for (gi, name) in GATED_METRICS.iter().enumerate() {
+        let mut maxg = Vec::new();
+        for name in GATED_METRICS {
             let v = metrics
                 .get(name)
                 .and_then(Value::as_f64)
                 .ok_or_else(|| format!("{which} record '{id}' is missing metric '{name}'"))?;
-            gated.push((gi, v));
+            maxg.push(v);
         }
-        map.insert(id.to_string(), gated);
+        let ming = MIN_GATED_METRICS
+            .iter()
+            .map(|name| metrics.get(name).and_then(Value::as_f64))
+            .collect();
+        map.insert(id.to_string(), Gated { maxg, ming });
     }
     Ok(map)
 }
@@ -138,8 +160,8 @@ pub fn compare(current: &str, baseline: &str, threshold: f64) -> Result<CompareR
             continue;
         };
         report.checked += 1;
-        for &(gi, b) in base_metrics {
-            let c = cur_metrics[gi].1;
+        for (gi, &b) in base_metrics.maxg.iter().enumerate() {
+            let c = cur_metrics.maxg[gi];
             if b > ABS_FLOOR && c > b * (1.0 + threshold) {
                 report.regressions.push(Regression {
                     id: id.clone(),
@@ -147,6 +169,20 @@ pub fn compare(current: &str, baseline: &str, threshold: f64) -> Result<CompareR
                     baseline: b,
                     current: c,
                 });
+            }
+        }
+        // Min gates fire only when both sides carry the metric, so
+        // model-only manifests (no engine numbers) are never affected.
+        for (gi, &b) in base_metrics.ming.iter().enumerate() {
+            if let (Some(b), Some(c)) = (b, cur_metrics.ming[gi]) {
+                if b > ABS_FLOOR && c < b * (1.0 - threshold) {
+                    report.regressions.push(Regression {
+                        id: id.clone(),
+                        metric: MIN_GATED_METRICS[gi],
+                        baseline: b,
+                        current: c,
+                    });
+                }
             }
         }
     }
@@ -224,6 +260,46 @@ mod tests {
         assert_eq!(r.missing, vec!["b".to_string()]);
         assert_eq!(r.added, vec!["c".to_string()]);
         assert!(r.render(0.05).contains("MISSING"));
+    }
+
+    fn engine_record(id: &str, cps: f64, share: f64, eps: f64) -> String {
+        Obj::new()
+            .str("id", id)
+            .raw(
+                "metrics",
+                Obj::new()
+                    .f64("cycles_per_schedule", cps)
+                    .f64("sched_time_share", share)
+                    .f64("sim_events_per_sec", eps)
+                    .build(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn engine_throughput_gates_on_decline() {
+        let base = manifest(vec![engine_record("m", 100.0, 0.1, 1_000_000.0)]);
+        // A 20% slower engine fails the 5% gate...
+        let slower = manifest(vec![engine_record("m", 100.0, 0.1, 800_000.0)]);
+        let r = compare(&slower, &base, 0.05).unwrap();
+        assert!(!r.ok());
+        assert_eq!(r.regressions[0].metric, "sim_events_per_sec");
+        assert!(r.regressions[0].delta() < 0.0, "declines are negative");
+        assert!(r.render(0.05).contains("(-20.0%)"), "{}", r.render(0.05));
+        // ...a faster one passes, as does noise within the threshold.
+        let faster = manifest(vec![engine_record("m", 100.0, 0.1, 1_200_000.0)]);
+        assert!(compare(&faster, &base, 0.05).unwrap().ok());
+        let noise = manifest(vec![engine_record("m", 100.0, 0.1, 970_000.0)]);
+        assert!(compare(&noise, &base, 0.05).unwrap().ok());
+    }
+
+    #[test]
+    fn engine_metric_is_gated_only_when_both_sides_carry_it() {
+        let plain = manifest(vec![record("m", 100.0, 0.1)]);
+        let engine = manifest(vec![engine_record("m", 100.0, 0.1, 1.0)]);
+        // Either direction of absence: no gate, no parse error.
+        assert!(compare(&plain, &engine, 0.05).unwrap().ok());
+        assert!(compare(&engine, &plain, 0.05).unwrap().ok());
     }
 
     #[test]

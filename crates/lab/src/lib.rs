@@ -40,7 +40,7 @@ pub use cell::{
     execute_cell, CellConfig, CellError, CellResult, ChaosSpec, Metrics, SchedId, Shape,
     WorkloadCell,
 };
-pub use compare::{compare, CompareReport, Regression, GATED_METRICS};
+pub use compare::{compare, CompareReport, Regression, GATED_METRICS, MIN_GATED_METRICS};
 pub use manifest::{cell_record, manifest, write_manifest};
 pub use pool::{run_sweep, CellOutcome, RunOptions, SweepRun};
 pub use spec::SweepSpec;

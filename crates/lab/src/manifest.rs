@@ -33,11 +33,16 @@ pub fn cell_record(cell: &CellConfig, result: &CellResult) -> String {
         .params()
         .into_iter()
         .fold(Obj::new(), |o, (k, v)| o.u64(k, v));
-    let metrics = result
+    let mut metrics = result
         .metrics
         .fields()
         .into_iter()
         .fold(Obj::new(), |o, (k, v)| o.f64(k, v));
+    // Optional engine metric: emitted only when the cell ran with engine
+    // metrics on, so pre-engine manifests stay byte-identical.
+    if let Some(v) = result.metrics.sim_events_per_sec {
+        metrics = metrics.f64("sim_events_per_sec", v);
+    }
     Obj::new()
         .str("id", &cell.id())
         .str("workload", cell.workload.name())
@@ -104,6 +109,9 @@ pub fn metrics_from_record(record: &Value) -> Result<Metrics, String> {
         lock_spin_cycles: f("lock_spin_cycles")? as u64,
         lock_acquisitions: f("lock_acquisitions")? as u64,
         tasks_spawned: f("tasks_spawned")? as u64,
+        // Optional: absent in every record produced without engine
+        // metrics (and in every pre-engine cache entry and baseline).
+        sim_events_per_sec: m.get("sim_events_per_sec").and_then(Value::as_f64),
     })
 }
 
@@ -145,6 +153,27 @@ mod tests {
         assert_eq!(metrics, result.metrics);
         // The embedded report is the machine's own JSON.
         assert!(v.get("report").unwrap().get("config").is_some());
+    }
+
+    #[test]
+    fn optional_engine_metric_round_trips() {
+        let mut cell = tiny();
+        cell.workload = WorkloadCell::Mega {
+            rooms: 1,
+            users: 4,
+            messages: 2,
+            think: 0,
+        };
+        let result = execute_cell(&cell).unwrap();
+        let record = cell_record(&cell, &result);
+        let v = Value::parse(&record).unwrap();
+        let metrics = metrics_from_record(&v).unwrap();
+        assert_eq!(metrics, result.metrics);
+        assert!(metrics.sim_events_per_sec.is_some());
+        // And a plain cell's record carries no engine key at all.
+        let plain = tiny();
+        let pr = execute_cell(&plain).unwrap();
+        assert!(!cell_record(&plain, &pr).contains("sim_events_per_sec"));
     }
 
     #[test]

@@ -32,6 +32,16 @@ fn workload_params(workload: &str) -> Option<&'static [(&'static str, u64)]> {
         "kbuild" => Some(&[("jobs", 4), ("units", 160)]),
         "httpd" => Some(&[("clients", 64), ("workers", 8), ("requests", 10)]),
         "stress" => Some(&[("tasks", 100), ("rounds", 50), ("burst", 20_000)]),
+        // Mega-scale engine cells: volano's chat topology (4 threads per
+        // user) with engine metrics on. Defaults trade message count for
+        // task count — the population, not the per-user traffic, is the
+        // thing under test.
+        "mega" => Some(&[
+            ("rooms", 250),
+            ("users", 20),
+            ("messages", 1),
+            ("think", 60_000_000),
+        ]),
         "cluster" => Some(&[
             ("nodes", 2),
             ("rooms", 4),
@@ -72,6 +82,12 @@ fn workload_cell(
             tasks: p("tasks"),
             rounds: p("rounds"),
             burst: p("burst"),
+        },
+        "mega" => WorkloadCell::Mega {
+            rooms: p("rooms"),
+            users: p("users"),
+            messages: p("messages"),
+            think: p("think"),
         },
         "cluster" => WorkloadCell::Cluster {
             nodes: p("nodes"),
@@ -190,7 +206,7 @@ impl FromStr for SweepSpec {
         let name = single(&raw, "name")?.ok_or("spec is missing 'name'")?;
         let workload = single(&raw, "workload")?.ok_or("spec is missing 'workload'")?;
         let canon = workload_params(&workload).ok_or_else(|| {
-            format!("unknown workload '{workload}' (volano|kbuild|httpd|stress|cluster)")
+            format!("unknown workload '{workload}' (volano|kbuild|httpd|stress|mega|cluster)")
         })?;
 
         let mut scheds = Vec::new();
@@ -435,7 +451,10 @@ impl SweepSpec {
     /// unknown name. Builtins honour the same environment knobs as the
     /// bench binaries: `ELSC_MESSAGES` (messages per user, default 20)
     /// and `ELSC_ITERATIONS` (seeds per cell, default 1; the first run
-    /// is discarded as warm-up when more than one, per §6).
+    /// is discarded as warm-up when more than one, per §6). The `mega`
+    /// builtin additionally honours `ELSC_MEGA_ROOMS` (a rooms list
+    /// replacing the default `50, 250` axis — e.g. `1250` for a
+    /// 100k-task scale-up run).
     pub fn builtin(name: &str) -> Option<SweepSpec> {
         let messages = env_u64("ELSC_MESSAGES", 20);
         let iterations = env_u64("ELSC_ITERATIONS", 1).max(1);
@@ -555,6 +574,31 @@ impl SweepSpec {
                  nodes = 1, 2, 4\n\
                  rooms = 4\n users = 8\n messages = 4\n think = 0\n"
             ),
+            // Mega-scale engine gate: volano-shaped populations of 4k
+            // and 20k tasks (rooms × 20 users × 4 threads) under reg and
+            // elsc, engine metrics on. Think-bound, one message per
+            // user: the task *population* — the calendar event queue and
+            // the SoA hot-field sweeps — is the thing under test, not
+            // per-user traffic. `ELSC_MEGA_ROOMS` replaces the rooms
+            // axis for manual scale-up runs (1250 → 100k tasks,
+            // 12500 → 1M).
+            "mega" => {
+                let rooms = std::env::var("ELSC_MEGA_ROOMS")
+                    .ok()
+                    .filter(|v| {
+                        !v.trim().is_empty()
+                            && v.split(',').all(|r| r.trim().parse::<u64>().is_ok())
+                    })
+                    .unwrap_or_else(|| "50, 250".to_string());
+                format!(
+                    "name = mega\n\
+                     workload = mega\n\
+                     sched = reg, elsc\n\
+                     shape = 2P\n\
+                     seed = {BASE_SEED}\n\
+                     rooms = {rooms}\n users = 20\n messages = 1\n think = 60000000\n"
+                )
+            }
             // §4 kernel-share claim: 5 vs 25 rooms, UP and 4P.
             "kernel_share" => format!(
                 "name = kernel_share\n\
@@ -570,9 +614,9 @@ impl SweepSpec {
     }
 
     /// Names of every builtin spec, in `--all-figures` run order (the
-    /// non-figure `smoke`, `chaos`, `policy`, and `cluster` sweeps are
-    /// excluded from `--all-figures` by the CLI).
-    pub const BUILTINS: [&'static str; 11] = [
+    /// non-figure `smoke`, `chaos`, `policy`, `cluster`, and `mega`
+    /// sweeps are excluded from `--all-figures` by the CLI).
+    pub const BUILTINS: [&'static str; 12] = [
         "smoke",
         "figure2",
         "figure3",
@@ -584,6 +628,7 @@ impl SweepSpec {
         "chaos",
         "policy",
         "cluster",
+        "mega",
     ];
 }
 
@@ -880,6 +925,22 @@ mod tests {
             );
         }
         assert!(cells.len() <= 16, "cluster must stay CI-sized");
+    }
+
+    #[test]
+    fn mega_builtin_is_the_engine_gate() {
+        let spec = SweepSpec::builtin("mega").unwrap();
+        // rooms {50, 250} × sched {reg, elsc} × one shape × one seed.
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        assert!(cells
+            .iter()
+            .all(|c| matches!(c.workload, WorkloadCell::Mega { .. })));
+        // The populations really are mega-sized relative to the figures:
+        // 250 rooms × 20 users × 4 threads = 20k tasks.
+        assert!(cells.iter().any(|c| c.workload.param("rooms") == Some(250)));
+        // Mega ids never collide with volano baseline ids.
+        assert!(cells.iter().all(|c| c.id().starts_with("mega[")));
     }
 
     #[test]

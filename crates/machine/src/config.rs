@@ -60,6 +60,12 @@ pub struct MachineConfig {
     /// per-node sections of the merged cluster report and error
     /// messages, and never influences the schedule.
     pub node_id: u32,
+    /// Attach the engine-throughput summary (`events_dispatched`,
+    /// `sim_events_per_sec`) to the run report. Off by default so
+    /// pre-existing cells serialize exactly as before; the `mega` lab
+    /// builtin turns it on. Every reported value derives from virtual
+    /// time, so same-seed runs stay byte-identical.
+    pub engine_metrics: bool,
 }
 
 impl MachineConfig {
@@ -82,6 +88,7 @@ impl MachineConfig {
             oracle: false,
             policy_starve_k: 8,
             node_id: 0,
+            engine_metrics: false,
         }
     }
 
@@ -93,6 +100,12 @@ impl MachineConfig {
     /// An SMP kernel build on `nr_cpus` processors ("1P", "2P", "4P").
     pub fn smp(nr_cpus: usize) -> Self {
         Self::with_sched(SchedConfig::smp(nr_cpus))
+    }
+
+    /// Builder-style engine-throughput metrics toggle.
+    pub fn with_engine_metrics(mut self, on: bool) -> Self {
+        self.engine_metrics = on;
+        self
     }
 
     /// Builder-style seed override.

@@ -48,7 +48,7 @@
 //! let report = m.run().expect("run completes");
 //! assert!(report.elapsed.get() >= 30_000);
 //! ```
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod behavior;
 pub mod config;
@@ -60,7 +60,7 @@ pub mod trace;
 pub use behavior::{Behavior, Op, SpawnReq, SysView, Syscall};
 pub use config::MachineConfig;
 pub use machine::{Machine, RunError, StepStatus};
-pub use report::{Distributions, Ledger, PolicySummary, RunReport};
+pub use report::{Distributions, EngineSummary, Ledger, PolicySummary, RunReport};
 pub use trace::{Trace, TraceEvent, TraceRecord};
 
 // Chaos types that appear in [`MachineConfig`] and [`RunReport`], so

@@ -7,8 +7,8 @@ use elsc_chaos::{
 use elsc_ktask::{CpuId, TaskSpec, TaskState, TaskTable, Tid};
 use elsc_netsim::{Msg, PipeError, PipeId, PipeTable};
 use elsc_sched_api::{
-    reschedule_idle, CpuView, DomainAcquire, DomainLocker, LockDomains, LockPlan, SchedCtx,
-    Scheduler, WakeTarget,
+    reschedule_idle, CpuView, DomainAcquire, DomainLocker, LockDomains, LockPlan, LockScratch,
+    SchedCtx, Scheduler, WakeTarget,
 };
 use elsc_simcore::{CostKind, CycleMeter, Cycles, EventQueue, LockModel, SimRng};
 use elsc_stats::SchedStats;
@@ -18,7 +18,7 @@ use elsc_obs::{CycleProfiler, EventBus, ObsEvent, Phase, Sink};
 use crate::behavior::{Behavior, Op, SysView, Syscall};
 use crate::config::MachineConfig;
 use crate::cpu::CpuState;
-use crate::report::{Distributions, Ledger, PolicySummary, RunReport};
+use crate::report::{Distributions, EngineSummary, Ledger, PolicySummary, RunReport};
 use crate::trace::Trace;
 
 /// Simulation events.
@@ -183,6 +183,16 @@ pub struct Machine {
     last_exit: Cycles,
     to_free: Vec<Tid>,
     ran: bool,
+    /// Reusable held-set/acquisition-log storage for the per-call lock
+    /// domain bookkeeping (allocation-free dispatch).
+    lock_scratch: LockScratch,
+    /// Reusable per-wakeup CPU snapshot buffer for `reschedule_idle()`.
+    view_scratch: Vec<CpuView>,
+    /// Wall-clock instant `run()` started, for the informational
+    /// events-per-second throughput readout (never serialized).
+    wall_start: Option<std::time::Instant>,
+    /// Wall-clock seconds the completed run took (never serialized).
+    wall_secs: f64,
 }
 
 impl Machine {
@@ -194,7 +204,7 @@ impl Machine {
         let cpus = (0..cfg.nr_cpus())
             .map(|id| {
                 let idle = tasks.spawn(&TaskSpec::named("idle").priority(1));
-                let t = tasks.task_mut(idle);
+                let mut t = tasks.task_mut(idle);
                 t.counter = 0;
                 t.processor = id;
                 t.has_cpu = true;
@@ -260,6 +270,10 @@ impl Machine {
             last_exit: Cycles::ZERO,
             to_free: Vec::new(),
             ran: false,
+            lock_scratch: LockScratch::default(),
+            view_scratch: Vec::new(),
+            wall_start: None,
+            wall_secs: 0.0,
         }
     }
 
@@ -447,7 +461,12 @@ impl Machine {
     pub fn run(&mut self) -> Result<RunReport, RunError> {
         assert!(!self.ran, "Machine::run() may only be called once");
         self.ran = true;
+        self.wall_start = Some(std::time::Instant::now());
         let result = self.run_loop();
+        self.wall_secs = self
+            .wall_start
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
         // Flush external sinks (trace files) even when the run fails —
         // a truncated-but-flushed trace is exactly what you want when
         // debugging a watchdog or deadlock.
@@ -578,6 +597,20 @@ impl Machine {
         assert!(self.ran, "finish() before start()");
         self.bus.finish();
         self.report()
+    }
+
+    /// Discrete events dispatched so far (lifetime pop count of the
+    /// event queue).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events.total_popped()
+    }
+
+    /// Wall-clock seconds the completed [`Machine::run`] took. `0.0`
+    /// before the run finishes. Informational only — wall time is never
+    /// serialized into reports, which must stay byte-identical across
+    /// machines.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_secs
     }
 
     /// Current virtual time (the clock of the last dispatched event).
@@ -754,6 +787,20 @@ impl Machine {
                 ejected_at: p.ejected.map(|(at, _)| at),
                 eject_reason: p.ejected.map(|(_, r)| r),
             }),
+            engine: if self.cfg.engine_metrics {
+                let events = self.events.total_popped();
+                let secs = self.last_exit.as_secs(self.cfg.cpu_hz);
+                Some(EngineSummary {
+                    events_dispatched: events,
+                    sim_events_per_sec: if secs == 0.0 {
+                        0.0
+                    } else {
+                        events as f64 / secs
+                    },
+                })
+            } else {
+                None
+            },
         }
     }
 
@@ -813,16 +860,18 @@ impl Machine {
         if !self.cpus[cpu].is_idle() {
             // Quantum accounting: the timer interrupt decrements the
             // running task's counter (update_process_times).
-            let task = self.tasks.task_mut(cur);
-            if task.counter > 0 {
-                task.counter -= 1;
-            }
-            // An expired quantum forces a reschedule for timesharing
-            // tasks and SCHED_RR; SCHED_FIFO runs until it blocks.
-            if task.counter == 0
-                && (!task.policy.class.is_realtime()
-                    || task.policy.class == elsc_ktask::SchedClass::Rr)
-            {
+            let expired = {
+                let mut task = self.tasks.task_mut(cur);
+                if task.counter > 0 {
+                    task.counter -= 1;
+                }
+                // An expired quantum forces a reschedule for timesharing
+                // tasks and SCHED_RR; SCHED_FIFO runs until it blocks.
+                task.counter == 0
+                    && (!task.policy.class.is_realtime()
+                        || task.policy.class == elsc_ktask::SchedClass::Rr)
+            };
+            if expired {
                 self.cpus[cpu].need_resched = true;
             }
             // Policy tick hook: runs after the machine's own quantum
@@ -993,6 +1042,7 @@ impl Machine {
                 cpu,
                 t_acq,
                 home,
+                &mut self.lock_scratch,
             ))
         } else {
             None
@@ -1020,15 +1070,13 @@ impl Machine {
         // Release every held domain before any further `&mut self` work:
         // the domain set borrows the lock bank. Mid-call spins stretch
         // the call, so they are part of the held interval.
-        let (extra_spin, taken) = match domains {
+        let (extra_spin, n_taken) = match domains {
             Some(d) => {
                 let extra = d.extra_spin();
-                (
-                    extra,
-                    d.release_all(t_acq + meter.cycles() + extra + hold_extra),
-                )
+                let taken = d.release_all(t_acq + meter.cycles() + extra + hold_extra);
+                (extra, taken.len())
             }
-            None => (0, Vec::new()),
+            None => (0, 0),
         };
         self.charge_kernel_meter(cpu, Phase::Schedule, &meter);
         if hold_extra > 0 {
@@ -1046,7 +1094,8 @@ impl Machine {
         }
         let cycles = meter.take();
         let t_done = t_acq + cycles + extra_spin + hold_extra;
-        for a in taken {
+        for k in 0..n_taken {
+            let a = self.lock_scratch.taken()[k];
             self.account_domain_acquire(cpu, a);
         }
         self.stats.cpu_mut(cpu).sched_cycles += cycles;
@@ -1154,7 +1203,7 @@ impl Machine {
         }
         // Migration detection: the scheduler left `processor` untouched.
         let migrated = {
-            let nt = self.tasks.task_mut(next);
+            let mut nt = self.tasks.task_mut(next);
             let m = nt.processor != cpu;
             nt.processor = cpu;
             m
@@ -1572,6 +1621,7 @@ impl Machine {
                 waker_cpu,
                 t_acq,
                 home,
+                &mut self.lock_scratch,
             ))
         } else {
             None
@@ -1599,30 +1649,31 @@ impl Machine {
             CostKind::GoodnessEval,
             self.cfg.nr_cpus() as u64,
         );
-        let (extra_spin, taken) = match domains {
+        let (extra_spin, n_taken) = match domains {
             Some(d) => {
                 let extra = d.extra_spin();
-                (extra, d.release_all(t_acq + meter.cycles() + extra))
+                let taken = d.release_all(t_acq + meter.cycles() + extra);
+                (extra, taken.len())
             }
-            None => (0, Vec::new()),
+            None => (0, 0),
         };
         self.charge_kernel_meter(waker_cpu, Phase::Wakeup, &meter);
         let t2 = t_acq + meter.take() + extra_spin;
-        for a in taken {
+        for k in 0..n_taken {
+            let a = self.lock_scratch.taken()[k];
             self.account_domain_acquire(waker_cpu, a);
         }
         let mut t3 = t2;
 
-        let views: Vec<CpuView> = self
-            .cpus
-            .iter()
-            .map(|c| CpuView {
-                id: c.id,
-                idle: c.is_idle(),
-                current: c.current,
-            })
-            .collect();
-        match reschedule_idle(&self.tasks, &self.cfg.sched, &views, tid) {
+        // Snapshot every CPU into the reusable scratch buffer — one of
+        // the hot wakeup-path allocations this engine must not make.
+        self.view_scratch.clear();
+        self.view_scratch.extend(self.cpus.iter().map(|c| CpuView {
+            id: c.id,
+            idle: c.is_idle(),
+            current: c.current,
+        }));
+        match reschedule_idle(&self.tasks, &self.cfg.sched, &self.view_scratch, tid) {
             WakeTarget::IpiIdle(target) => {
                 self.cpus[target].need_resched = true;
                 self.stats.cpu_mut(waker_cpu).ipis_sent += 1;

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use elsc_chaos::ChaosSummary;
-use elsc_obs::json::{array, Obj};
+use elsc_obs::json::{array, num, Obj};
 use elsc_obs::{stats_json, Percentiles, ProfileReport};
 use elsc_simcore::{Cycles, DomainStats, Histogram};
 use elsc_stats::SchedStats;
@@ -182,6 +182,35 @@ pub struct RunReport {
     pub chaos: Option<ChaosSummary>,
     /// Policy-runtime summary: `None` for native schedulers.
     pub policy: Option<PolicySummary>,
+    /// Engine-throughput summary: `None` unless the run was configured
+    /// with `engine_metrics`, so pre-existing cells serialize exactly as
+    /// they did before the mega-scale engine existed.
+    pub engine: Option<EngineSummary>,
+}
+
+/// Simulator-engine throughput for mega-scale runs.
+///
+/// Both values derive from deterministic counters and *virtual* time —
+/// never the wall clock — so reports embedding this summary remain
+/// byte-identical across machines, worker counts, and reruns. Wall-clock
+/// throughput is available separately (and unserialized) via
+/// `Machine::wall_seconds()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSummary {
+    /// Discrete events the machine dispatched over the run.
+    pub events_dispatched: u64,
+    /// Events dispatched per elapsed *virtual* second.
+    pub sim_events_per_sec: f64,
+}
+
+impl EngineSummary {
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("events_dispatched", self.events_dispatched)
+            .f64("sim_events_per_sec", self.sim_events_per_sec)
+            .build()
+    }
 }
 
 impl RunReport {
@@ -261,6 +290,9 @@ impl RunReport {
         }
         if let Some(p) = &self.policy {
             obj = obj.raw("policy", p.to_json());
+        }
+        if let Some(e) = &self.engine {
+            obj = obj.raw("engine", e.to_json());
         }
         obj.build()
     }
@@ -387,6 +419,14 @@ impl fmt::Display for RunReport {
             }
             writeln!(f)?;
         }
+        if let Some(e) = &self.engine {
+            writeln!(
+                f,
+                "  engine: events_dispatched={} sim_events_per_sec={}",
+                e.events_dispatched,
+                num(e.sim_events_per_sec)
+            )?;
+        }
         Ok(())
     }
 }
@@ -435,6 +475,7 @@ mod tests {
             conservation_ok: true,
             chaos: None,
             policy: None,
+            engine: None,
         }
     }
 

@@ -285,7 +285,7 @@ impl<'a, 'p, 'c> Interp<'a, 'p, 'c> {
                 let t = self.eval_task(task)?;
                 let v = self.eval_int(value)?;
                 if let Some(tid) = t {
-                    let task = self.ctx.tasks.task_mut(tid);
+                    let mut task = self.ctx.tasks.task_mut(tid);
                     let cap = i64::from(task.priority).saturating_mul(2);
                     task.counter = v.clamp(0, cap) as i32;
                 }
@@ -767,17 +767,21 @@ impl Scheduler for PolicyScheduler {
             }
         }
         {
-            let prev_task = ctx.tasks.task_mut(prev);
-            if prev_task.policy.class == SchedClass::Rr && prev_task.counter == 0 {
+            let mut prev_task = ctx.tasks.task_mut(prev);
+            let requeue = if prev_task.policy.class == SchedClass::Rr && prev_task.counter == 0 {
                 prev_task.counter = prev_task.priority;
-                if prev_task.on_runqueue() {
-                    self.move_last_runqueue(ctx, prev);
-                }
+                prev_task.on_runqueue()
+            } else {
+                false
+            };
+            drop(prev_task);
+            if requeue {
+                self.move_last_runqueue(ctx, prev);
             }
         }
         let prev_mm = ctx.tasks.task(prev).mm;
         let prev_yielded = {
-            let prev_task = ctx.tasks.task_mut(prev);
+            let mut prev_task = ctx.tasks.task_mut(prev);
             let y = prev_task.policy.yielded;
             prev_task.policy.yielded = false;
             y

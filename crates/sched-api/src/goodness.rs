@@ -12,7 +12,7 @@
 //! task waits on the run queue, so the run queue can be kept sorted by it;
 //! only the two small bonuses need evaluating at decision time.
 
-use elsc_ktask::{CpuId, MmId, Task};
+use elsc_ktask::{CpuId, HotLanes, MmId, Task};
 
 /// Goodness floor for real-time tasks (`SCHED_FIFO`/`SCHED_RR`).
 pub const RT_GOODNESS_BASE: i32 = 1000;
@@ -73,6 +73,38 @@ pub fn goodness_ignoring_yield(task: &Task, this_cpu: CpuId, prev_mm: MmId) -> i
         weight += PROC_CHANGE_PENALTY;
     }
     if task.mm == prev_mm {
+        weight += MM_BONUS;
+    }
+    weight
+}
+
+/// [`goodness_ignoring_yield`] computed from the [`HotLanes`] mirror.
+///
+/// The scan loops evaluate goodness per run-queue candidate; reading the
+/// dense lanes instead of the full `Task` struct keeps a 100k-task scan
+/// inside a handful of cache lines per candidate. Must agree with
+/// [`goodness_ignoring_yield`] on every input — the struct variant stays
+/// the specification (and the oracle's reference).
+#[inline]
+pub fn lane_goodness_ignoring_yield(
+    lanes: &HotLanes,
+    idx: usize,
+    this_cpu: CpuId,
+    prev_mm: MmId,
+) -> i32 {
+    if lanes.is_realtime(idx) {
+        return RT_GOODNESS_BASE + lanes.rt_priority(idx);
+    }
+    let counter = lanes.counter(idx);
+    if counter == 0 {
+        // Runnable, but its time slice is used up.
+        return 0;
+    }
+    let mut weight = counter + lanes.priority(idx);
+    if lanes.processor(idx) == this_cpu {
+        weight += PROC_CHANGE_PENALTY;
+    }
+    if lanes.mm(idx) == prev_mm {
         weight += MM_BONUS;
     }
     weight
@@ -190,6 +222,47 @@ mod tests {
         assert_eq!(goodness(&t, 0, MmId(1)), 0);
         // But the yield-ignoring variant sees through it.
         assert!(goodness_ignoring_yield(&t, 0, MmId(1)) > 0);
+    }
+
+    #[test]
+    fn lane_goodness_agrees_with_struct_goodness() {
+        // Exhaustive-ish cross-check of the lane variant against the
+        // struct variant over the interesting corners: RT vs other, zero
+        // counter, both bonuses on/off.
+        let mut table = TaskTable::new();
+        let mut tids = Vec::new();
+        for (counter, priority, processor, mm) in [
+            (0, 20, 0, MmId(1)),
+            (7, 20, 0, MmId(1)),
+            (7, 20, 3, MmId(2)),
+            (80, 40, 1, MmId::KERNEL),
+        ] {
+            let tid = table.spawn(&TaskSpec::default().priority(priority).mm(mm));
+            let mut t = table.task_mut(tid);
+            t.counter = counter;
+            t.processor = processor;
+            drop(t);
+            tids.push(tid);
+        }
+        let rt = table.spawn(&TaskSpec::default().realtime(SchedClass::Fifo, 55));
+        table.task_mut(rt).counter = 0;
+        tids.push(rt);
+        let yielder = table.spawn(&TaskSpec::default().priority(20).mm(MmId(1)));
+        table.task_mut(yielder).counter = 5;
+        table.task_mut(yielder).policy.yielded = true;
+        tids.push(yielder);
+
+        for &tid in &tids {
+            for cpu in [0, 3] {
+                for prev_mm in [MmId::KERNEL, MmId(1), MmId(2)] {
+                    assert_eq!(
+                        lane_goodness_ignoring_yield(table.lanes(), tid.index(), cpu, prev_mm),
+                        goodness_ignoring_yield(table.task(tid), cpu, prev_mm),
+                        "lane/struct goodness disagree for {tid:?} cpu={cpu} prev_mm={prev_mm:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

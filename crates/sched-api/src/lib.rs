@@ -31,9 +31,9 @@ pub mod scheduler;
 
 pub use config::SchedConfig;
 pub use goodness::{
-    goodness, goodness_ignoring_yield, rt_goodness, IDLE_GOODNESS, MM_BONUS, PROC_CHANGE_PENALTY,
-    RT_GOODNESS_BASE,
+    goodness, goodness_ignoring_yield, lane_goodness_ignoring_yield, rt_goodness, IDLE_GOODNESS,
+    MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE,
 };
-pub use lockplan::{DomainAcquire, DomainLocker, LockDomains, LockPlan};
+pub use lockplan::{DomainAcquire, DomainLocker, LockDomains, LockPlan, LockScratch};
 pub use resched::{reschedule_idle, CpuView, WakeTarget};
 pub use scheduler::{PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler};

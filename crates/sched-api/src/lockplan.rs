@@ -160,9 +160,28 @@ pub struct LockDomains<'a> {
     /// Time the home domain was owned (the call's cycle origin).
     base: Cycles,
     extra_spin: u64,
+    scratch: &'a mut LockScratch,
+}
+
+/// Reusable backing storage for a [`LockDomains`] call.
+///
+/// The machine takes and releases lock domains on every `schedule()` and
+/// every wakeup; owning the held-set and acquisition-log buffers here (and
+/// lending them per call) keeps that path allocation-free. After
+/// [`LockDomains::release_all`] the acquisition log remains readable via
+/// [`LockScratch::taken`] until the next call reuses the buffer.
+#[derive(Debug, Default)]
+pub struct LockScratch {
     /// Held domains, ascending.
     held: Vec<usize>,
     taken: Vec<DomainAcquire>,
+}
+
+impl LockScratch {
+    /// The mid-call acquisitions logged by the most recent call.
+    pub fn taken(&self) -> &[DomainAcquire] {
+        &self.taken
+    }
 }
 
 impl<'a> LockDomains<'a> {
@@ -179,11 +198,15 @@ impl<'a> LockDomains<'a> {
         holder: HolderId,
         base: Cycles,
         home_domain: usize,
+        scratch: &'a mut LockScratch,
     ) -> Self {
         debug_assert!(
             model.is_held(home_domain),
             "the machine acquires the home domain before delegating"
         );
+        scratch.held.clear();
+        scratch.taken.clear();
+        scratch.held.push(home_domain);
         LockDomains {
             model,
             plan,
@@ -191,8 +214,7 @@ impl<'a> LockDomains<'a> {
             holder,
             base,
             extra_spin: 0,
-            held: vec![home_domain],
-            taken: Vec::new(),
+            scratch,
         }
     }
 
@@ -203,16 +225,18 @@ impl<'a> LockDomains<'a> {
 
     /// Domains currently held, in ascending order.
     pub fn held(&self) -> &[usize] {
-        &self.held
+        &self.scratch.held
     }
 
     /// Releases every held domain at `at` and returns the log of
-    /// mid-call acquisitions for the machine's accounting.
-    pub fn release_all(mut self, at: Cycles) -> Vec<DomainAcquire> {
-        for &d in &self.held {
-            self.model.release(d, at);
+    /// mid-call acquisitions for the machine's accounting. The log lives
+    /// in the lent [`LockScratch`], so no allocation happens per call.
+    pub fn release_all(self, at: Cycles) -> &'a [DomainAcquire] {
+        let LockDomains { model, scratch, .. } = self;
+        for &d in &scratch.held {
+            model.release(d, at);
         }
-        core::mem::take(&mut self.taken)
+        &scratch.taken
     }
 
     /// Acquires `domain` at `now`, logging the acquisition; returns the
@@ -221,7 +245,7 @@ impl<'a> LockDomains<'a> {
         let owned = self.model.acquire(domain, now, self.holder);
         let spin = owned.saturating_sub(now).get();
         self.extra_spin += spin;
-        self.taken.push(DomainAcquire {
+        self.scratch.taken.push(DomainAcquire {
             domain,
             spin,
             at: owned,
@@ -233,28 +257,28 @@ impl<'a> LockDomains<'a> {
 impl DomainLocker for LockDomains<'_> {
     fn acquire_for_cpu(&mut self, queue_cpu: usize, elapsed: u64) {
         let domain = self.plan.domain_for_cpu(queue_cpu, self.nr_cpus);
-        if self.held.contains(&domain) {
+        if self.scratch.held.contains(&domain) {
             return;
         }
         let now = self.base + elapsed + self.extra_spin;
-        if self.held.last().is_some_and(|&h| domain > h) {
+        if self.scratch.held.last().is_some_and(|&h| domain > h) {
             // Already in canonical order: take it directly.
             self.take(domain, now);
-            self.held.push(domain);
+            self.scratch.held.push(domain);
         } else {
             // Out of order: double_rq_lock — drop everything, retake the
             // whole set ascending.
-            for &d in &self.held {
+            for &d in &self.scratch.held {
                 self.model.release(d, now);
             }
-            self.held.push(domain);
-            self.held.sort_unstable();
-            let order = core::mem::take(&mut self.held);
+            self.scratch.held.push(domain);
+            self.scratch.held.sort_unstable();
+            let order = core::mem::take(&mut self.scratch.held);
             let mut t = now;
             for &d in &order {
                 t = self.take(d, t);
             }
-            self.held = order;
+            self.scratch.held = order;
         }
     }
 }
@@ -297,7 +321,8 @@ mod tests {
     fn home_domain_reacquire_is_a_noop() {
         let mut model = LockModel::new(2, 0);
         let a = model.acquire(0, Cycles(100), 0);
-        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 2, 0, a, 0);
+        let mut scratch = LockScratch::default();
+        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 2, 0, a, 0, &mut scratch);
         d.acquire_for_cpu(0, 50);
         assert_eq!(d.extra_spin(), 0);
         let taken = d.release_all(a + 50);
@@ -314,7 +339,8 @@ mod tests {
         // CPU 0's call starts at 100 on its own domain 0, then steals
         // from CPU 1's queue at +50 meter cycles: it spins until 1000.
         let a = model.acquire(0, Cycles(100), 0);
-        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 2, 0, a, 0);
+        let mut scratch = LockScratch::default();
+        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 2, 0, a, 0, &mut scratch);
         d.acquire_for_cpu(1, 50);
         // Arrived at 150, domain 1 free at 1000: 850 spin + 0 transfer
         // (transfer cost is 0 here).
@@ -331,7 +357,8 @@ mod tests {
         let mut model = LockModel::new(2, 0);
         // CPU 1's call holds domain 1, then needs domain 0.
         let a = model.acquire(1, Cycles(100), 1);
-        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 2, 1, a, 1);
+        let mut scratch = LockScratch::default();
+        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 2, 1, a, 1, &mut scratch);
         d.acquire_for_cpu(0, 30);
         // Both domains free: re-taking 1 and taking 0 are both
         // spin-free, but they are real acquisitions.
@@ -355,7 +382,8 @@ mod tests {
         let y = model.acquire(2, Cycles(0), 9);
         model.release(2, y + 700);
         let a = model.acquire(0, Cycles(0), 0);
-        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 3, 0, a, 0);
+        let mut scratch = LockScratch::default();
+        let mut d = LockDomains::new(&mut model, LockPlan::PerCpu, 3, 0, a, 0, &mut scratch);
         d.acquire_for_cpu(1, 100); // arrives 100, owns at 500: 400 spin
         assert_eq!(d.extra_spin(), 400);
         d.acquire_for_cpu(2, 100); // arrives 100 + 400 = 500, owns at 700

@@ -122,7 +122,7 @@ mod tests {
         let idle = (0..nr_cpus)
             .map(|cpu| {
                 let tid = tasks.spawn(&TaskSpec::named("idle").priority(1));
-                let t = tasks.task_mut(tid);
+                let mut t = tasks.task_mut(tid);
                 t.counter = 0;
                 t.processor = cpu;
                 tid
@@ -131,7 +131,7 @@ mod tests {
         let busy = (0..nr_cpus)
             .map(|cpu| {
                 let tid = tasks.spawn(&TaskSpec::named("busy").mm(MmId(1)));
-                let t = tasks.task_mut(tid);
+                let mut t = tasks.task_mut(tid);
                 t.processor = cpu;
                 t.has_cpu = true;
                 tid
@@ -154,7 +154,7 @@ mod tests {
 
     fn spawn_woken(f: &mut Fixture, counter: i32, last_cpu: usize) -> Tid {
         let tid = f.tasks.spawn(&TaskSpec::named("woken").mm(MmId(2)));
-        let t = f.tasks.task_mut(tid);
+        let mut t = f.tasks.task_mut(tid);
         t.counter = counter;
         t.processor = last_cpu;
         tid

@@ -20,7 +20,6 @@
 
 use std::collections::BTreeMap;
 
-use elsc_ktask::recalc::{in_recalc_walk, recalculated_counter};
 use elsc_ktask::{CpuId, MmId, SchedClass, TaskState, TaskTable, Tid};
 use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
 use elsc_simcore::CostKind;
@@ -99,13 +98,10 @@ impl AffinityHeapScheduler {
 
     fn recalculate(&mut self, ctx: &mut SchedCtx<'_>, cpu: CpuId) {
         ctx.stats.cpu_mut(cpu).recalc_entries += 1;
-        let mut n = 0u64;
         // Zombies awaiting the post-schedule reap are not walked (or
-        // charged for): recalc cost is per *live* task.
-        for task in ctx.tasks.iter_mut().filter(|t| in_recalc_walk(t)) {
-            task.counter = recalculated_counter(task);
-            n += 1;
-        }
+        // charged for): recalc cost is per *live* task. Dense sweep of
+        // the hot-field lanes.
+        let n = ctx.tasks.recalc_counters(false) as u64;
         ctx.stats.cpu_mut(cpu).recalc_tasks += n;
         ctx.meter.charge_n(ctx.costs, CostKind::RecalcPerTask, n);
         // Rebuild all keys.
@@ -162,7 +158,7 @@ impl Scheduler for AffinityHeapScheduler {
             let runnable = ctx.tasks.task(prev).state == TaskState::Running;
             if runnable {
                 {
-                    let t = ctx.tasks.task_mut(prev);
+                    let mut t = ctx.tasks.task_mut(prev);
                     if t.policy.class == SchedClass::Rr && t.counter == 0 {
                         t.counter = t.priority;
                     }
@@ -315,9 +311,11 @@ mod tests {
 
         fn spawn_with(&mut self, counter: i32, cpu: CpuId, mm: MmId) -> Tid {
             let tid = self.tasks.spawn(&TaskSpec::named("t").mm(mm));
-            let t = self.tasks.task_mut(tid);
-            t.counter = counter;
-            t.processor = cpu;
+            {
+                let mut t = self.tasks.task_mut(tid);
+                t.counter = counter;
+                t.processor = cpu;
+            }
             let mut ctx = SchedCtx {
                 tasks: &mut self.tasks,
                 stats: &mut self.stats,

@@ -134,17 +134,21 @@ impl Scheduler for MultiQueueScheduler {
             }
         }
         {
-            let prev_task = ctx.tasks.task_mut(prev);
-            if prev_task.policy.class == SchedClass::Rr && prev_task.counter == 0 {
+            let mut prev_task = ctx.tasks.task_mut(prev);
+            let requeue = if prev_task.policy.class == SchedClass::Rr && prev_task.counter == 0 {
                 prev_task.counter = prev_task.priority;
-                if prev_task.on_runqueue() {
-                    self.move_last_runqueue(ctx, prev);
-                }
+                prev_task.on_runqueue()
+            } else {
+                false
+            };
+            drop(prev_task);
+            if requeue {
+                self.move_last_runqueue(ctx, prev);
             }
         }
         let prev_mm = ctx.tasks.task(prev).mm;
         let mut prev_yielded = {
-            let t = ctx.tasks.task_mut(prev);
+            let mut t = ctx.tasks.task_mut(prev);
             let y = t.policy.yielded;
             t.policy.yielded = false;
             y

@@ -18,7 +18,9 @@
 use elsc_ktask::recalc::recalculate_counters;
 use elsc_ktask::{CpuId, Lists, SchedClass, Tid};
 use elsc_obs::ObsEvent;
-use elsc_sched_api::{goodness_ignoring_yield, SchedCtx, Scheduler, IDLE_GOODNESS};
+use elsc_sched_api::{
+    goodness_ignoring_yield, lane_goodness_ignoring_yield, SchedCtx, Scheduler, IDLE_GOODNESS,
+};
 use elsc_simcore::CostKind;
 
 /// The stock Linux 2.3.99-pre4 scheduler ("reg" in the paper's figures).
@@ -107,12 +109,16 @@ impl Scheduler for LinuxScheduler {
         // An exhausted round-robin task gets a fresh quantum and goes to
         // the back of the queue.
         {
-            let prev_task = ctx.tasks.task_mut(prev);
-            if prev_task.policy.class == SchedClass::Rr && prev_task.counter == 0 {
+            let mut prev_task = ctx.tasks.task_mut(prev);
+            let requeue = if prev_task.policy.class == SchedClass::Rr && prev_task.counter == 0 {
                 prev_task.counter = prev_task.priority;
-                if prev_task.on_runqueue() {
-                    self.move_last_runqueue(ctx, prev);
-                }
+                prev_task.on_runqueue()
+            } else {
+                false
+            };
+            drop(prev_task);
+            if requeue {
+                self.move_last_runqueue(ctx, prev);
             }
         }
 
@@ -120,7 +126,7 @@ impl Scheduler for LinuxScheduler {
         // Consume the SCHED_YIELD bit: the yielding task counts as
         // goodness 0 for this invocation only.
         let mut prev_yielded = {
-            let prev_task = ctx.tasks.task_mut(prev);
+            let mut prev_task = ctx.tasks.task_mut(prev);
             let y = prev_task.policy.yielded;
             prev_task.policy.yielded = false;
             y
@@ -151,21 +157,29 @@ impl Scheduler for LinuxScheduler {
             }
 
             // The O(n) scan: every run-queue task not running elsewhere.
+            // The whole walk — links, skip test, goodness — reads the
+            // dense hot-field lanes; the full `Task` struct is touched
+            // only to materialize the winner's handle.
             let mut cur = self.lists.first(0);
             while let Some(idx) = cur {
-                let p = ctx.tasks.by_index(idx as usize);
-                let tid = p.tid;
+                let i = idx as usize;
+                let lanes = ctx.tasks.lanes();
                 // `can_schedule()`: skip tasks executing on a CPU. This
                 // also skips `prev` (counted above), whose has_cpu is
-                // still set.
-                let skip = if ctx.cfg.smp { p.has_cpu } else { tid == prev };
+                // still set. On UP only `prev` itself is skipped; a live
+                // run-queue member is identified by its slab index alone.
+                let skip = if ctx.cfg.smp {
+                    lanes.has_cpu(i)
+                } else {
+                    i == prev.index()
+                };
                 if !skip {
                     ctx.meter.charge(ctx.costs, CostKind::GoodnessEval);
                     ctx.stats.cpu_mut(cpu).tasks_examined += 1;
-                    let weight = goodness_ignoring_yield(p, cpu, prev_mm);
+                    let weight = lane_goodness_ignoring_yield(ctx.tasks.lanes(), i, cpu, prev_mm);
                     if weight > c {
                         c = weight;
-                        next = tid;
+                        next = ctx.tasks.by_index(i).tid;
                     }
                 }
                 cur = self.lists.next_task(ctx.tasks, idx);

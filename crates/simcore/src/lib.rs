@@ -29,7 +29,7 @@ pub mod spinlock;
 
 pub use clock::Cycles;
 pub use cost::{CostKind, CostModel, CycleMeter, COST_KINDS};
-pub use events::EventQueue;
+pub use events::{CalendarEventQueue, EventQueue, HeapEventQueue};
 pub use histogram::Histogram;
 pub use lockdomain::{DomainStats, LockModel};
 pub use rng::SimRng;
