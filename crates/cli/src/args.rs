@@ -89,6 +89,7 @@ const OPTIONS: &[&str] = &[
     "epoch",
     // policy runtime options.
     "policy-budget",
+    "policy-backend",
     "policy-dir",
     // `lab` subcommand options.
     "workers",

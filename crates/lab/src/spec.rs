@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::str::FromStr;
 
 use elsc_cluster::DispatcherId;
-use elsc_sched_api::LockPlan;
+use elsc_sched_api::{LockPlan, PolicyBackend};
 
 use crate::cell::{CellConfig, ChaosSpec, SchedId, Shape, WorkloadCell};
 
@@ -532,11 +532,14 @@ impl SweepSpec {
                  rooms = 1\n users = 4\n messages = 2\n think = 0\n"
             ),
             // Policy-runtime smoke sweep: the native baseline beside the
-            // bundled interpreted programs, oracle on in every cell
-            // (strict for `policy:reg`, relaxed invariants-only for the
-            // rest — see `elsc_chaos::OracleMode::for_scheduler`). The
-            // sources are embedded at compile time so the builtin works
-            // from any working directory; spec *files* can instead say
+            // bundled loadable programs, each on *both* execution
+            // backends (the bytecode VM and the reference interpreter —
+            // equal cycles and decisions are the tentpole claim), oracle
+            // on in every cell (strict for `policy:reg`, relaxed
+            // invariants-only for the rest — see
+            // `elsc_chaos::OracleMode::for_scheduler`). The sources are
+            // embedded at compile time so the builtin works from any
+            // working directory; spec *files* can instead say
             // `sched = policy:policies/rr.pol`.
             "policy" => {
                 let mut spec: SweepSpec = format!(
@@ -555,8 +558,12 @@ impl SweepSpec {
                     ("policy:table", include_str!("../../../policies/table.pol")),
                 ];
                 spec.scheds = std::iter::once(SchedId::Reg)
-                    .chain(bundled.into_iter().map(|(name, src)| {
-                        SchedId::policy(name, src).expect("bundled policies verify")
+                    .chain(bundled.into_iter().flat_map(|(name, src)| {
+                        let id = SchedId::policy(name, src).expect("bundled policies verify");
+                        [
+                            id.clone().with_backend(PolicyBackend::Vm),
+                            id.with_backend(PolicyBackend::Interp),
+                        ]
                     }))
                     .collect();
                 return Some(spec);
@@ -581,7 +588,10 @@ impl SweepSpec {
             // the SoA hot-field sweeps — is the thing under test, not
             // per-user traffic. `ELSC_MEGA_ROOMS` replaces the rooms
             // axis for manual scale-up runs (1250 → 100k tasks,
-            // 12500 → 1M).
+            // 12500 → 1M). `ELSC_MEGA_POLICY=1` adds the bundled
+            // `policy:reg` program (on the bytecode VM) beside the
+            // native designs — policy cells at mega-scale populations
+            // are exactly what the VM backend exists for.
             "mega" => {
                 let rooms = std::env::var("ELSC_MEGA_ROOMS")
                     .ok()
@@ -590,7 +600,7 @@ impl SweepSpec {
                             && v.split(',').all(|r| r.trim().parse::<u64>().is_ok())
                     })
                     .unwrap_or_else(|| "50, 250".to_string());
-                format!(
+                let mut spec: SweepSpec = format!(
                     "name = mega\n\
                      workload = mega\n\
                      sched = reg, elsc\n\
@@ -598,6 +608,15 @@ impl SweepSpec {
                      seed = {BASE_SEED}\n\
                      rooms = {rooms}\n users = 20\n messages = 1\n think = 60000000\n"
                 )
+                .parse()
+                .expect("builtin specs always parse");
+                if std::env::var("ELSC_MEGA_POLICY").is_ok_and(|v| v == "1") {
+                    spec.scheds.push(
+                        SchedId::policy("policy:reg", include_str!("../../../policies/reg.pol"))
+                            .expect("bundled policies verify"),
+                    );
+                }
+                return Some(spec);
             }
             // §4 kernel-share claim: 5 vs 25 rooms, UP and 4P.
             "kernel_share" => format!(
@@ -826,15 +845,17 @@ mod tests {
         let spec = SweepSpec::builtin("policy").unwrap();
         assert!(spec.oracle, "every policy cell runs under the oracle");
         let cells = spec.cells();
-        // 1 native + 3 bundled policies × 2 shapes.
-        assert_eq!(cells.len(), 8);
+        // (1 native + 3 bundled policies × 2 backends) × 2 shapes.
+        assert_eq!(cells.len(), 14);
         let ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
         assert!(ids.iter().any(|i| i.contains("sched=reg|")));
         for name in ["policy:reg#", "policy:rr#", "policy:table#"] {
-            assert!(
-                ids.iter().any(|i| i.contains(name)),
-                "missing {name} in {ids:?}"
-            );
+            for backend in ["@vm", "@interp"] {
+                assert!(
+                    ids.iter().any(|i| i.contains(name) && i.contains(backend)),
+                    "missing {name}...{backend} in {ids:?}"
+                );
+            }
         }
         // CI-sized, like smoke.
         assert!(cells.len() <= 16);
@@ -941,6 +962,18 @@ mod tests {
         assert!(cells.iter().any(|c| c.workload.param("rooms") == Some(250)));
         // Mega ids never collide with volano baseline ids.
         assert!(cells.iter().all(|c| c.id().starts_with("mega[")));
+
+        // `ELSC_MEGA_POLICY=1` adds the bundled `policy:reg` program on
+        // the VM backend beside the native designs. Same test so the
+        // env mutation can't race the assertions above.
+        std::env::set_var("ELSC_MEGA_POLICY", "1");
+        let with_policy = SweepSpec::builtin("mega").unwrap();
+        std::env::remove_var("ELSC_MEGA_POLICY");
+        assert_eq!(with_policy.cells().len(), 6);
+        assert!(with_policy
+            .cells()
+            .iter()
+            .any(|c| c.id().contains("policy:reg#") && c.id().contains("@vm")));
     }
 
     #[test]

@@ -33,9 +33,9 @@
 //!    count must fit a budget, `pick_next` provably reaches a `pick`, and
 //!    `enqueue` provably places the task. Malformed programs are rejected
 //!    with a line/column diagnostic ([`PolicyError`]) — never a panic.
-//! 2. **Cycle-charged interpretation** ([`sched`]): every executed IR
-//!    node charges one `CostKind::PolicyInsn` into the simcore cycle
-//!    model, so interpreted policies pay a realistic overhead in every
+//! 2. **Cycle-charged execution** ([`sched`], [`mod@vm`]): every executed
+//!    IR node charges one `CostKind::PolicyInsn` into the simcore cycle
+//!    model, so loaded policies pay a realistic overhead in every
 //!    figure. A runtime per-decision instruction budget bounds even
 //!    verified programs; blowing it aborts the hook with a safe default.
 //! 3. **Watchdog ejection** (machine-side): a policy that blows its
@@ -44,18 +44,32 @@
 //!    swaps in the vanilla baseline scheduler mid-run and the run
 //!    completes with conservation intact.
 //!
+//! Verified programs execute on one of two backends behind the same
+//! budget model: the reference tree-walking interpreter, or (default)
+//! the register bytecode VM produced by [`compile()`] — see
+//! [`mod@bytecode`] for the instruction set and `docs/POLICY.md` at the
+//! repository root for the full language reference (grammar, host API,
+//! cost model, and the bytecode lowering appendix). The two backends
+//! are decision-for-decision and charge-for-charge identical; the
+//! machine's `--policy-backend {interp,vm}` switch selects one.
+//!
 //! The bundled `policies/reg.pol` is decision-for-decision identical to
 //! the native baseline scheduler, proven by the chaos oracle in strict
 //! mode (`elsc-sim ... --sched policy:policies/reg.pol --oracle`).
 #![deny(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
+pub mod compile;
 pub mod lex;
 pub mod parse;
 pub mod sched;
 pub mod verify;
+pub mod vm;
 
 pub use ast::{Block, Expr, HookKind, ListsDecl, Program, Span, Stmt};
+pub use bytecode::{Chunk, CompiledPolicy, Insn, Op};
+pub use compile::compile;
 pub use parse::parse;
 pub use sched::{PolicyScheduler, DEFAULT_BUDGET};
 pub use verify::verify;

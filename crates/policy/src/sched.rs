@@ -29,11 +29,14 @@ use elsc_ktask::recalc::recalculate_counters;
 use elsc_ktask::{CpuId, Lists, MmId, SchedClass, TaskTable, Tid};
 use elsc_obs::ObsEvent;
 use elsc_sched_api::{
-    goodness_ignoring_yield, PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler, IDLE_GOODNESS,
+    goodness_ignoring_yield, PolicyBackend, PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler,
+    IDLE_GOODNESS,
 };
 use elsc_simcore::CostKind;
 
 use crate::ast::{BinOp, Block, Builtin, Expr, HookKind, HostFn, Program, Stmt};
+use crate::bytecode::CompiledPolicy;
+use crate::vm::{self, VmState};
 use crate::PolicyError;
 
 /// Default per-decision instruction budget: generous for real policies
@@ -42,9 +45,10 @@ use crate::PolicyError;
 /// `foreach`-over-everything hook to something finite.
 pub const DEFAULT_BUDGET: u64 = 65_536;
 
-/// One runtime value: the IR is two-typed.
+/// One runtime value: the IR is two-typed. Shared by the interpreter
+/// and the bytecode VM (whose registers hold `Val`s).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Val {
+pub(crate) enum Val {
     /// A 64-bit integer.
     Int(i64),
     /// A task handle; `None` is `nil`.
@@ -62,49 +66,72 @@ enum Flow {
     Picked,
 }
 
-/// The per-invocation context a hook runs against.
-struct Env {
-    cpu: CpuId,
-    prev: Option<Tid>,
-    idle: Option<Tid>,
-    task: Option<Tid>,
-    prev_mm: MmId,
-    prev_yielded: bool,
-    nr_running: usize,
-    nr_cpus: usize,
+/// The per-invocation context a hook runs against. Shared by both
+/// backends.
+pub(crate) struct Env {
+    pub(crate) cpu: CpuId,
+    pub(crate) prev: Option<Tid>,
+    pub(crate) idle: Option<Tid>,
+    pub(crate) task: Option<Tid>,
+    pub(crate) prev_mm: MmId,
+    pub(crate) prev_yielded: bool,
+    pub(crate) nr_running: usize,
+    pub(crate) nr_cpus: usize,
 }
 
-/// What one hook invocation produced.
-struct HookRun {
+/// What one hook invocation produced (either backend).
+pub(crate) struct HookRun {
     /// IR nodes executed (also charged as `PolicyInsn` by the caller).
-    insns: u64,
+    pub(crate) insns: u64,
     /// `Some(t)` if a `pick` executed (`t == None` means `pick nil`).
-    picked: Option<Option<Tid>>,
+    pub(crate) picked: Option<Option<Tid>>,
     /// Last `enqueue_front`/`enqueue_back` executed: (list, front).
-    placed: Option<(usize, bool)>,
+    pub(crate) placed: Option<(usize, bool)>,
     /// Tasks to rotate to the back of their lists after the decision.
-    requeued: Vec<Tid>,
+    pub(crate) requeued: Vec<Tid>,
     /// Why the hook aborted, if it did.
-    violation: Option<PolicyViolation>,
+    pub(crate) violation: Option<PolicyViolation>,
 }
 
-/// Runs `hook` of `prog` (no-op if the hook is not defined).
+impl HookRun {
+    /// The no-op run of an undefined hook.
+    pub(crate) fn empty() -> HookRun {
+        HookRun {
+            insns: 0,
+            picked: None,
+            placed: None,
+            requeued: Vec::new(),
+            violation: None,
+        }
+    }
+}
+
+/// Runs `hook` of `prog` on the selected backend (no-op if the hook is
+/// not defined). The interpreter is the reference backend; the VM is
+/// dispatched when a compiled form exists.
+#[allow(clippy::too_many_arguments)]
 fn run_hook(
     prog: &Program,
+    compiled: Option<&CompiledPolicy>,
+    backend: PolicyBackend,
+    vm_state: &mut VmState,
     hook: HookKind,
     lists: &Lists,
     ctx: &mut SchedCtx<'_>,
     env: Env,
     budget: u64,
 ) -> HookRun {
+    if backend == PolicyBackend::Vm {
+        if let Some(cp) = compiled {
+            // The compiler emits a chunk exactly for each defined hook.
+            return match cp.chunk(hook) {
+                Some(chunk) => vm::run_chunk(chunk, lists, ctx, env, budget, vm_state),
+                None => HookRun::empty(),
+            };
+        }
+    }
     let Some(block) = prog.hook(hook) else {
-        return HookRun {
-            insns: 0,
-            picked: None,
-            placed: None,
-            requeued: Vec::new(),
-            violation: None,
-        };
+        return HookRun::empty();
     };
     let mut interp = Interp {
         ctx,
@@ -173,11 +200,6 @@ impl<'a, 'p, 'c> Interp<'a, 'p, 'c> {
         Err(PolicyViolation::StateCorrupt)
     }
 
-    /// Maps a list-index value into the bank (total semantics: modulo).
-    fn wrap(&self, i: i64) -> usize {
-        i.rem_euclid(self.lists.nr_lists() as i64) as usize
-    }
-
     fn exec_block(&mut self, block: &'p Block) -> Result<Flow, PolicyViolation> {
         self.scopes.push(Vec::new());
         let mut flow = Flow::Normal;
@@ -234,7 +256,7 @@ impl<'a, 'p, 'c> Interp<'a, 'p, 'c> {
             } => {
                 let h = {
                     let i = self.eval_int(list)?;
-                    self.wrap(i)
+                    wrap_list(i, self.lists.nr_lists())
                 };
                 // Snapshot: hooks never mutate lists (placement and
                 // rotation are deferred to the host), so the walk order
@@ -272,7 +294,7 @@ impl<'a, 'p, 'c> Interp<'a, 'p, 'c> {
             Stmt::Place { front, list, .. } => {
                 let i = self.eval_int(list)?;
                 // The last placement executed wins.
-                self.placed = Some((self.wrap(i), *front));
+                self.placed = Some((wrap_list(i, self.lists.nr_lists()), *front));
                 Ok(Flow::Normal)
             }
             Stmt::Requeue { task, .. } => {
@@ -284,31 +306,11 @@ impl<'a, 'p, 'c> Interp<'a, 'p, 'c> {
             Stmt::SetCounter { task, value, .. } => {
                 let t = self.eval_task(task)?;
                 let v = self.eval_int(value)?;
-                if let Some(tid) = t {
-                    let mut task = self.ctx.tasks.task_mut(tid);
-                    let cap = i64::from(task.priority).saturating_mul(2);
-                    task.counter = v.clamp(0, cap) as i32;
-                }
+                set_counter_effect(self.ctx, t, v);
                 Ok(Flow::Normal)
             }
             Stmt::Recalc { .. } => {
-                // Mirrors the native schedulers' recalculation loop
-                // decision-for-decision, including stats and events.
-                let cpu = self.env.cpu;
-                self.ctx.stats.cpu_mut(cpu).recalc_entries += 1;
-                self.ctx.emit(ObsEvent::RecalcStart {
-                    cpu,
-                    nr_running: self.env.nr_running as u64,
-                });
-                let n = recalculate_counters(self.ctx.tasks);
-                self.ctx.stats.cpu_mut(cpu).recalc_tasks += n as u64;
-                self.ctx
-                    .meter
-                    .charge_n(self.ctx.costs, CostKind::RecalcPerTask, n as u64);
-                self.ctx.emit(ObsEvent::RecalcEnd {
-                    cpu,
-                    updated: n as u64,
-                });
+                recalc_effect(self.ctx, &self.env);
                 Ok(Flow::Normal)
             }
         }
@@ -344,7 +346,7 @@ impl<'a, 'p, 'c> Interp<'a, 'p, 'c> {
                     Some(a) => Some(self.eval(a)?),
                     None => None,
                 };
-                self.call(*func, arg)
+                Ok(host_call(self.ctx, self.lists, &mut self.env, *func, arg))
             }
         }
     }
@@ -361,131 +363,179 @@ impl<'a, 'p, 'c> Interp<'a, 'p, 'c> {
             Builtin::NrRunning => Val::Int(self.env.nr_running as i64),
         }
     }
+}
 
-    /// Evaluates one host function. Total semantics throughout: `nil`
-    /// task arguments yield neutral values rather than faulting.
-    fn call(&mut self, f: HostFn, arg: Option<Val>) -> Result<Val, PolicyViolation> {
-        let task_arg = || match arg {
-            Some(Val::Task(t)) => t,
-            _ => None,
-        };
-        let int_arg = || match arg {
-            Some(Val::Int(n)) => n,
-            _ => 0,
-        };
-        let v = match f {
-            HostFn::Goodness => match task_arg() {
-                None => Val::Int(i64::from(IDLE_GOODNESS)),
-                Some(tid) => {
-                    // Charged exactly like a native scan step.
-                    self.ctx
-                        .meter
-                        .charge(self.ctx.costs, CostKind::GoodnessEval);
-                    self.ctx.stats.cpu_mut(self.env.cpu).tasks_examined += 1;
-                    let t = self.ctx.tasks.task(tid);
+/// Maps a list-index value into the bank (total semantics: modulo).
+pub(crate) fn wrap_list(i: i64, nr_lists: usize) -> usize {
+    i.rem_euclid(nr_lists as i64) as usize
+}
+
+/// The `set_counter(task, value)` effect, shared by both backends:
+/// clamped to `[0, 2 * priority]`, `nil` ignored.
+pub(crate) fn set_counter_effect(ctx: &mut SchedCtx<'_>, t: Option<Tid>, v: i64) {
+    if let Some(tid) = t {
+        let mut task = ctx.tasks.task_mut(tid);
+        let cap = i64::from(task.priority).saturating_mul(2);
+        task.counter = v.clamp(0, cap) as i32;
+    }
+}
+
+/// The `recalc()` effect, shared by both backends. Mirrors the native
+/// schedulers' recalculation loop decision-for-decision, including
+/// stats and events.
+pub(crate) fn recalc_effect(ctx: &mut SchedCtx<'_>, env: &Env) {
+    let cpu = env.cpu;
+    ctx.stats.cpu_mut(cpu).recalc_entries += 1;
+    ctx.emit(ObsEvent::RecalcStart {
+        cpu,
+        nr_running: env.nr_running as u64,
+    });
+    let n = recalculate_counters(ctx.tasks);
+    ctx.stats.cpu_mut(cpu).recalc_tasks += n as u64;
+    ctx.meter
+        .charge_n(ctx.costs, CostKind::RecalcPerTask, n as u64);
+    ctx.emit(ObsEvent::RecalcEnd {
+        cpu,
+        updated: n as u64,
+    });
+}
+
+/// The pure scan-filter predicates (`can_schedule` / `runnable`) on an
+/// already-resolved task — the single implementation shared by
+/// [`host_call`] and the VM's fused `scan.best` walk, so the two entry
+/// points cannot drift. Any other `f` is treated as `runnable` (the
+/// compiler only fuses these two).
+#[inline]
+pub(crate) fn scan_filter_pred(
+    f: HostFn,
+    smp: bool,
+    t: &elsc_ktask::Task,
+    tid: Tid,
+    prev: Option<Tid>,
+    idle: Option<Tid>,
+) -> bool {
+    match f {
+        // The kernel's scan filter: SMP skips tasks running anywhere,
+        // UP skips only `prev`.
+        HostFn::CanSchedule => !(if smp { t.has_cpu } else { Some(tid) == prev }),
+        _ => Some(tid) != idle && t.state.is_runnable(),
+    }
+}
+
+/// The observable side effects of one `goodness(t)` evaluation (cycle
+/// charge + scan statistics) — shared by [`host_call`] and the VM's
+/// fused `scan.best` walk.
+#[inline]
+pub(crate) fn charge_goodness_eval(ctx: &mut SchedCtx<'_>, cpu: CpuId) {
+    ctx.meter.charge(ctx.costs, CostKind::GoodnessEval);
+    ctx.stats.cpu_mut(cpu).tasks_examined += 1;
+}
+
+/// Evaluates one host function — the single implementation both
+/// backends dispatch to, so their observable semantics (meter charges,
+/// stats, yield-bit consumption) cannot diverge. Total semantics
+/// throughout: `nil` task arguments yield neutral values rather than
+/// faulting.
+pub(crate) fn host_call(
+    ctx: &mut SchedCtx<'_>,
+    lists: &Lists,
+    env: &mut Env,
+    f: HostFn,
+    arg: Option<Val>,
+) -> Val {
+    let task_arg = || match arg {
+        Some(Val::Task(t)) => t,
+        _ => None,
+    };
+    let int_arg = || match arg {
+        Some(Val::Int(n)) => n,
+        _ => 0,
+    };
+    match f {
+        HostFn::Goodness => match task_arg() {
+            None => Val::Int(i64::from(IDLE_GOODNESS)),
+            Some(tid) => {
+                // Charged exactly like a native scan step.
+                charge_goodness_eval(ctx, env.cpu);
+                let t = ctx.tasks.task(tid);
+                Val::Int(i64::from(goodness_ignoring_yield(t, env.cpu, env.prev_mm)))
+            }
+        },
+        HostFn::PrevGoodness => match env.prev {
+            Some(p) if Some(p) != env.idle && ctx.tasks.task(p).state.is_runnable() => {
+                charge_goodness_eval(ctx, env.cpu);
+                if env.prev_yielded {
+                    // Consume the SCHED_YIELD bit: the yielder counts
+                    // as goodness 0 exactly once.
+                    env.prev_yielded = false;
+                    Val::Int(0)
+                } else {
                     Val::Int(i64::from(goodness_ignoring_yield(
-                        t,
-                        self.env.cpu,
-                        self.env.prev_mm,
+                        ctx.tasks.task(p),
+                        env.cpu,
+                        env.prev_mm,
                     )))
                 }
-            },
-            HostFn::PrevGoodness => match self.env.prev {
-                Some(p)
-                    if Some(p) != self.env.idle && self.ctx.tasks.task(p).state.is_runnable() =>
-                {
-                    self.ctx
-                        .meter
-                        .charge(self.ctx.costs, CostKind::GoodnessEval);
-                    self.ctx.stats.cpu_mut(self.env.cpu).tasks_examined += 1;
-                    if self.env.prev_yielded {
-                        // Consume the SCHED_YIELD bit: the yielder
-                        // counts as goodness 0 exactly once.
-                        self.env.prev_yielded = false;
-                        Val::Int(0)
-                    } else {
-                        Val::Int(i64::from(goodness_ignoring_yield(
-                            self.ctx.tasks.task(p),
-                            self.env.cpu,
-                            self.env.prev_mm,
-                        )))
-                    }
-                }
-                _ => Val::Int(i64::from(IDLE_GOODNESS)),
-            },
-            HostFn::StaticGoodness => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(self.ctx.tasks.task(tid).static_goodness())),
-            },
-            HostFn::Counter => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(self.ctx.tasks.task(tid).counter)),
-            },
-            HostFn::Priority => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(self.ctx.tasks.task(tid).priority)),
-            },
-            HostFn::RtPriority => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(self.ctx.tasks.task(tid).rt_priority)),
-            },
-            HostFn::IsRt => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(
-                    self.ctx.tasks.task(tid).policy.class.is_realtime(),
-                )),
-            },
-            HostFn::Processor => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(self.ctx.tasks.task(tid).processor as i64),
-            },
-            HostFn::SameMm => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(self.ctx.tasks.task(tid).mm == self.env.prev_mm)),
-            },
-            HostFn::HasCpu => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(self.ctx.tasks.task(tid).has_cpu)),
-            },
-            HostFn::Runnable => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => Val::Int(i64::from(
-                    Some(tid) != self.env.idle && self.ctx.tasks.task(tid).state.is_runnable(),
-                )),
-            },
-            HostFn::CanSchedule => match task_arg() {
-                None => Val::Int(0),
-                Some(tid) => {
-                    // The kernel's scan filter: SMP skips tasks running
-                    // anywhere, UP skips only `prev`.
-                    let skip = if self.ctx.cfg.smp {
-                        self.ctx.tasks.task(tid).has_cpu
-                    } else {
-                        Some(tid) == self.env.prev
-                    };
-                    Val::Int(i64::from(!skip))
-                }
-            },
-            HostFn::ListLen => {
-                let h = self.wrap(int_arg());
-                Val::Int(self.lists.len(self.ctx.tasks, h) as i64)
             }
-            HostFn::ListHead => {
-                let h = self.wrap(int_arg());
-                Val::Task(
-                    self.lists
-                        .first(h)
-                        .map(|i| self.ctx.tasks.by_index(i as usize).tid),
-                )
-            }
-        };
-        Ok(v)
+            _ => Val::Int(i64::from(IDLE_GOODNESS)),
+        },
+        HostFn::StaticGoodness => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(ctx.tasks.task(tid).static_goodness())),
+        },
+        HostFn::Counter => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(ctx.tasks.task(tid).counter)),
+        },
+        HostFn::Priority => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(ctx.tasks.task(tid).priority)),
+        },
+        HostFn::RtPriority => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(ctx.tasks.task(tid).rt_priority)),
+        },
+        HostFn::IsRt => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(ctx.tasks.task(tid).policy.class.is_realtime())),
+        },
+        HostFn::Processor => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(ctx.tasks.task(tid).processor as i64),
+        },
+        HostFn::SameMm => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(ctx.tasks.task(tid).mm == env.prev_mm)),
+        },
+        HostFn::HasCpu => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(ctx.tasks.task(tid).has_cpu)),
+        },
+        HostFn::Runnable | HostFn::CanSchedule => match task_arg() {
+            None => Val::Int(0),
+            Some(tid) => Val::Int(i64::from(scan_filter_pred(
+                f,
+                ctx.cfg.smp,
+                ctx.tasks.task(tid),
+                tid,
+                env.prev,
+                env.idle,
+            ))),
+        },
+        HostFn::ListLen => {
+            let h = wrap_list(int_arg(), lists.nr_lists());
+            Val::Int(lists.len(ctx.tasks, h) as i64)
+        }
+        HostFn::ListHead => {
+            let h = wrap_list(int_arg(), lists.nr_lists());
+            Val::Task(lists.first(h).map(|i| ctx.tasks.by_index(i as usize).tid))
+        }
     }
 }
 
 /// Pure binary-operator semantics (total: division/modulo by zero is 0,
-/// arithmetic wraps).
-fn binop(op: BinOp, l: Val, r: Val) -> Result<Val, PolicyViolation> {
+/// arithmetic wraps). Shared by both backends.
+pub(crate) fn binop(op: BinOp, l: Val, r: Val) -> Result<Val, PolicyViolation> {
     let v = match op {
         BinOp::Eq => Val::Int(i64::from(l == r)),
         BinOp::Ne => Val::Int(i64::from(l != r)),
@@ -527,6 +577,14 @@ pub struct PolicyScheduler {
     prog: Program,
     /// `"policy:<name>"`, leaked once at load time.
     name: &'static str,
+    /// Which backend hooks run on (default: the bytecode VM).
+    backend: PolicyBackend,
+    /// The bytecode form; `None` only if compilation failed, in which
+    /// case the interpreter silently serves as the fallback backend.
+    compiled: Option<CompiledPolicy>,
+    /// Reusable VM register file and iterator frames, persisted across
+    /// decisions so steady-state dispatch allocates nothing.
+    vm_state: VmState,
     lists: Lists,
     /// Which list each task (by slab index) was inserted into.
     list_of: Vec<usize>,
@@ -548,9 +606,13 @@ impl PolicyScheduler {
     pub fn new(prog: Program, nr_cpus: usize) -> PolicyScheduler {
         let name: &'static str = Box::leak(format!("policy:{}", prog.name).into_boxed_str());
         let lists = Lists::new(prog.lists.count(nr_cpus).max(1));
+        let compiled = crate::compile(&prog).ok();
         PolicyScheduler {
             prog,
             name,
+            backend: PolicyBackend::default(),
+            compiled,
+            vm_state: VmState::default(),
             lists,
             list_of: Vec::new(),
             forked: Vec::new(),
@@ -575,6 +637,30 @@ impl PolicyScheduler {
     pub fn with_budget(mut self, budget: u64) -> PolicyScheduler {
         self.budget = budget.max(1);
         self
+    }
+
+    /// Selects the execution backend: the bytecode VM (default) or the
+    /// reference tree-walking interpreter. Both produce identical
+    /// decisions, charges, and violations.
+    pub fn with_backend(mut self, backend: PolicyBackend) -> PolicyScheduler {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend hooks actually execute on: the configured one,
+    /// downgraded to [`PolicyBackend::Interp`] if compilation failed.
+    pub fn backend(&self) -> PolicyBackend {
+        if self.compiled.is_some() {
+            self.backend
+        } else {
+            PolicyBackend::Interp
+        }
+    }
+
+    /// The compiled bytecode, when compilation succeeded (tests,
+    /// tooling, and the `disasm` CLI verb).
+    pub fn compiled(&self) -> Option<&CompiledPolicy> {
+        self.compiled.as_ref()
     }
 
     /// The verified program.
@@ -646,6 +732,7 @@ impl core::fmt::Debug for PolicyScheduler {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("PolicyScheduler")
             .field("name", &self.name)
+            .field("backend", &self.backend().label())
             .field("nr_running", &self.nr_running)
             .field("budget", &self.budget)
             .field("insns_total", &self.insns_total)
@@ -679,6 +766,9 @@ impl Scheduler for PolicyScheduler {
                 env.task = Some(tid);
                 let run = run_hook(
                     &self.prog,
+                    self.compiled.as_ref(),
+                    self.backend,
+                    &mut self.vm_state,
                     HookKind::OnFork,
                     &self.lists,
                     ctx,
@@ -701,6 +791,9 @@ impl Scheduler for PolicyScheduler {
             env.task = Some(tid);
             let run = run_hook(
                 &self.prog,
+                self.compiled.as_ref(),
+                self.backend,
+                &mut self.vm_state,
                 HookKind::Enqueue,
                 &self.lists,
                 ctx,
@@ -795,6 +888,9 @@ impl Scheduler for PolicyScheduler {
         env.prev_yielded = prev_yielded;
         let run = run_hook(
             &self.prog,
+            self.compiled.as_ref(),
+            self.backend,
+            &mut self.vm_state,
             HookKind::PickNext,
             &self.lists,
             ctx,
@@ -872,7 +968,12 @@ impl Scheduler for PolicyScheduler {
             name: self.name,
             static_insns: self.prog.total_static_insns(),
             budget: self.budget,
+            backend: self.backend(),
         })
+    }
+
+    fn set_policy_backend(&mut self, backend: PolicyBackend) {
+        self.backend = backend;
     }
 
     fn take_violation(&mut self) -> Option<PolicyViolation> {
@@ -905,6 +1006,9 @@ impl Scheduler for PolicyScheduler {
         env.task = Some(current);
         let run = run_hook(
             &self.prog,
+            self.compiled.as_ref(),
+            self.backend,
+            &mut self.vm_state,
             HookKind::Tick,
             &self.lists,
             ctx,
@@ -931,6 +1035,7 @@ mod tests {
 
     const REG_POL: &str = include_str!("../../../policies/reg.pol");
     const RR_POL: &str = include_str!("../../../policies/rr.pol");
+    const TABLE_POL: &str = include_str!("../../../policies/table.pol");
     const STARVE_POL: &str = include_str!("../../../policies/starve.pol");
 
     /// Test harness bundling the context pieces around any scheduler.
@@ -1056,15 +1161,134 @@ mod tests {
     #[test]
     fn reg_pol_matches_native_reg_decision_for_decision() {
         let native = drive(Rig::new(SchedConfig::up(), LinuxScheduler::new()));
-        let interp = drive(Rig::new(SchedConfig::up(), policy(REG_POL, 1)));
-        assert_eq!(native, interp);
+        let vm = drive(Rig::new(SchedConfig::up(), policy(REG_POL, 1)));
+        assert_eq!(native, vm);
     }
 
     #[test]
     fn reg_pol_matches_native_reg_on_smp_config() {
         let native = drive(Rig::new(SchedConfig::smp(2), LinuxScheduler::new()));
-        let interp = drive(Rig::new(SchedConfig::smp(2), policy(REG_POL, 2)));
-        assert_eq!(native, interp);
+        let vm = drive(Rig::new(SchedConfig::smp(2), policy(REG_POL, 2)));
+        assert_eq!(native, vm);
+    }
+
+    #[test]
+    fn default_backend_is_the_vm_for_compilable_programs() {
+        let sched = policy(REG_POL, 1);
+        assert_eq!(sched.backend(), PolicyBackend::Vm);
+        assert!(sched.compiled().is_some());
+        let interp = policy(REG_POL, 1).with_backend(PolicyBackend::Interp);
+        assert_eq!(interp.backend(), PolicyBackend::Interp);
+    }
+
+    #[test]
+    fn vm_and_interp_agree_on_every_bundled_policy() {
+        for (src, nr_cpus, cfg) in [
+            (REG_POL, 1, SchedConfig::up()),
+            (REG_POL, 2, SchedConfig::smp(2)),
+            (RR_POL, 1, SchedConfig::up()),
+            (RR_POL, 2, SchedConfig::smp(2)),
+            (TABLE_POL, 1, SchedConfig::up()),
+            (TABLE_POL, 2, SchedConfig::smp(2)),
+            (STARVE_POL, 1, SchedConfig::up()),
+        ] {
+            let vm = drive(Rig::new(cfg.clone(), policy(src, nr_cpus)));
+            let interp = drive(Rig::new(
+                cfg,
+                policy(src, nr_cpus).with_backend(PolicyBackend::Interp),
+            ));
+            assert_eq!(vm, interp, "backends diverged on a bundled policy");
+        }
+    }
+
+    #[test]
+    fn vm_and_interp_charge_identical_policy_insns() {
+        let mut vm = Rig::new(SchedConfig::up(), policy(REG_POL, 1));
+        let mut interp = Rig::new(
+            SchedConfig::up(),
+            policy(REG_POL, 1).with_backend(PolicyBackend::Interp),
+        );
+        for rig in [&mut vm, &mut interp] {
+            rig.spawn("a");
+            rig.spawn("b");
+            rig.meter.take();
+        }
+        let mut cv = vm.idle;
+        let mut ci = interp.idle;
+        for _ in 0..40 {
+            cv = vm.schedule(0, cv);
+            ci = interp.schedule(0, ci);
+        }
+        assert_eq!(cv, ci);
+        assert_eq!(
+            vm.sched.policy_insns_executed(),
+            interp.sched.policy_insns_executed(),
+            "PolicyInsn totals must match exactly"
+        );
+        assert_eq!(
+            vm.meter.take(),
+            interp.meter.take(),
+            "virtual cycle charges must match exactly"
+        );
+    }
+
+    /// The strongest abort-point pin: for every budget from 1 up to
+    /// past one full decision, both backends must report the identical
+    /// outcome — same pick, same violation (including the exact `insns`
+    /// value), same examined-task count, same cycles.
+    #[test]
+    fn vm_and_interp_agree_at_every_budget_cutoff() {
+        for src in [REG_POL, RR_POL, TABLE_POL] {
+            for budget in 1..=160u64 {
+                let mk = |backend| {
+                    let nr = PolicyScheduler::load_str(src, 1).unwrap();
+                    let mut rig = Rig::new(
+                        SchedConfig::up(),
+                        nr.with_budget(budget).with_backend(backend),
+                    );
+                    rig.spawn("a");
+                    rig.spawn("b");
+                    rig.meter.take();
+                    let next = rig.schedule(0, rig.idle);
+                    (
+                        next.index(),
+                        rig.sched.take_violation(),
+                        rig.sched.policy_insns_executed(),
+                        rig.stats.cpu(0).tasks_examined,
+                        rig.meter.take(),
+                    )
+                };
+                let vm = mk(PolicyBackend::Vm);
+                let interp = mk(PolicyBackend::Interp);
+                assert_eq!(vm, interp, "divergence at budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_budget_blowout_reports_exact_interp_insns() {
+        let src = "policy spin\nlists 1\nhook pick_next {\n\
+                   repeat 1024 { let x = 1 }\npick idle }";
+        let mk = |backend| {
+            let sched = PolicyScheduler::load_str(src, 1)
+                .unwrap()
+                .with_budget(64)
+                .with_backend(backend);
+            let mut rig = Rig::new(SchedConfig::up(), sched);
+            rig.spawn("w");
+            rig.schedule(0, rig.idle);
+            rig.sched.take_violation()
+        };
+        let vm = mk(PolicyBackend::Vm);
+        assert_eq!(
+            vm,
+            Some(PolicyViolation::BudgetExhausted {
+                insns: 65,
+                budget: 64
+            }),
+            "the VM normalizes batched charges to the interpreter's trip point"
+        );
+        assert_eq!(vm, mk(PolicyBackend::Interp));
     }
 
     #[test]

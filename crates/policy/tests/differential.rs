@@ -1,0 +1,264 @@
+//! Differential backend fuzzing: the bytecode VM versus the reference
+//! interpreter.
+//!
+//! The contract under test is the PR's central claim: **every** verified
+//! `.pol` program produces identical decisions *and* identical
+//! `PolicyInsn`-equivalent budget outcomes on both backends — same
+//! picks, same violations (including the exact `insns` value at a
+//! budget blowout), same examined-task counts, same virtual cycles.
+//! The corpus is the bundled policies plus verifier-accepted mutants of
+//! them (the PR 5 mutation corpus, regenerated deterministically from
+//! the simulator's own [`SimRng`]), driven through a perturbed
+//! scheduling scenario at both a generous and a deliberately tight
+//! budget so mid-hook aborts are exercised on both sides.
+
+use std::fs;
+use std::path::PathBuf;
+
+use elsc_ktask::{CpuId, TaskSpec, TaskState, TaskTable, Tid};
+use elsc_policy::{load_str, PolicyScheduler, Program, DEFAULT_BUDGET};
+use elsc_sched_api::{PolicyBackend, SchedConfig, SchedCtx, Scheduler};
+use elsc_simcore::{CostModel, CycleMeter, SimRng};
+use elsc_stats::SchedStats;
+
+fn policies_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../policies")
+}
+
+fn read_corpus() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = fs::read_dir(policies_dir())
+        .expect("policies dir")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            if p.extension().is_some_and(|x| x == "pol") {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                Some((name, fs::read_to_string(&p).expect("readable corpus file")))
+            } else {
+                None
+            }
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn below(rng: &mut SimRng, n: usize) -> usize {
+    rng.below(n as u64) as usize
+}
+
+/// One backend's full observable trace of a driven scenario.
+#[derive(Debug, PartialEq)]
+struct Trace {
+    picks: Vec<usize>,
+    violations: Vec<Option<&'static str>>,
+    insns: u64,
+    tasks_examined: u64,
+    recalc_entries: u64,
+    idle_scheduled: u64,
+    cycles: u64,
+}
+
+/// Drives `prog` on `backend` through a deterministic perturbed
+/// scenario (blocking, waking, yields, ticks) and records everything
+/// the machine could observe.
+fn drive(prog: &Program, backend: PolicyBackend, budget: u64, steps: u32) -> Trace {
+    let cfg = SchedConfig::up();
+    let mut sched = PolicyScheduler::new(prog.clone(), cfg.nr_cpus)
+        .with_budget(budget)
+        .with_backend(backend);
+    let mut tasks = TaskTable::new();
+    let mut stats = SchedStats::new(cfg.nr_cpus);
+    let mut meter = CycleMeter::new();
+    let costs = CostModel::default();
+    let idle = tasks.spawn(&TaskSpec::named("idle").priority(1));
+    tasks.task_mut(idle).counter = 0;
+    tasks.task_mut(idle).has_cpu = true;
+
+    let with = |sched: &mut PolicyScheduler,
+                tasks: &mut TaskTable,
+                stats: &mut SchedStats,
+                meter: &mut CycleMeter,
+                f: &mut dyn FnMut(&mut PolicyScheduler, &mut SchedCtx<'_>) -> Tid|
+     -> Tid {
+        let mut ctx = SchedCtx {
+            tasks,
+            stats,
+            meter,
+            costs: &costs,
+            cfg: &cfg,
+            probe: None,
+            locks: None,
+        };
+        f(sched, &mut ctx)
+    };
+
+    let mut workers = Vec::new();
+    for name in ["a", "b", "c"] {
+        let tid = tasks.spawn(&TaskSpec::named(name));
+        with(
+            &mut sched,
+            &mut tasks,
+            &mut stats,
+            &mut meter,
+            &mut |s, ctx| {
+                s.add_to_runqueue(ctx, tid);
+                tid
+            },
+        );
+        workers.push(tid);
+    }
+
+    let mut picks = Vec::new();
+    let mut violations = Vec::new();
+    let mut current = idle;
+    for step in 0..steps {
+        let r = u64::from(step)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            >> 33;
+        match r % 13 {
+            0 => {
+                if workers.contains(&current) {
+                    tasks.task_mut(current).state = TaskState::Interruptible;
+                }
+            }
+            1 => {
+                for &t in &workers {
+                    if tasks.task(t).state == TaskState::Interruptible {
+                        tasks.task_mut(t).state = TaskState::Running;
+                        with(
+                            &mut sched,
+                            &mut tasks,
+                            &mut stats,
+                            &mut meter,
+                            &mut |s, ctx| {
+                                s.add_to_runqueue(ctx, t);
+                                t
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
+            2 => {
+                if workers.contains(&current) {
+                    tasks.task_mut(current).policy.yielded = true;
+                }
+            }
+            3 => {
+                let cur = current;
+                with(
+                    &mut sched,
+                    &mut tasks,
+                    &mut stats,
+                    &mut meter,
+                    &mut |s, ctx| {
+                        s.on_tick(ctx, 0 as CpuId, cur);
+                        cur
+                    },
+                );
+            }
+            _ => {
+                if workers.contains(&current) && tasks.task(current).counter > 0 {
+                    tasks.task_mut(current).counter -= 1;
+                }
+            }
+        }
+        let prev = current;
+        current = with(
+            &mut sched,
+            &mut tasks,
+            &mut stats,
+            &mut meter,
+            &mut |s, ctx| s.schedule(ctx, 0, prev, idle),
+        );
+        picks.push(current.index());
+        violations.push(sched.take_violation().map(|v| v.label()));
+    }
+    let s = stats.cpu(0);
+    Trace {
+        picks,
+        violations,
+        insns: sched.policy_insns_executed(),
+        tasks_examined: s.tasks_examined,
+        recalc_entries: s.recalc_entries,
+        idle_scheduled: s.idle_scheduled,
+        cycles: meter.take(),
+    }
+}
+
+fn assert_backends_agree(name: &str, prog: &Program, budget: u64, steps: u32) {
+    let vm = drive(prog, PolicyBackend::Vm, budget, steps);
+    let interp = drive(prog, PolicyBackend::Interp, budget, steps);
+    assert_eq!(vm, interp, "{name}: backends diverged at budget {budget}");
+}
+
+#[test]
+fn bundled_policies_are_backend_equivalent_at_generous_and_tight_budgets() {
+    for (name, src) in &read_corpus() {
+        let prog = load_str(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for budget in [DEFAULT_BUDGET, 96, 7] {
+            assert_backends_agree(name, &prog, budget, 120);
+        }
+    }
+}
+
+#[test]
+fn verifier_accepted_mutants_are_backend_equivalent() {
+    let corpus = read_corpus();
+    let mut rng = SimRng::new(0x00D1_FFE2_E4C1_A11E);
+    for (name, src) in &corpus {
+        let mut accepted = 0u32;
+        let mut attempts = 0u32;
+        while accepted < 40 && attempts < 4000 {
+            attempts += 1;
+            let mut s: Vec<char> = src.chars().collect();
+            match below(&mut rng, 4) {
+                0 => {
+                    let i = below(&mut rng, s.len());
+                    s.remove(i);
+                }
+                1 => {
+                    let i = below(&mut rng, s.len());
+                    let j = below(&mut rng, s.len());
+                    s.swap(i, j);
+                }
+                2 => s.truncate(below(&mut rng, s.len())),
+                _ => {
+                    let i = below(&mut rng, s.len());
+                    let j = i + below(&mut rng, s.len() - i);
+                    let dup: Vec<char> = s[i..j].to_vec();
+                    s.extend(dup);
+                }
+            }
+            let mutated: String = s.into_iter().collect();
+            let Ok(prog) = load_str(&mutated) else {
+                continue;
+            };
+            accepted += 1;
+            // A tightish budget so some mutants abort mid-hook: the
+            // violation (and its exact insns) must match too.
+            let budget = [DEFAULT_BUDGET, 128][(accepted % 2) as usize];
+            assert_backends_agree(&format!("{name} mutant #{accepted}"), &prog, budget, 60);
+        }
+        assert!(
+            accepted >= 10,
+            "{name}: mutation should yield verifier-accepted variants (got {accepted})"
+        );
+    }
+}
+
+/// Budget-exhaustion mid-hook on the VM path: the decision aborts, the
+/// host substitutes its safe fallback, and the recorded violation is
+/// byte-identical to the interpreter's.
+#[test]
+fn vm_budget_exhaustion_mid_hook_matches_interp_exactly() {
+    let src = "policy hog\nlists 1\nhook pick_next {\n\
+               let acc = 0\n\
+               repeat 512 { acc = acc + counter(prev) }\n\
+               pick idle }";
+    let prog = load_str(src).unwrap();
+    for budget in 1..=64u64 {
+        assert_backends_agree("hog", &prog, budget, 24);
+    }
+}

@@ -36,4 +36,4 @@ pub use goodness::{
 };
 pub use lockplan::{DomainAcquire, DomainLocker, LockDomains, LockPlan, LockScratch};
 pub use resched::{reschedule_idle, CpuView, WakeTarget};
-pub use scheduler::{PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler};
+pub use scheduler::{PolicyBackend, PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler};
