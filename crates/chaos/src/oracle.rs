@@ -16,13 +16,17 @@
 //! | `Tie`         | different task, equal reference goodness — order-of-scan freedom |
 //! | `YieldRerun`  | ELSC reran a lone yielder instead of recalculating (the Figure-2 fix, §5.2) |
 //! | `Truncation`  | the winning list held more eligible tasks than the bounded search examines, and the gap is within the documented slack |
-//! | `Affinity`    | SMP only: gap within the dynamic-bonus + bucket slack the bounded search trades away |
+//! | `Affinity`    | SMP only: the reference winner sat in a list the bounded search never reached, and the gap is within the dynamic-bonus + bucket slack |
+//! | `Topology`    | multi-level trees only: the divergence is locality-motivated (the pick trades bounded goodness for topological distance) |
 //! | `Design`      | relaxed-contract scheduler (§8 prototypes): decision logged, not held to §5 |
 //! | `Unexplained` | none of the above — the equivalence claim is violated |
 
 use elsc_ktask::{CpuId, MmId, Task, TaskTable, Tid};
 use elsc_obs::json::Obj;
-use elsc_sched_api::{IDLE_GOODNESS, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
+use elsc_sched_api::{
+    topo_affinity_bonus, IDLE_GOODNESS, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE,
+};
+use elsc_simcore::Topology;
 
 use crate::plan::FaultCounts;
 
@@ -76,9 +80,11 @@ impl TaskSnap {
 }
 
 /// `goodness()` over a snapshot with an overridden counter — mirrors
-/// `elsc_sched_api::goodness_ignoring_yield` exactly (a unit test below
-/// pins the two against each other).
-fn snap_goodness(s: &TaskSnap, counter: i32, cpu: CpuId, prev_mm: MmId) -> i32 {
+/// `elsc_sched_api::goodness_ignoring_yield_on` exactly (a unit test
+/// below pins the two against each other). On a flat tree the topology
+/// bonus degenerates to the classic `{+15 on same CPU, else 0}`, so the
+/// reference is byte-identical to the pre-topology oracle there.
+fn snap_goodness(s: &TaskSnap, counter: i32, topo: &Topology, cpu: CpuId, prev_mm: MmId) -> i32 {
     if s.rt {
         return RT_GOODNESS_BASE + s.rt_priority;
     }
@@ -86,9 +92,7 @@ fn snap_goodness(s: &TaskSnap, counter: i32, cpu: CpuId, prev_mm: MmId) -> i32 {
         return 0;
     }
     let mut w = counter + s.priority;
-    if s.processor == cpu {
-        w += PROC_CHANGE_PENALTY;
-    }
+    w += topo_affinity_bonus(topo, cpu, s.processor);
     if s.mm == prev_mm {
         w += MM_BONUS;
     }
@@ -123,11 +127,13 @@ impl OracleMode {
     /// Interpreted policies report themselves as `policy:<name>`; the
     /// prefix is stripped so `policy:reg` — the bundled `.pol` transcription
     /// of the baseline scheduler — is held to the same strict claim as the
-    /// native implementation, while arbitrary policies default to relaxed.
+    /// native implementation. `policy:percpu` partitions storage per CPU
+    /// but still runs the full goodness scan, so it carries the strict
+    /// claim too; arbitrary policies default to relaxed.
     pub fn for_scheduler(name: &str) -> OracleMode {
         let name = name.strip_prefix("policy:").unwrap_or(name);
         match name {
-            "elsc" | "reg" => OracleMode::Strict,
+            "elsc" | "reg" | "percpu" => OracleMode::Strict,
             _ => OracleMode::Relaxed,
         }
     }
@@ -157,6 +163,8 @@ pub struct Decision<'a> {
     pub search_limit: usize,
     /// SMP build?
     pub smp: bool,
+    /// The declared machine topology (flat for the classic model).
+    pub topology: Topology,
     /// The frozen runnable set (idle tasks excluded; `prev` included
     /// only if still runnable).
     pub snaps: &'a [TaskSnap],
@@ -174,8 +182,14 @@ pub enum DivergenceClass {
     /// The winning list was longer than the examination limit and the gap
     /// is within the documented slack.
     Truncation,
-    /// SMP: gap within the dynamic-bonus slack the bounded search trades.
+    /// SMP: the reference winner sat in a list the bounded search never
+    /// reached, and the gap is within the dynamic-bonus slack it trades.
     Affinity,
+    /// Multi-level trees only: a locality-motivated divergence — the pick
+    /// traded a bounded goodness gap for topological distance (either
+    /// direction: a topology-aware pick judged against a flat-thinking
+    /// peer, or a flat-model policy missing a distance-graded bonus).
+    Topology,
     /// Relaxed-contract scheduler; logged, not judged.
     Design,
     /// No documented explanation — the §5 claim is violated.
@@ -191,6 +205,7 @@ impl DivergenceClass {
             DivergenceClass::YieldRerun => "yield_rerun",
             DivergenceClass::Truncation => "truncation",
             DivergenceClass::Affinity => "affinity",
+            DivergenceClass::Topology => "topology",
             DivergenceClass::Design => "design",
             DivergenceClass::Unexplained => "unexplained",
         }
@@ -231,6 +246,8 @@ pub struct OracleReport {
     pub truncations: u64,
     /// SMP affinity-slack divergences.
     pub affinity: u64,
+    /// Locality-motivated divergences on multi-level trees.
+    pub topology: u64,
     /// Relaxed-contract decisions.
     pub design: u64,
     /// Divergences with no documented explanation.
@@ -262,6 +279,12 @@ impl OracleReport {
             .u64("design", self.design)
             .u64("unexplained", self.unexplained)
             .u64("invariant_violations", self.invariant_violations);
+        if self.topology != 0 {
+            // Only multi-level trees can produce this class; emitting it
+            // conditionally keeps every flat-topology report (and the
+            // committed baseline manifests) byte-identical.
+            o = o.u64("topology", self.topology);
+        }
         if let Some(d) = &self.first_unexplained {
             o = o.str("first_unexplained", d);
         }
@@ -334,7 +357,7 @@ impl Oracle {
                     prev_yielded = false; // consumed for this pass only
                     0
                 } else {
-                    snap_goodness(&d.snaps[i], counters[i], d.cpu, d.prev_mm)
+                    snap_goodness(&d.snaps[i], counters[i], &d.topology, d.cpu, d.prev_mm)
                 };
                 next = d.prev;
             }
@@ -345,7 +368,7 @@ impl Oracle {
                 if skip {
                     continue;
                 }
-                let w = snap_goodness(s, counters[i], d.cpu, d.prev_mm);
+                let w = snap_goodness(s, counters[i], &d.topology, d.cpu, d.prev_mm);
                 if w > c {
                     c = w;
                     next = s.tid;
@@ -384,6 +407,7 @@ impl Oracle {
             DivergenceClass::YieldRerun => self.report.yield_reruns += 1,
             DivergenceClass::Truncation => self.report.truncations += 1,
             DivergenceClass::Affinity => self.report.affinity += 1,
+            DivergenceClass::Topology => self.report.topology += 1,
             DivergenceClass::Design => self.report.design += 1,
             DivergenceClass::Unexplained => {
                 #[cfg(debug_assertions)]
@@ -428,7 +452,7 @@ impl Oracle {
             return IDLE_GOODNESS;
         }
         match d.snaps.iter().position(|s| s.tid == tid) {
-            Some(i) => snap_goodness(&d.snaps[i], r.counters[i], d.cpu, d.prev_mm),
+            Some(i) => snap_goodness(&d.snaps[i], r.counters[i], &d.topology, d.cpu, d.prev_mm),
             None => IDLE_GOODNESS, // not in the runnable set at all
         }
     }
@@ -444,7 +468,25 @@ impl Oracle {
         }
         if self.mode == OracleMode::Relaxed {
             // §8 prototypes: different contracts by design (no dynamic
-            // bonuses, per-queue visibility, steal thresholds). Logged.
+            // bonuses, per-queue visibility, steal thresholds). On a
+            // multi-level tree, refine the log: a pick that is
+            // topologically *closer* to the deciding CPU than the
+            // reference winner is a locality-motivated divergence (the
+            // bubble scheduler and mq's LLC-aware steal do this on
+            // purpose), not a generic design gap.
+            if !d.topology.is_flat() {
+                let closer = |tid: Tid| {
+                    d.snaps
+                        .iter()
+                        .find(|s| s.tid == tid)
+                        .map(|s| topo_affinity_bonus(&d.topology, d.cpu, s.processor))
+                };
+                if let (Some(c), Some(e)) = (closer(d.chosen), closer(r.expected)) {
+                    if c > e {
+                        return DivergenceClass::Topology;
+                    }
+                }
+            }
             return DivergenceClass::Design;
         }
         if d.yield_rerun && d.chosen == d.prev {
@@ -471,6 +513,7 @@ impl Oracle {
             return DivergenceClass::Unexplained;
         }
         if gap <= BOUNDED_SLACK {
+            let chosen_i = d.snaps.iter().position(|s| s.tid == d.chosen);
             // Truncation: the list the reference winner lives in held
             // more eligible tasks than the bounded search examines, so
             // ELSC provably could not have seen every candidate.
@@ -492,13 +535,37 @@ impl Oracle {
                 if occupancy > d.search_limit {
                     return DivergenceClass::Truncation;
                 }
-            }
-            if d.smp {
-                // The bounded search sorts by static goodness only; on
-                // SMP the dynamic affinity/mm bonuses (≤ 16) plus the
-                // bucket spread (≤ 3) are the documented slack it trades
-                // for O(1) decisions.
-                return DivergenceClass::Affinity;
+                if let Some(ci) = chosen_i {
+                    let chosen_list = snap_list(&d.snaps[ci], r.counters[ci]);
+                    if !d.topology.is_flat() {
+                        // Multi-level tree: the reference winner was
+                        // favoured by a distance-graded bonus the chosen
+                        // task did not earn. A scheduler (or interpreted
+                        // policy) reasoning with the flat model loses
+                        // exactly this much — a locality-motivated gap,
+                        // classified, still bounded by the slack.
+                        let e_near = topo_affinity_bonus(&d.topology, d.cpu, d.snaps[ei].processor);
+                        let c_near = topo_affinity_bonus(&d.topology, d.cpu, d.snaps[ci].processor);
+                        if e_near > c_near {
+                            return DivergenceClass::Topology;
+                        }
+                    }
+                    if d.smp && list < chosen_list {
+                        // The bounded search walks lists from the highest
+                        // static bucket down and stops at the first list
+                        // holding any candidate, so a reference winner in
+                        // a *strictly lower* list — carried above the
+                        // chosen task only by dynamic affinity/mm bonuses
+                        // (≤ 16) plus the bucket spread (≤ 3) — is slack
+                        // it documents trading for O(1) decisions. A
+                        // same-list winner within the limit was examined,
+                        // and skipping it is NOT explainable: requiring
+                        // the strictly-lower list is what lets the oracle
+                        // reject an off-by-one comparator on SMP, not
+                        // just on UP.
+                        return DivergenceClass::Affinity;
+                    }
+                }
             }
         }
         DivergenceClass::Unexplained
@@ -618,6 +685,7 @@ mod tests {
             yield_rerun: false,
             search_limit: 5,
             smp: false,
+            topology: Topology::flat(1),
             snaps,
         }
     }
@@ -627,6 +695,10 @@ mod tests {
         assert_eq!(OracleMode::for_scheduler("reg"), OracleMode::Strict);
         assert_eq!(OracleMode::for_scheduler("policy:reg"), OracleMode::Strict);
         assert_eq!(OracleMode::for_scheduler("policy:elsc"), OracleMode::Strict);
+        assert_eq!(
+            OracleMode::for_scheduler("policy:percpu"),
+            OracleMode::Strict
+        );
         assert_eq!(OracleMode::for_scheduler("policy:rr"), OracleMode::Relaxed);
         assert_eq!(OracleMode::for_scheduler("mq"), OracleMode::Relaxed);
     }
@@ -638,12 +710,13 @@ mod tests {
         tasks.task_mut(a).counter = 9;
         tasks.task_mut(a).processor = 2;
         let rt = tasks.spawn(&TaskSpec::named("rt").realtime(SchedClass::Rr, 42));
+        let flat = Topology::flat(3);
         for t in tasks.iter() {
             for cpu in 0..3 {
                 for mm in [MmId(3), MmId(4), MmId::KERNEL] {
                     let s = TaskSnap::of(t);
                     assert_eq!(
-                        snap_goodness(&s, s.counter, cpu, mm),
+                        snap_goodness(&s, s.counter, &flat, cpu, mm),
                         goodness_ignoring_yield(t, cpu, mm),
                         "task {} cpu {cpu} mm {mm:?}",
                         t.name
@@ -652,6 +725,28 @@ mod tests {
             }
         }
         let _ = rt;
+    }
+
+    #[test]
+    fn snap_goodness_matches_the_topo_goodness() {
+        let topo: Topology = "2N4C2T".parse().unwrap();
+        let mut tasks = TaskTable::new();
+        let a = tasks.spawn(&TaskSpec::named("a").priority(17).mm(MmId(3)));
+        tasks.task_mut(a).counter = 9;
+        for last in [0, 1, 5, 9, 15] {
+            tasks.task_mut(a).processor = last;
+            for cpu in 0..16 {
+                for mm in [MmId(3), MmId::KERNEL] {
+                    let t = tasks.task(a);
+                    let s = TaskSnap::of(t);
+                    assert_eq!(
+                        snap_goodness(&s, s.counter, &topo, cpu, mm),
+                        elsc_sched_api::goodness_ignoring_yield_on(&topo, t, cpu, mm),
+                        "last {last} cpu {cpu} mm {mm:?}",
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -744,6 +839,88 @@ mod tests {
         let mut o = Oracle::new(OracleMode::Strict);
         d.chosen = tid(1);
         assert_eq!(o.judge(&d), DivergenceClass::Affinity);
+    }
+
+    #[test]
+    fn smp_same_list_gap_is_unexplained() {
+        // The off-by-one comparator the chaos self-test seeds (`w > best
+        // + 1`) loses gap-1 picks *within one list*. Both tasks here sit
+        // in list 7 and both were provably examined (occupancy 2 ≤ limit
+        // 5), so the old blanket "SMP affinity slack" excuse must NOT
+        // apply: same-list skips are rejected on SMP exactly as on UP.
+        let mut a = snap(1, 11, 20, 1); // static 31 -> list 7
+        let mut b = snap(2, 10, 20, 1); // static 30 -> list 7
+        a.processor = 0;
+        b.processor = 0;
+        let snaps = [a, b];
+        let mut d = decision(&snaps, tid(2));
+        d.smp = true;
+        d.topology = Topology::flat(2);
+        let mut o = Oracle::new(OracleMode::Strict);
+        assert_eq!(o.judge(&d), DivergenceClass::Unexplained);
+    }
+
+    #[test]
+    fn strict_topology_gap_is_classified_on_multilevel_trees() {
+        // 2N4C2T, deciding CPU 0. The reference winner last ran on CPU 1
+        // (an SMT sibling: +12); the chosen task last ran on CPU 8 (the
+        // other node: +0). Equal statics, so the whole gap is the
+        // distance-graded bonus a flat-thinking scheduler cannot see.
+        let mut near = snap(1, 10, 20, 1);
+        let mut far = snap(2, 10, 20, 1);
+        near.processor = 1;
+        far.processor = 8;
+        let snaps = [near, far];
+        let mut d = decision(&snaps, tid(2));
+        d.smp = true;
+        d.topology = "2N4C2T".parse().unwrap();
+        let mut o = Oracle::new(OracleMode::Strict);
+        assert_eq!(o.judge(&d), DivergenceClass::Topology);
+        assert_eq!(o.report().topology, 1);
+        assert!(o.report().clean());
+        // The counter serializes only when nonzero, so flat-topology
+        // reports (and committed baselines) keep their exact bytes.
+        assert!(o.report().to_json().contains("\"topology\":1"));
+        assert!(!Oracle::new(OracleMode::Strict)
+            .report()
+            .to_json()
+            .contains("topology"));
+    }
+
+    #[test]
+    fn relaxed_mode_refines_closer_picks_into_topology() {
+        // Relaxed scheduler on a multi-level tree choosing the task whose
+        // last CPU is nearer the deciding CPU than the reference winner's:
+        // a deliberate locality trade (mq's LLC steal, bubble), logged as
+        // Topology rather than generic Design.
+        let mut strong_far = snap(1, 30, 20, 1);
+        let mut weak_near = snap(2, 10, 20, 1);
+        strong_far.processor = 8; // other node
+        weak_near.processor = 0; // the deciding CPU itself
+        let snaps = [strong_far, weak_near];
+        let mut d = decision(&snaps, tid(2));
+        d.smp = true;
+        d.topology = "2N4C2T".parse().unwrap();
+        let mut o = Oracle::new(OracleMode::Relaxed);
+        assert_eq!(o.judge(&d), DivergenceClass::Topology);
+        // A *farther* pick stays Design.
+        let mut d = decision(&snaps, tid(1));
+        d.smp = true;
+        d.topology = "2N4C2T".parse().unwrap();
+        d.cpu = 0;
+        // Make the reference prefer the near task so tid(1) diverges.
+        let snaps2 = [weak_near, {
+            let mut s = strong_far;
+            s.counter = 1; // now weaker than near's bonused goodness
+            s
+        }];
+        let mut d2 = decision(&snaps2, tid(2));
+        d2.chosen = snaps2[1].tid;
+        d2.smp = true;
+        d2.topology = "2N4C2T".parse().unwrap();
+        let mut o2 = Oracle::new(OracleMode::Relaxed);
+        assert_eq!(o2.judge(&d2), DivergenceClass::Design);
+        let _ = d;
     }
 
     #[test]

@@ -65,6 +65,7 @@ const FLAGS: &[&str] = &[
 const OPTIONS: &[&str] = &[
     "sched",
     "cpus",
+    "topology",
     "seed",
     "trace",
     "rooms",

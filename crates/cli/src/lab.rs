@@ -46,11 +46,15 @@ fn specs(a: &Args) -> Result<Vec<SweepSpec>, String> {
     let mut chosen = Vec::new();
     if a.flag("all-figures") {
         for name in SweepSpec::BUILTINS {
-            // `smoke` is a CI gate, `chaos` an oracle sweep, `policy` a
-            // policy-runtime conformance sweep, `cluster` the federation
-            // gate, and `mega` the engine-throughput gate — none is a
+            // `smoke` is a CI gate, `chaos` an oracle sweep, `topo` the
+            // topology gate, `policy` a policy-runtime conformance
+            // sweep, `cluster` the federation gate, and `mega` the
+            // engine-throughput gate — none is a
             // paper figure, so `--all-figures` skips all five.
-            if !matches!(name, "smoke" | "chaos" | "policy" | "cluster" | "mega") {
+            if !matches!(
+                name,
+                "smoke" | "chaos" | "topo" | "policy" | "cluster" | "mega"
+            ) {
                 chosen.push(SweepSpec::builtin(name).expect("builtin"));
             }
         }
@@ -201,7 +205,7 @@ sweep options:
   --spec-file P    a spec file in the lab text format (see DESIGN.md sec. 7)
   --all-figures    every paper artifact: figure2..figure6, table2,
                    kernel_share (manifests under results/lab/; the
-                   smoke, chaos, policy, cluster, and mega gates are
+                   smoke, chaos, topo, policy, cluster, and mega gates are
                    separate specs)
   --workers N      worker threads                  [host parallelism]
   --out PATH       manifest path (single spec only) [results/lab/<name>.json]

@@ -42,20 +42,24 @@ use elsc_machine::{FaultPlan, Machine, MachineConfig, RunReport, TraceRecord};
 use elsc_obs::{first_divergence, JsonLinesSink};
 use elsc_policy::PolicyScheduler;
 use elsc_sched_api::{LockPlan, PolicyBackend, Scheduler};
-use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_ext::{AffinityHeapScheduler, BubbleScheduler, HeapScheduler, MultiQueueScheduler};
 use elsc_sched_linux::LinuxScheduler;
+use elsc_simcore::Topology;
 use elsc_stats::render::render_proc;
 use elsc_workloads::{httpd, kbuild, rtmix, stress, volanomark};
 use elsc_workloads::{HttpdConfig, KbuildConfig, RtMixConfig, StressConfig, VolanoConfig};
 
 /// Builds one scheduler by name. `policy:<file>` loads an interpreted
 /// `.pol` program through the verifying loader; a rejected program
-/// surfaces as `file:line:col: message`, never a panic.
+/// surfaces as `file:line:col: message`, never a panic. The declared
+/// topology sizes the structural schedulers (`mq` per CPU, `bubble` per
+/// NUMA node).
 fn scheduler(
     name: &str,
-    nr_cpus: usize,
+    topo: Topology,
     policy_budget: Option<u64>,
 ) -> Result<Box<dyn Scheduler>, String> {
+    let nr_cpus = topo.nr_cpus();
     if let Some(path) = name.strip_prefix("policy:") {
         let src =
             std::fs::read_to_string(path).map_err(|e| format!("--sched policy: {path}: {e}"))?;
@@ -72,8 +76,36 @@ fn scheduler(
         "heap" => Box::new(HeapScheduler::new()),
         "aheap" => Box::new(AffinityHeapScheduler::new()),
         "mq" => Box::new(MultiQueueScheduler::new(nr_cpus)),
+        "bubble" => Box::new(BubbleScheduler::new(topo)),
         other => return Err(format!("unknown scheduler '{other}'")),
     })
+}
+
+/// The declared machine shape: `--topology` when given (checked against
+/// `--cpus` if both appear), otherwise the flat tree of `--cpus`.
+fn declared_topology(a: &Args) -> Result<Topology, String> {
+    match a.get("topology") {
+        Some(text) => {
+            if a.flag("up") {
+                return Err("--topology conflicts with --up (a UP machine is flat)".into());
+            }
+            let topo: Topology = text.parse().map_err(|e| format!("--topology: {e}"))?;
+            let cpus: usize = a
+                .get_or("cpus", topo.nr_cpus())
+                .map_err(|e| e.to_string())?;
+            if cpus != topo.nr_cpus() {
+                return Err(format!(
+                    "--cpus {cpus} disagrees with --topology {topo} ({} CPUs)",
+                    topo.nr_cpus()
+                ));
+            }
+            Ok(topo)
+        }
+        None => {
+            let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
+            Ok(Topology::flat(if a.flag("up") { 1 } else { cpus.max(1) }))
+        }
+    }
 }
 
 /// Reads `--policy-budget` (per-decision interpreter instruction cap).
@@ -89,7 +121,6 @@ fn policy_budget(a: &Args) -> Result<Option<u64>, String> {
 
 /// Builds the machine configuration from the common options.
 fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
-    let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
     let seed: u64 = a.get_or("seed", 23_062).map_err(|e| e.to_string())?;
     // `--diff` needs the in-memory ring populated; give it a generous
     // default capacity unless the user chose one.
@@ -100,14 +131,22 @@ fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
     let mut cfg = if a.flag("up") {
         MachineConfig::up()
     } else {
-        MachineConfig::smp(cpus.max(1))
+        // A declared flat tree builds the exact same config as --cpus N:
+        // `--topology 1N4C1T` and `--cpus 4` are byte-identical runs.
+        MachineConfig::topo(declared_topology(a)?)
     };
     cfg = cfg
         .with_seed(seed)
         .with_trace(trace)
         .with_max_secs(20_000.0);
     if let Some(text) = a.get("lock-plan") {
-        let plan: LockPlan = text.parse().map_err(|e| format!("--lock-plan: {e}"))?;
+        // `pernode` alone resolves against the declared topology; the
+        // explicit `pernode:K` spelling is handled by the parser.
+        let plan: LockPlan = if text == "pernode" {
+            LockPlan::PerNode(cfg.sched.topology.cpus_per_node())
+        } else {
+            text.parse().map_err(|e| format!("--lock-plan: {e}"))?
+        };
         cfg = cfg.with_lock_plan(Some(plan));
     }
     if let Some(text) = a.get("faults") {
@@ -241,13 +280,13 @@ fn per_sched_path(base: &str, name: &str, multi: bool) -> String {
 
 /// Full run across the requested schedulers.
 fn run(a: &Args) -> Result<(), String> {
-    let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
+    let topo = declared_topology(a)?;
     let scheds = a.get("sched").unwrap_or("reg,elsc");
     if a.flag("compare") {
-        return run_compare(a, scheds, cpus.max(1));
+        return run_compare(a, scheds, topo);
     }
     if a.flag("diff") {
-        return run_diff(a, scheds, cpus.max(1));
+        return run_diff(a, scheds, topo);
     }
     let names: Vec<&str> = scheds
         .split(',')
@@ -260,7 +299,7 @@ fn run(a: &Args) -> Result<(), String> {
     // any unexplained divergence or invariant violation fails the run.
     let mut oracle_failures: Vec<String> = Vec::new();
     for name in names {
-        let sched = scheduler(name, cpus.max(1), budget)?;
+        let sched = scheduler(name, topo, budget)?;
         let trace_out = a.get("trace-out").map(|p| per_sched_path(p, name, multi));
         let out = run_one(a, sched, trace_out.as_deref())?;
         let report = &out.report;
@@ -316,7 +355,7 @@ fn run(a: &Args) -> Result<(), String> {
 
 /// `--diff`: run the same workload and seed under two schedulers and
 /// report where their event traces first diverge.
-fn run_diff(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
+fn run_diff(a: &Args, scheds: &str, topo: Topology) -> Result<(), String> {
     let names: Vec<&str> = scheds
         .split(',')
         .map(str::trim)
@@ -328,22 +367,22 @@ fn run_diff(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
         ));
     }
     let budget = policy_budget(a)?;
-    let first = run_one(a, scheduler(names[0], cpus, budget)?, None)?;
-    let second = run_one(a, scheduler(names[1], cpus, budget)?, None)?;
+    let first = run_one(a, scheduler(names[0], topo, budget)?, None)?;
+    let second = run_one(a, scheduler(names[1], topo, budget)?, None)?;
     println!("trace diff: {} vs {}", names[0], names[1]);
     println!("{}", first_divergence(&first.records, &second.records));
     Ok(())
 }
 
 /// One-line-per-scheduler comparison table.
-fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
+fn run_compare(a: &Args, scheds: &str, topo: Topology) -> Result<(), String> {
     println!(
         "{:<7} {:>10} {:>10} {:>12} {:>10} {:>9} {:>9}",
         "sched", "elapsed_s", "cyc/sched", "exam/sched", "recalcs", "new_cpu", "metric/s"
     );
     let budget = policy_budget(a)?;
     for name in scheds.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let sched = scheduler(name, cpus, budget)?;
+        let sched = scheduler(name, topo, budget)?;
         let RunOutcome { report, metric, .. } = run_one(a, sched, None)?;
         let t = report.stats.total();
         let rate = metric.as_deref().map(|m| report.per_sec(m)).unwrap_or(0.0);
@@ -368,8 +407,7 @@ fn run_compare(a: &Args, scheds: &str, cpus: usize) -> Result<(), String> {
 /// `--faults` here takes *cluster* fault classes (partition, slow_link,
 /// node_pause, or the light/heavy presets), not the machine classes.
 fn run_cluster(a: &Args) -> Result<(), String> {
-    let cpus: usize = a.get_or("cpus", 1).map_err(|e| e.to_string())?;
-    let cpus = cpus.max(1);
+    let topo = declared_topology(a)?;
     let seed: u64 = a.get_or("seed", 23_062).map_err(|e| e.to_string())?;
     let nodes: usize = a.get_or("nodes", 2).map_err(|e| e.to_string())?;
     if nodes == 0 {
@@ -382,12 +420,16 @@ fn run_cluster(a: &Args) -> Result<(), String> {
     let mut node_cfg = if a.flag("up") {
         MachineConfig::up()
     } else {
-        MachineConfig::smp(cpus)
+        MachineConfig::topo(topo)
     }
     .with_seed(seed)
     .with_max_secs(20_000.0);
     if let Some(text) = a.get("lock-plan") {
-        let plan: LockPlan = text.parse().map_err(|e| format!("--lock-plan: {e}"))?;
+        let plan: LockPlan = if text == "pernode" {
+            LockPlan::PerNode(topo.cpus_per_node())
+        } else {
+            text.parse().map_err(|e| format!("--lock-plan: {e}"))?
+        };
         node_cfg = node_cfg.with_lock_plan(Some(plan));
     }
     if a.flag("oracle") {
@@ -432,10 +474,10 @@ fn run_cluster(a: &Args) -> Result<(), String> {
     for name in &names {
         // Validate once so a bad name fails before any simulation; the
         // per-node closure then builds a fresh instance per machine.
-        scheduler(name, cpus, budget)?;
+        scheduler(name, topo, budget)?;
         let report = volano::run(
             ccfg.clone(),
-            |_node| scheduler(name, cpus, budget).expect("validated above"),
+            |_node| scheduler(name, topo, budget).expect("validated above"),
             &w,
         )
         .map_err(|e| e.to_string())?;
@@ -506,6 +548,7 @@ fn run_ls(a: &Args) -> Result<(), String> {
         ("heap", "goodness-ordered heap prototype (paper sec. 8)"),
         ("aheap", "affinity-aware heap prototype (paper sec. 8)"),
         ("mq", "per-CPU multi-queue prototype (paper sec. 8)"),
+        ("bubble", "NUMA-node bubble scheduler (topology tree)"),
     ] {
         println!("  {name:<10} {what}");
     }
@@ -638,16 +681,23 @@ workloads:
   rtmix     mixed SCHED_FIFO/SCHED_RR/SCHED_OTHER criticality
 
 common options:
-  --sched LIST   comma list of reg,elsc,heap,aheap,mq, and/or
+  --sched LIST   comma list of reg,elsc,heap,aheap,mq,bubble, and/or
                  policy:FILE.pol (interpreted policy)   [reg,elsc]
   --cpus N       processors                            [1]
+  --topology T   declared NUMA/SMT tree, e.g. 2N4C2T (2 nodes x 4 cores
+                 x 2 threads = 16 CPUs) or 2P2N4C2T with packages; CPU
+                 count follows the tree. 1N{P}C1T is byte-identical to
+                 --cpus P. Shapes goodness affinity bonuses, migration
+                 costs, mq steal locality, and the bubble scheduler
   --up           non-SMP kernel build (forces 1 CPU)
   --seed N       simulation seed                       [23062]
   --proc         print the /proc-style statistics table
   --latency      print latency/queue-length distributions
   --trace N      keep up to N scheduling-trace records
-  --lock-plan P  force the run-queue locking regime: global, percpu, or
-                 sharded:N (default: whatever the scheduler declares)
+  --lock-plan P  force the run-queue locking regime: global, percpu,
+                 sharded:N, pernode:K, or plain pernode to size domains
+                 from the declared topology (default: whatever the
+                 scheduler declares)
   --compare      one summary row per scheduler instead of full reports
   --quiet        suppress the standard report
 
@@ -711,10 +761,66 @@ mod tests {
 
     #[test]
     fn scheduler_factory_knows_all_names() {
-        for name in ["reg", "elsc", "heap", "aheap", "mq"] {
-            assert_eq!(scheduler(name, 2, None).unwrap().name(), name);
+        for name in ["reg", "elsc", "heap", "aheap", "mq", "bubble"] {
+            assert_eq!(
+                scheduler(name, Topology::flat(2), None).unwrap().name(),
+                name
+            );
         }
-        assert!(scheduler("cfs", 2, None).is_err());
+        assert!(scheduler("cfs", Topology::flat(2), None).is_err());
+    }
+
+    #[test]
+    fn declared_topology_follows_the_flags() {
+        let topo = declared_topology(&args(&["volano", "--topology", "2N4C2T"])).unwrap();
+        assert_eq!(topo.to_string(), "2N4C2T");
+        assert_eq!(topo.nr_cpus(), 16);
+        // Consistent --cpus is accepted, disagreement is an error.
+        assert!(
+            declared_topology(&args(&["volano", "--topology", "2N4C2T", "--cpus", "16"])).is_ok()
+        );
+        let err = declared_topology(&args(&["volano", "--topology", "2N4C2T", "--cpus", "4"]))
+            .unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+        let err =
+            declared_topology(&args(&["volano", "--topology", "2N4C2T", "--up"])).unwrap_err();
+        assert!(err.contains("--up"), "{err}");
+        // No --topology: the flat tree of --cpus.
+        let topo = declared_topology(&args(&["volano", "--cpus", "3"])).unwrap();
+        assert_eq!(topo, Topology::flat(3));
+    }
+
+    #[test]
+    fn machine_cfg_flat_topology_matches_plain_cpus() {
+        // The CI flat-equivalence gate in config form: a declared flat
+        // tree is *the same configuration* as --cpus N.
+        let a = machine_cfg(&args(&["volano", "--topology", "1N4C1T"])).unwrap();
+        let b = machine_cfg(&args(&["volano", "--cpus", "4"])).unwrap();
+        assert_eq!(a.sched.topology, b.sched.topology);
+        assert_eq!(a.sched.label(), b.sched.label());
+        assert_eq!(a.nr_cpus(), b.nr_cpus());
+    }
+
+    #[test]
+    fn pernode_lock_plan_resolves_against_the_topology() {
+        let cfg = machine_cfg(&args(&[
+            "volano",
+            "--topology",
+            "2N4C2T",
+            "--lock-plan",
+            "pernode",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.lock_plan, Some(LockPlan::PerNode(8)));
+        let cfg = machine_cfg(&args(&[
+            "volano",
+            "--lock-plan",
+            "pernode:2",
+            "--cpus",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.lock_plan, Some(LockPlan::PerNode(2)));
     }
 
     #[test]
@@ -753,7 +859,7 @@ mod tests {
             "percpu",
             "--quiet",
         ]);
-        let out = run_one(&a, scheduler("reg", 2, None).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("reg", Topology::flat(2), None).unwrap(), None).unwrap();
         assert_eq!(out.report.lock_plan, "percpu");
         assert_eq!(out.report.lock_domains.len(), 2);
     }
@@ -784,7 +890,12 @@ mod tests {
         let a = args(&[
             "stress", "--tasks", "8", "--rounds", "3", "--oracle", "--quiet",
         ]);
-        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
+        let out = run_one(
+            &a,
+            scheduler("elsc", Topology::flat(1), None).unwrap(),
+            None,
+        )
+        .unwrap();
         let o = out
             .report
             .chaos
@@ -807,7 +918,12 @@ mod tests {
             "2",
             "--quiet",
         ]);
-        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
+        let out = run_one(
+            &a,
+            scheduler("elsc", Topology::flat(1), None).unwrap(),
+            None,
+        )
+        .unwrap();
         assert_eq!(out.metric.as_deref(), Some("messages"));
         assert_eq!(out.report.ledger.get("messages"), 3 * 3 * 2);
         assert!(out.trace_text.is_none(), "tracing is off by default");
@@ -816,14 +932,19 @@ mod tests {
     #[test]
     fn small_stress_runs_end_to_end() {
         let a = args(&["stress", "--tasks", "4", "--rounds", "3"]);
-        let out = run_one(&a, scheduler("reg", 1, None).unwrap(), None).unwrap();
+        let out = run_one(&a, scheduler("reg", Topology::flat(1), None).unwrap(), None).unwrap();
         assert_eq!(out.report.ledger.get("spins"), 12);
     }
 
     #[test]
     fn trace_flag_produces_a_summary() {
         let a = args(&["stress", "--tasks", "2", "--rounds", "2", "--trace", "100"]);
-        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
+        let out = run_one(
+            &a,
+            scheduler("elsc", Topology::flat(1), None).unwrap(),
+            None,
+        )
+        .unwrap();
         let text = out.trace_text.expect("trace requested");
         assert!(text.contains("Switch"));
         assert!(text.contains("records kept"));
@@ -848,7 +969,12 @@ mod tests {
     #[test]
     fn rtmix_runs_end_to_end() {
         let a = args(&["rtmix", "--quiet"]);
-        let out = run_one(&a, scheduler("elsc", 1, None).unwrap(), None).unwrap();
+        let out = run_one(
+            &a,
+            scheduler("elsc", Topology::flat(1), None).unwrap(),
+            None,
+        )
+        .unwrap();
         assert!(out.report.ledger.get("fifo_activations") > 0);
     }
 
@@ -930,9 +1056,9 @@ mod tests {
 
     #[test]
     fn policy_factory_loads_pol_files() {
-        let s = scheduler(&pol("reg.pol"), 2, None).unwrap();
+        let s = scheduler(&pol("reg.pol"), Topology::flat(2), None).unwrap();
         assert_eq!(s.name(), "policy:reg");
-        let err = scheduler("policy:/no/such/file.pol", 1, None)
+        let err = scheduler("policy:/no/such/file.pol", Topology::flat(1), None)
             .err()
             .unwrap();
         assert!(err.contains("/no/such/file.pol"), "{err}");
@@ -940,7 +1066,7 @@ mod tests {
 
     #[test]
     fn malformed_policy_is_a_diagnostic_not_a_panic() {
-        let err = scheduler(&pol("bad/undefined_var.pol"), 1, None)
+        let err = scheduler(&pol("bad/undefined_var.pol"), Topology::flat(1), None)
             .err()
             .unwrap();
         // file:line:col: message — clickable, never a panic.
@@ -962,7 +1088,12 @@ mod tests {
         let a = args(&[
             "stress", "--tasks", "6", "--rounds", "3", "--oracle", "--quiet",
         ]);
-        let out = run_one(&a, scheduler(&pol("reg.pol"), 1, None).unwrap(), None).unwrap();
+        let out = run_one(
+            &a,
+            scheduler(&pol("reg.pol"), Topology::flat(1), None).unwrap(),
+            None,
+        )
+        .unwrap();
         assert_eq!(out.report.scheduler, "policy:reg");
         let o = out
             .report
@@ -981,9 +1112,13 @@ mod tests {
             let mut v = vec!["stress", "--tasks", "6", "--rounds", "3", "--quiet"];
             v.extend_from_slice(extra);
             let a = args(&v);
-            run_one(&a, scheduler(&pol("reg.pol"), 1, None).unwrap(), None)
-                .unwrap()
-                .report
+            run_one(
+                &a,
+                scheduler(&pol("reg.pol"), Topology::flat(1), None).unwrap(),
+                None,
+            )
+            .unwrap()
+            .report
         };
         assert_eq!(run(&[]).policy.unwrap().backend, "vm", "default");
         assert_eq!(
@@ -1002,7 +1137,12 @@ mod tests {
     #[test]
     fn starving_policy_is_ejected_but_the_cli_run_succeeds() {
         let a = args(&["stress", "--tasks", "6", "--rounds", "3", "--quiet"]);
-        let out = run_one(&a, scheduler(&pol("starve.pol"), 1, None).unwrap(), None).unwrap();
+        let out = run_one(
+            &a,
+            scheduler(&pol("starve.pol"), Topology::flat(1), None).unwrap(),
+            None,
+        )
+        .unwrap();
         let p = out.report.policy.as_ref().expect("policy summary");
         assert!(p.ejected, "the watchdog must fire");
         assert_eq!(p.eject_reason, Some("starvation"));

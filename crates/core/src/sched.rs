@@ -2,7 +2,7 @@
 
 use elsc_ktask::{CpuId, SchedClass, TaskTable, Tid};
 use elsc_obs::ObsEvent;
-use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
+use elsc_sched_api::{topo_affinity_bonus, SchedCtx, Scheduler, MM_BONUS, RT_GOODNESS_BASE};
 use elsc_simcore::CostKind;
 
 use crate::table::ElscTable;
@@ -306,10 +306,12 @@ fn scan_list(
                 out.best = Some((ctx.tasks.by_index(li).tid, w));
             }
         } else {
-            let mut w = lanes.counter(li) + lanes.priority(li);
-            if lanes.processor(li) == cpu {
-                w += PROC_CHANGE_PENALTY;
-            }
+            // The affinity term is distance-graded under a declared
+            // topology; on a flat tree `topo_affinity_bonus` is exactly
+            // the classic `{+15 on same CPU, else 0}`.
+            let mut w = lanes.counter(li)
+                + lanes.priority(li)
+                + topo_affinity_bonus(&ctx.cfg.topology, cpu, lanes.processor(li));
             let mm_match = lanes.mm(li) == prev_mm;
             if mm_match {
                 w += MM_BONUS;

@@ -14,8 +14,9 @@ use elsc::ElscScheduler;
 use elsc_cluster::{volano, ClusterConfig, ClusterFaultPlan, DispatcherId};
 use elsc_machine::{FaultPlan, MachineConfig, RunReport};
 use elsc_sched_api::{LockPlan, PolicyBackend, Scheduler};
-use elsc_sched_ext::{AffinityHeapScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_ext::{AffinityHeapScheduler, BubbleScheduler, HeapScheduler, MultiQueueScheduler};
 use elsc_sched_linux::LinuxScheduler;
+use elsc_simcore::Topology;
 use elsc_workloads::{
     httpd, kbuild, stress, volanomark, HttpdConfig, KbuildConfig, StressConfig, VolanoConfig,
 };
@@ -33,6 +34,12 @@ pub enum SchedId {
     AHeap,
     /// §8 per-CPU multi-queue design ("mq").
     Mq,
+    /// The topology-tree bubble scheduler ("bubble"): per-NUMA-node
+    /// queues placing whole mm-keyed task groups. Deliberately not in
+    /// [`SchedId::ALL`]: on flat shapes it degenerates to one global
+    /// queue and adds nothing to the paper sweeps; the `topo` builtin
+    /// (and any spec naming it) opts in.
+    Bubble,
     /// An interpreted `.pol` policy program (see `elsc-policy`). The
     /// program source travels *inside* the cell so cell execution stays
     /// pure `CellConfig`-in / `CellResult`-out — no worker-thread file
@@ -94,6 +101,7 @@ impl SchedId {
             SchedId::Heap => "heap",
             SchedId::AHeap => "aheap",
             SchedId::Mq => "mq",
+            SchedId::Bubble => "bubble",
             SchedId::Policy { name, .. } => name,
         }
     }
@@ -114,15 +122,18 @@ impl SchedId {
         }
     }
 
-    /// Instantiates the scheduler (`nr_cpus` matters for `Mq` and
-    /// policies with `lists percpu`).
-    pub fn build(&self, nr_cpus: usize) -> Box<dyn Scheduler> {
+    /// Instantiates the scheduler. The declared topology sizes the
+    /// structural designs: `Mq` (and policies with `lists percpu`) per
+    /// CPU, `Bubble` per NUMA node.
+    pub fn build(&self, topo: Topology) -> Box<dyn Scheduler> {
+        let nr_cpus = topo.nr_cpus();
         match self {
             SchedId::Reg => Box::new(LinuxScheduler::new()),
             SchedId::Elsc => Box::new(ElscScheduler::new()),
             SchedId::Heap => Box::new(HeapScheduler::new()),
             SchedId::AHeap => Box::new(AffinityHeapScheduler::new()),
             SchedId::Mq => Box::new(MultiQueueScheduler::new(nr_cpus)),
+            SchedId::Bubble => Box::new(BubbleScheduler::new(topo)),
             SchedId::Policy {
                 src, name, backend, ..
             } => Box::new(
@@ -149,10 +160,15 @@ impl std::str::FromStr for SchedId {
                 .map_or_else(|| path.to_string(), |x| x.to_string_lossy().into_owned());
             return SchedId::policy(format!("policy:{stem}"), src);
         }
+        if s == "bubble" {
+            return Ok(SchedId::Bubble);
+        }
         SchedId::ALL
             .into_iter()
             .find(|k| k.label() == s)
-            .ok_or_else(|| format!("unknown scheduler '{s}' (reg|elsc|heap|aheap|mq|policy:FILE)"))
+            .ok_or_else(|| {
+                format!("unknown scheduler '{s}' (reg|elsc|heap|aheap|mq|bubble|policy:FILE)")
+            })
     }
 }
 
@@ -164,6 +180,11 @@ pub enum Shape {
     Up,
     /// SMP kernel build on `n` processors ("1P", "2P", "4P", ...).
     Smp(usize),
+    /// SMP build over a declared multi-level NUMA/SMT tree ("2N4C2T").
+    /// The parser canonicalizes declared *flat* trees to [`Shape::Smp`]
+    /// — a flat tree *is* the flat model, so the two spellings must
+    /// share cell ids, cache entries, and baseline rows.
+    Topo(Topology),
 }
 
 impl Shape {
@@ -175,6 +196,16 @@ impl Shape {
         match self {
             Shape::Up => "UP".to_string(),
             Shape::Smp(n) => format!("{n}P"),
+            Shape::Topo(t) => t.to_string(),
+        }
+    }
+
+    /// The declared topology tree: flat for `Up`/`Smp`.
+    pub fn topology(self) -> Topology {
+        match self {
+            Shape::Up => Topology::flat(1),
+            Shape::Smp(n) => Topology::flat(n),
+            Shape::Topo(t) => t,
         }
     }
 
@@ -183,6 +214,7 @@ impl Shape {
         match self {
             Shape::Up => 1,
             Shape::Smp(n) => n,
+            Shape::Topo(t) => t.nr_cpus(),
         }
     }
 
@@ -192,6 +224,7 @@ impl Shape {
         match self {
             Shape::Up => MachineConfig::up(),
             Shape::Smp(n) => MachineConfig::smp(n),
+            Shape::Topo(t) => MachineConfig::topo(t),
         }
         .with_max_secs(20_000.0)
     }
@@ -200,22 +233,28 @@ impl Shape {
 impl std::str::FromStr for Shape {
     type Err = String;
 
-    /// Parses `UP`/`up`, or `<n>P`/`<n>p` for an SMP build (`1P`, `4p`).
+    /// Parses `UP`/`up`, `<n>P`/`<n>p` for an SMP build (`1P`, `4p`),
+    /// or a topology tree (`2N4C2T`, `2P2N4C2T`). Declared flat trees
+    /// canonicalize to `Smp` so `1N4C1T` and `4P` are the same shape.
     fn from_str(s: &str) -> Result<Shape, String> {
         if s.eq_ignore_ascii_case("up") {
             return Ok(Shape::Up);
         }
-        let digits = s
-            .strip_suffix('P')
-            .or_else(|| s.strip_suffix('p'))
-            .ok_or_else(|| format!("unknown shape '{s}' (UP or <n>P)"))?;
-        let n: usize = digits
-            .parse()
-            .map_err(|_| format!("bad CPU count in shape '{s}'"))?;
-        if n == 0 {
-            return Err("an SMP shape needs at least one CPU".to_string());
+        if let Some(digits) = s.strip_suffix('P').or_else(|| s.strip_suffix('p')) {
+            if let Ok(n) = digits.parse::<usize>() {
+                if n == 0 {
+                    return Err("an SMP shape needs at least one CPU".to_string());
+                }
+                return Ok(Shape::Smp(n));
+            }
         }
-        Ok(Shape::Smp(n))
+        match s.parse::<Topology>() {
+            Ok(t) if t.is_flat() => Ok(Shape::Smp(t.nr_cpus())),
+            Ok(t) => Ok(Shape::Topo(t)),
+            Err(_) => Err(format!(
+                "unknown shape '{s}' (UP, <n>P, or a topology like 2N4C2T)"
+            )),
+        }
     }
 }
 
@@ -672,7 +711,7 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
     if cell.chaos.oracle {
         cfg = cfg.with_oracle(true);
     }
-    let sched = cell.sched.build(cell.shape.nr_cpus());
+    let sched = cell.sched.build(cell.shape.topology());
     let report = match &cell.workload {
         WorkloadCell::Volano {
             rooms,
@@ -792,8 +831,8 @@ fn execute_cluster_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
         think_cycles: *think,
         ..VolanoConfig::default()
     };
-    let nr_cpus = cell.shape.nr_cpus();
-    let report = volano::run(ccfg, |_node| cell.sched.build(nr_cpus), &w)
+    let topo = cell.shape.topology();
+    let report = volano::run(ccfg, |_node| cell.sched.build(topo), &w)
         .map_err(|e| CellError::Run(e.to_string()))?;
     for (n, node) in report.nodes.iter().enumerate() {
         if !node.conservation_ok {
@@ -906,10 +945,47 @@ mod tests {
     }
 
     #[test]
+    fn topo_shape_parse_canonicalizes() {
+        // Multi-level trees are their own shape; flat trees collapse to
+        // the plain SMP spelling (same cell ids, same cache entries).
+        let t: Shape = "2N4C2T".parse().unwrap();
+        assert_eq!(t.label(), "2N4C2T");
+        assert_eq!(t.nr_cpus(), 16);
+        assert!(!t.topology().is_flat());
+        assert_eq!("1N4C1T".parse::<Shape>().unwrap(), Shape::Smp(4));
+        assert!("2N0C1T".parse::<Shape>().is_err());
+    }
+
+    #[test]
+    fn bubble_parses_but_stays_out_of_all() {
+        let b: SchedId = "bubble".parse().unwrap();
+        assert_eq!(b, SchedId::Bubble);
+        assert!(!SchedId::ALL.contains(&SchedId::Bubble));
+        let topo: Topology = "2N2C1T".parse().unwrap();
+        assert_eq!(SchedId::Bubble.build(topo).name(), "bubble");
+    }
+
+    #[test]
+    fn topo_cell_executes_with_a_clean_oracle() {
+        let mut cell = tiny_volano(SchedId::Bubble, "2N2C1T".parse().unwrap(), 11);
+        cell.chaos.oracle = true;
+        let r = execute_cell(&cell).expect("topology cell completes clean");
+        assert!(
+            r.report_json.contains("\"topology\":{\"shape\":\"2N2C1T\""),
+            "topology summary embedded: {}",
+            r.report_json
+        );
+        assert!(cell.id().contains("shape=2N2C1T"), "{}", cell.id());
+        // Deterministic like every other cell.
+        let again = execute_cell(&cell).unwrap();
+        assert_eq!(r.report_json, again.report_json);
+    }
+
+    #[test]
     fn sched_parse_round_trips() {
         for k in SchedId::ALL {
             assert_eq!(k.label().parse::<SchedId>().unwrap(), k);
-            assert_eq!(k.build(2).name(), k.label());
+            assert_eq!(k.build(Topology::flat(2)).name(), k.label());
         }
         assert!("cfs".parse::<SchedId>().is_err());
     }

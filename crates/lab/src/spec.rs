@@ -531,6 +531,22 @@ impl SweepSpec {
                  fault_seed = 1, 2\n\
                  rooms = 1\n users = 4\n messages = 2\n think = 0\n"
             ),
+            // Topology sweep: every scheduler (plus the tree-native
+            // bubble design) across a flat shape and two NUMA/SMT trees,
+            // oracle on — divergences a flat scan can't predict must
+            // classify as topology-motivated, never unexplained. The
+            // flat 2P column doubles as the byte-identity anchor: its
+            // cells share ids (and cache entries) with every other
+            // sweep's 2P cells.
+            "topo" => format!(
+                "name = topo\n\
+                 workload = volano\n\
+                 sched = reg, elsc, heap, aheap, mq, bubble\n\
+                 shape = 2P, 2N2C1T, 2N4C2T\n\
+                 seed = {BASE_SEED}\n\
+                 oracle = on\n\
+                 rooms = 2\n users = 6\n messages = 4\n think = 0\n"
+            ),
             // Policy-runtime smoke sweep: the native baseline beside the
             // bundled loadable programs, each on *both* execution
             // backends (the bytecode VM and the reference interpreter —
@@ -633,9 +649,9 @@ impl SweepSpec {
     }
 
     /// Names of every builtin spec, in `--all-figures` run order (the
-    /// non-figure `smoke`, `chaos`, `policy`, `cluster`, and `mega`
-    /// sweeps are excluded from `--all-figures` by the CLI).
-    pub const BUILTINS: [&'static str; 12] = [
+    /// non-figure `smoke`, `chaos`, `topo`, `policy`, `cluster`, and
+    /// `mega` sweeps are excluded from `--all-figures` by the CLI).
+    pub const BUILTINS: [&'static str; 13] = [
         "smoke",
         "figure2",
         "figure3",
@@ -645,6 +661,7 @@ impl SweepSpec {
         "table2",
         "kernel_share",
         "chaos",
+        "topo",
         "policy",
         "cluster",
         "mega",

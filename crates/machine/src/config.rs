@@ -107,6 +107,13 @@ impl MachineConfig {
         Self::with_sched(SchedConfig::smp(nr_cpus))
     }
 
+    /// An SMP kernel build over a declared topology tree ("2N4C2T"); the
+    /// CPU count follows the tree. A flat tree is byte-identical to
+    /// [`MachineConfig::smp`] with the same CPU count.
+    pub fn topo(topology: elsc_simcore::Topology) -> Self {
+        Self::with_sched(SchedConfig::topo(topology))
+    }
+
     /// Builder-style engine-throughput metrics toggle.
     pub fn with_engine_metrics(mut self, on: bool) -> Self {
         self.engine_metrics = on;
@@ -239,6 +246,14 @@ mod tests {
         assert_eq!(c.faults.as_ref().unwrap().label(), "light");
         assert_eq!(c.fault_seed, 7);
         assert!(c.oracle);
+    }
+
+    #[test]
+    fn topo_config_follows_the_tree() {
+        let c = MachineConfig::topo("2N4C2T".parse().unwrap());
+        assert_eq!(c.nr_cpus(), 16);
+        assert!(c.sched.smp);
+        assert_eq!(c.label(), "2N4C2T");
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod trace;
 pub use behavior::{Behavior, Op, SpawnReq, SysView, Syscall};
 pub use config::MachineConfig;
 pub use machine::{Machine, RunError, StepStatus};
-pub use report::{Distributions, EngineSummary, Ledger, PolicySummary, RunReport};
+pub use report::{Distributions, EngineSummary, Ledger, PolicySummary, RunReport, TopologySummary};
 pub use trace::{Trace, TraceEvent, TraceRecord};
 
 // Chaos types that appear in [`MachineConfig`] and [`RunReport`], so

@@ -18,7 +18,9 @@ use elsc_obs::{CycleProfiler, EventBus, ObsEvent, Phase, Sink};
 use crate::behavior::{Behavior, Op, SysView, Syscall};
 use crate::config::MachineConfig;
 use crate::cpu::CpuState;
-use crate::report::{Distributions, EngineSummary, Ledger, PolicySummary, RunReport};
+use crate::report::{
+    Distributions, EngineSummary, Ledger, PolicySummary, RunReport, TopologySummary,
+};
 use crate::trace::Trace;
 
 /// Simulation events.
@@ -105,7 +107,11 @@ struct TaskRun {
     pending: Option<Pending>,
     last_read: Option<Msg>,
     last_spawned: Option<Tid>,
-    migrate_penalty: bool,
+    /// Cold-cache cycles to add to the task's next compute segment after
+    /// a migration (0 = none pending). Scaled at migration time by the
+    /// topological distance crossed; on a flat tree the scale is 1/1, so
+    /// the value is exactly `CostKind::MigrationPenalty`.
+    migrate_penalty: u64,
     /// Remaining spin-then-block poll attempts for the current blocking
     /// I/O operation (reset on every successful or parked operation).
     polls_left: u32,
@@ -190,6 +196,11 @@ pub struct Machine {
     lock_scratch: LockScratch,
     /// Reusable per-wakeup CPU snapshot buffer for `reschedule_idle()`.
     view_scratch: Vec<CpuView>,
+    /// Migration distance breakdown under a declared multi-level tree:
+    /// `[same_core, same_node, cross_node]`. Stays all-zero on flat
+    /// trees (no levels to grade by), and is only serialized when the
+    /// tree is multi-level.
+    topo_migrations: [u64; 3],
     /// Wall-clock instant `run()` started, for the informational
     /// events-per-second throughput readout (never serialized).
     wall_start: Option<std::time::Instant>,
@@ -216,7 +227,7 @@ impl Machine {
                     pending: None,
                     last_read: None,
                     last_spawned: None,
-                    migrate_penalty: false,
+                    migrate_penalty: 0,
                     polls_left: 0,
                     woken_at: None,
                     rng: rng.fork(),
@@ -278,6 +289,7 @@ impl Machine {
             ran: false,
             lock_scratch: LockScratch::default(),
             view_scratch: Vec::new(),
+            topo_migrations: [0; 3],
             wall_start: None,
             wall_secs: 0.0,
         }
@@ -308,7 +320,7 @@ impl Machine {
             pending: None,
             last_read: None,
             last_spawned: None,
-            migrate_penalty: false,
+            migrate_penalty: 0,
             polls_left: self.cfg.io_poll_yields,
             woken_at: None,
             rng,
@@ -808,6 +820,21 @@ impl Machine {
             } else {
                 None
             },
+            topology: {
+                let topo = &self.cfg.sched.topology;
+                if topo.is_flat() {
+                    None
+                } else {
+                    Some(TopologySummary {
+                        shape: topo.to_string(),
+                        nr_nodes: topo.nr_nodes() as u64,
+                        threads_per_core: topo.threads_per_core() as u64,
+                        migrations_same_core: self.topo_migrations[0],
+                        migrations_same_node: self.topo_migrations[1],
+                        migrations_cross_node: self.topo_migrations[2],
+                    })
+                }
+            },
         }
     }
 
@@ -1122,6 +1149,7 @@ impl Machine {
                 yield_rerun: self.stats.cpu(cpu).yield_reruns > reruns_before,
                 search_limit: self.cfg.sched.search_limit(),
                 smp: self.cfg.sched.smp,
+                topology: self.cfg.sched.topology,
                 snaps: &snaps,
             };
             let v = self
@@ -1178,6 +1206,18 @@ impl Machine {
         self.cpus[cpu].gen += 1; // cancel any outstanding Resume
 
         let mut t2 = t_done;
+        // The topological distance this pick makes the task cross (its
+        // last CPU → here) must be known *before* the mm-switch charge
+        // below: adopting an address space whose page tables live on the
+        // far node costs more than a local flush. On flat trees every
+        // pair of CPUs is same-node, so nothing here changes.
+        let topo = self.cfg.sched.topology;
+        let from_cpu = if next != idle {
+            self.tasks.task(next).processor
+        } else {
+            cpu
+        };
+        let cross_node = from_cpu != cpu && !topo.same_node(from_cpu, cpu);
         if next != prev {
             self.bus.emit_at(
                 t_done,
@@ -1197,7 +1237,13 @@ impl Machine {
             let next_mm = self.tasks.task(next).mm;
             if next != idle && next_mm != self.cpus[cpu].active_mm {
                 self.stats.cpu_mut(cpu).mm_switches += 1;
-                let mm_cost = self.cfg.costs.get(CostKind::MmSwitch);
+                let mut mm_cost = self.cfg.costs.get(CostKind::MmSwitch);
+                if cross_node {
+                    // The flush coincides with a cross-node migration:
+                    // the incoming mm's page tables are remote, so the
+                    // TLB refill traffic crosses the interconnect.
+                    mm_cost *= 2;
+                }
                 self.charge_kernel_kind(cpu, Phase::Switch, CostKind::MmSwitch, mm_cost);
                 t2 += mm_cost;
                 self.cpus[cpu].active_mm = next_mm;
@@ -1224,7 +1270,23 @@ impl Machine {
                 },
             );
             self.stats.cpu_mut(cpu).picked_new_cpu += 1;
-            self.run_mut(next).migrate_penalty = true;
+            // Cold-cache penalty, scaled by the distance crossed: SMT
+            // siblings share L1/L2 (quarter cost), node-mates share the
+            // LLC (half), and crossing a node boundary doubles the flat
+            // cost. Flat trees scale 1/1 — the classic model verbatim.
+            let (num, den) = topo.migration_scale(from_cpu, cpu);
+            let base = self.cfg.costs.get(CostKind::MigrationPenalty);
+            self.run_mut(next).migrate_penalty = base * num / den;
+            if !topo.is_flat() {
+                let bucket = if topo.same_core(from_cpu, cpu) {
+                    0
+                } else if topo.same_node(from_cpu, cpu) {
+                    1
+                } else {
+                    2
+                };
+                self.topo_migrations[bucket] += 1;
+            }
         }
         if let Some(w) = self.run_mut(next).woken_at.take() {
             self.dists
@@ -1306,13 +1368,14 @@ impl Machine {
                 .as_ref()
                 .map_or(0, |p| p.remaining);
             if remaining > 0 {
-                if self.run_ref(cur).migrate_penalty {
+                if self.run_ref(cur).migrate_penalty > 0 {
                     // Cold caches after migrating: the first segment runs
                     // longer (paper: the 15-point bonus exists to avoid
-                    // exactly this cost).
-                    let penalty = self.cfg.costs.get(CostKind::MigrationPenalty);
+                    // exactly this cost). The cycle count was scaled by
+                    // topological distance at migration time.
                     let run = self.run_mut(cur);
-                    run.migrate_penalty = false;
+                    let penalty = run.migrate_penalty;
+                    run.migrate_penalty = 0;
                     if let Some(p) = run.pending.as_mut() {
                         p.remaining += penalty;
                     }

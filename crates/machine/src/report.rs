@@ -190,6 +190,42 @@ pub struct RunReport {
     /// with `engine_metrics`, so pre-existing cells serialize exactly as
     /// they did before the mega-scale engine existed.
     pub engine: Option<EngineSummary>,
+    /// Topology summary: `None` on flat trees (the classic model), so
+    /// every pre-topology report serializes exactly as it did before.
+    pub topology: Option<TopologySummary>,
+}
+
+/// The declared topology shape plus the distance breakdown of every task
+/// migration the run performed. Only multi-level trees produce one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySummary {
+    /// The topology grammar string ("2N4C2T", "2P2N4C2T", ...).
+    pub shape: String,
+    /// NUMA nodes in the tree.
+    pub nr_nodes: u64,
+    /// SMT threads per core.
+    pub threads_per_core: u64,
+    /// Migrations between SMT siblings of one core (shared L1/L2).
+    pub migrations_same_core: u64,
+    /// Migrations within one NUMA node, across cores (shared LLC).
+    pub migrations_same_node: u64,
+    /// Migrations crossing a NUMA node boundary (the expensive kind the
+    /// topology-aware schedulers exist to avoid).
+    pub migrations_cross_node: u64,
+}
+
+impl TopologySummary {
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("shape", &self.shape)
+            .u64("nr_nodes", self.nr_nodes)
+            .u64("threads_per_core", self.threads_per_core)
+            .u64("migrations_same_core", self.migrations_same_core)
+            .u64("migrations_same_node", self.migrations_same_node)
+            .u64("migrations_cross_node", self.migrations_cross_node)
+            .build()
+    }
 }
 
 /// Simulator-engine throughput for mega-scale runs.
@@ -298,6 +334,9 @@ impl RunReport {
         if let Some(e) = &self.engine {
             obj = obj.raw("engine", e.to_json());
         }
+        if let Some(t) = &self.topology {
+            obj = obj.raw("topology", t.to_json());
+        }
         obj.build()
     }
 }
@@ -399,6 +438,9 @@ impl fmt::Display for RunReport {
                     o.unexplained,
                     o.invariant_violations
                 )?;
+                if o.topology > 0 {
+                    writeln!(f, "    topology-motivated: {}", o.topology)?;
+                }
                 if let Some(d) = &o.first_unexplained {
                     writeln!(f, "    first unexplained: {d}")?;
                 }
@@ -429,6 +471,13 @@ impl fmt::Display for RunReport {
                 "  engine: events_dispatched={} sim_events_per_sec={}",
                 e.events_dispatched,
                 num(e.sim_events_per_sec)
+            )?;
+        }
+        if let Some(t) = &self.topology {
+            writeln!(
+                f,
+                "  topology: shape={} migrations same_core={} same_node={} cross_node={}",
+                t.shape, t.migrations_same_core, t.migrations_same_node, t.migrations_cross_node
             )?;
         }
         Ok(())
@@ -480,6 +529,7 @@ mod tests {
             chaos: None,
             policy: None,
             engine: None,
+            topology: None,
         }
     }
 
@@ -520,6 +570,28 @@ mod tests {
         assert!(text.contains("elsc"));
         assert!(text.contains("2P"));
         assert!(text.contains("messages = 4000"));
+    }
+
+    #[test]
+    fn topology_summary_json_only_when_present() {
+        let r = report();
+        assert!(!r.to_json().contains("\"topology\""));
+        let mut r = report();
+        r.topology = Some(TopologySummary {
+            shape: "2N4C2T".into(),
+            nr_nodes: 2,
+            threads_per_core: 2,
+            migrations_same_core: 10,
+            migrations_same_node: 5,
+            migrations_cross_node: 1,
+        });
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"topology\":{\"shape\":\"2N4C2T\",\"nr_nodes\":2,\
+             \"threads_per_core\":2,\"migrations_same_core\":10,\
+             \"migrations_same_node\":5,\"migrations_cross_node\":1}"
+        ));
+        assert!(r.to_string().contains("shape=2N4C2T"));
     }
 
     #[test]

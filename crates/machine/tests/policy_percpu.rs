@@ -1,0 +1,66 @@
+//! The bundled `percpu.pol` program partitions its run-queue storage
+//! per CPU but still runs the full goodness scan, so it carries the
+//! strict oracle claim: every decision must match the reference scan
+//! (or be an order-of-scan tie). This drives the VM's multi-list
+//! paths — a `percpu` bank, `foreach` over a computed list index —
+//! under real machine workloads.
+
+use elsc_ktask::{MmId, TaskSpec};
+use elsc_machine::behavior::Script;
+use elsc_machine::{Machine, MachineConfig, Op, Syscall};
+use elsc_policy::PolicyScheduler;
+
+const PERCPU_POL: &str = include_str!("../../../policies/percpu.pol");
+
+fn run_with_oracle(cfg: MachineConfig, nr_cpus: usize) -> elsc_machine::OracleReport {
+    let sched = PolicyScheduler::load_str(PERCPU_POL, nr_cpus).expect("percpu.pol loads");
+    let mut m = Machine::new(cfg.with_oracle(true), Box::new(sched));
+    for i in 0..6u32 {
+        m.spawn(
+            &TaskSpec::named("worker").mm(MmId(i % 3 + 1)),
+            Box::new(Script::new(
+                (0..4)
+                    .map(|_| Op::compute(300_000, Syscall::Nop))
+                    .flat_map(|c| [c, Op::sleep_after(20_000, 150_000)])
+                    .collect(),
+            )),
+        );
+    }
+    let r = m.run().expect("run completes");
+    let chaos = r.chaos.expect("oracle enables the chaos summary");
+    chaos.oracle.expect("oracle report present")
+}
+
+#[test]
+fn percpu_policy_is_strict_clean_on_up_and_smp() {
+    for nr_cpus in [1usize, 2, 4] {
+        let cfg = if nr_cpus == 1 {
+            MachineConfig::up()
+        } else {
+            MachineConfig::smp(nr_cpus)
+        }
+        .with_max_secs(100.0);
+        let o = run_with_oracle(cfg, nr_cpus);
+        assert!(
+            o.decisions > 10,
+            "{nr_cpus} cpus: only {} decisions",
+            o.decisions
+        );
+        assert!(
+            o.clean(),
+            "{nr_cpus} cpus: {} unexplained / {} violations (first: {:?})",
+            o.unexplained,
+            o.invariant_violations,
+            o.first_unexplained.as_ref().or(o.first_violation.as_ref())
+        );
+        // Full-scan selection: every decision is the reference pick or
+        // an equal-goodness tie — never a relaxed-mode "design" gap,
+        // which proves the strict mode was actually in effect.
+        assert_eq!(o.design, 0, "{nr_cpus} cpus: judged under relaxed mode?");
+        assert_eq!(
+            o.matches + o.ties + o.yield_reruns,
+            o.decisions,
+            "{nr_cpus} cpus: unexpected divergence classes in {o:?}"
+        );
+    }
+}

@@ -1,5 +1,7 @@
 //! Scheduler-visible machine configuration.
 
+use elsc_simcore::Topology;
+
 /// Configuration shared by the machine model and the schedulers.
 ///
 /// The paper distinguishes "UP" kernels (compiled without SMP support: no
@@ -16,6 +18,11 @@ pub struct SchedConfig {
     /// ELSC's per-list search limit; `None` means the paper's default of
     /// `nr_cpus / 2 + 5` (§5.2).
     pub elsc_search_limit: Option<usize>,
+    /// The declared machine topology. Always consistent with `nr_cpus`
+    /// (`topology.nr_cpus() == nr_cpus`); defaults to the one-level flat
+    /// tree, on which every topology-aware path is required to behave
+    /// byte-identically to the pre-topology model.
+    pub topology: Topology,
 }
 
 impl SchedConfig {
@@ -25,6 +32,7 @@ impl SchedConfig {
             nr_cpus: 1,
             smp: false,
             elsc_search_limit: None,
+            topology: Topology::flat(1),
         }
     }
 
@@ -40,6 +48,18 @@ impl SchedConfig {
             nr_cpus,
             smp: true,
             elsc_search_limit: None,
+            topology: Topology::flat(nr_cpus),
+        }
+    }
+
+    /// An SMP build over a declared topology tree; `nr_cpus` follows the
+    /// tree.
+    pub fn topo(topology: Topology) -> Self {
+        SchedConfig {
+            nr_cpus: topology.nr_cpus(),
+            smp: true,
+            elsc_search_limit: None,
+            topology,
         }
     }
 
@@ -49,9 +69,14 @@ impl SchedConfig {
         self.elsc_search_limit.unwrap_or(self.nr_cpus / 2 + 5)
     }
 
-    /// Short label used in reports ("UP", "1P", "2P", ...).
+    /// Short label used in reports ("UP", "1P", "2P", ...; the topology
+    /// grammar, e.g. "2N4C2T", when a multi-level tree is declared). A
+    /// declared flat tree labels as plain "{n}P" — by design it *is* the
+    /// flat model, down to the report bytes.
     pub fn label(&self) -> String {
-        if self.smp {
+        if self.smp && !self.topology.is_flat() {
+            self.topology.to_string()
+        } else if self.smp {
             format!("{}P", self.nr_cpus)
         } else {
             "UP".to_string()
@@ -103,5 +128,20 @@ mod tests {
     #[should_panic(expected = "at least one CPU")]
     fn zero_cpus_panics() {
         SchedConfig::smp(0);
+    }
+
+    #[test]
+    fn topo_config_follows_the_tree() {
+        let c = SchedConfig::topo("2N4C2T".parse().unwrap());
+        assert_eq!(c.nr_cpus, 16);
+        assert!(c.smp);
+        assert_eq!(c.label(), "2N4C2T");
+    }
+
+    #[test]
+    fn declared_flat_tree_labels_as_plain_smp() {
+        let c = SchedConfig::topo(Topology::flat(4));
+        assert_eq!(c.label(), "4P", "flat trees must be indistinguishable");
+        assert_eq!(SchedConfig::smp(4).topology, Topology::flat(4));
     }
 }

@@ -13,6 +13,7 @@
 //! only the two small bonuses need evaluating at decision time.
 
 use elsc_ktask::{CpuId, HotLanes, MmId, Task};
+use elsc_simcore::Topology;
 
 /// Goodness floor for real-time tasks (`SCHED_FIFO`/`SCHED_RR`).
 pub const RT_GOODNESS_BASE: i32 = 1000;
@@ -28,6 +29,58 @@ pub const PROC_CHANGE_PENALTY: i32 = 15;
 
 /// Bonus for sharing the previous task's memory map.
 pub const MM_BONUS: i32 = 1;
+
+/// Affinity bonus for a task that last ran on an SMT sibling of the
+/// deciding CPU (shared L1/L2; nearly as warm as the CPU itself).
+pub const SMT_AFFINITY_BONUS: i32 = 12;
+
+/// Affinity bonus for a task that last ran on the deciding CPU's NUMA
+/// node (shared last-level cache; warm-ish).
+pub const LLC_AFFINITY_BONUS: i32 = 6;
+
+/// Affinity bonus for a task that last ran in the deciding CPU's package
+/// but on another node (shared socket interconnect only).
+pub const PACKAGE_AFFINITY_BONUS: i32 = 2;
+
+/// The distance-graded affinity bonus under a declared topology.
+///
+/// The full `PROC_CHANGE_PENALTY` still applies on an exact CPU match;
+/// below that, each level of the tree contributes a smaller bonus — but
+/// only when the level is *informative* (shared by some CPUs and not by
+/// all). On a flat one-level tree no sub-level is informative, so the
+/// function degrades to the classic `{+15 on match, else 0}` rule
+/// exactly — the keystone of the flat byte-identity guarantee.
+///
+/// ```
+/// use elsc_simcore::Topology;
+/// use elsc_sched_api::goodness::{topo_affinity_bonus, PROC_CHANGE_PENALTY};
+///
+/// let numa: Topology = "2N4C2T".parse().unwrap();
+/// assert_eq!(topo_affinity_bonus(&numa, 0, 0), PROC_CHANGE_PENALTY);
+/// assert_eq!(topo_affinity_bonus(&numa, 0, 1), 12); // SMT sibling
+/// assert_eq!(topo_affinity_bonus(&numa, 0, 6), 6); // same node
+/// assert_eq!(topo_affinity_bonus(&numa, 0, 8), 0); // cross node
+///
+/// let flat = Topology::flat(4);
+/// assert_eq!(topo_affinity_bonus(&flat, 2, 2), PROC_CHANGE_PENALTY);
+/// assert_eq!(topo_affinity_bonus(&flat, 2, 3), 0);
+/// ```
+#[inline]
+pub fn topo_affinity_bonus(topo: &Topology, this_cpu: CpuId, last_cpu: CpuId) -> i32 {
+    if last_cpu == this_cpu {
+        return PROC_CHANGE_PENALTY;
+    }
+    if topo.threads_per_core() > 1 && topo.same_core(this_cpu, last_cpu) {
+        return SMT_AFFINITY_BONUS;
+    }
+    if topo.nr_nodes() > 1 && topo.same_node(this_cpu, last_cpu) {
+        return LLC_AFFINITY_BONUS;
+    }
+    if topo.packages() > 1 && topo.same_package(this_cpu, last_cpu) {
+        return PACKAGE_AFFINITY_BONUS;
+    }
+    0
+}
 
 /// Goodness of a real-time task.
 ///
@@ -104,6 +157,59 @@ pub fn lane_goodness_ignoring_yield(
     if lanes.processor(idx) == this_cpu {
         weight += PROC_CHANGE_PENALTY;
     }
+    if lanes.mm(idx) == prev_mm {
+        weight += MM_BONUS;
+    }
+    weight
+}
+
+/// [`goodness_ignoring_yield`] under a declared topology: the flat
+/// `+15`-on-CPU-match affinity bonus generalizes to the distance-graded
+/// [`topo_affinity_bonus`]. On flat trees this equals
+/// [`goodness_ignoring_yield`] on every input (pinned by test).
+#[inline]
+pub fn goodness_ignoring_yield_on(
+    topo: &Topology,
+    task: &Task,
+    this_cpu: CpuId,
+    prev_mm: MmId,
+) -> i32 {
+    if task.policy.class.is_realtime() {
+        return rt_goodness(task);
+    }
+    if task.counter == 0 {
+        // Runnable, but its time slice is used up.
+        return 0;
+    }
+    let mut weight = task.counter + task.priority;
+    weight += topo_affinity_bonus(topo, this_cpu, task.processor);
+    if task.mm == prev_mm {
+        weight += MM_BONUS;
+    }
+    weight
+}
+
+/// [`goodness_ignoring_yield_on`] computed from the [`HotLanes`] mirror;
+/// the lane-reading twin, as [`lane_goodness_ignoring_yield`] is to
+/// [`goodness_ignoring_yield`].
+#[inline]
+pub fn lane_goodness_ignoring_yield_on(
+    topo: &Topology,
+    lanes: &HotLanes,
+    idx: usize,
+    this_cpu: CpuId,
+    prev_mm: MmId,
+) -> i32 {
+    if lanes.is_realtime(idx) {
+        return RT_GOODNESS_BASE + lanes.rt_priority(idx);
+    }
+    let counter = lanes.counter(idx);
+    if counter == 0 {
+        // Runnable, but its time slice is used up.
+        return 0;
+    }
+    let mut weight = counter + lanes.priority(idx);
+    weight += topo_affinity_bonus(topo, this_cpu, lanes.processor(idx));
     if lanes.mm(idx) == prev_mm {
         weight += MM_BONUS;
     }
@@ -270,5 +376,111 @@ mod tests {
         let t = other_task(9, 20, 99, MmId(7));
         // With no bonuses, goodness equals the static goodness.
         assert_eq!(goodness(&t, 0, MmId(8)), t.static_goodness());
+    }
+
+    #[test]
+    fn topo_goodness_on_flat_trees_equals_flat_goodness() {
+        // The byte-identity keystone: on a one-level tree the topology
+        // variants agree with the classic functions on every input.
+        let flat = elsc_simcore::Topology::flat(4);
+        let mut table = TaskTable::new();
+        let mut tids = Vec::new();
+        for (counter, priority, processor, mm) in [
+            (0, 20, 0, MmId(1)),
+            (7, 20, 0, MmId(1)),
+            (7, 20, 3, MmId(2)),
+            (80, 40, 1, MmId::KERNEL),
+        ] {
+            let tid = table.spawn(&TaskSpec::default().priority(priority).mm(mm));
+            let mut t = table.task_mut(tid);
+            t.counter = counter;
+            t.processor = processor;
+            drop(t);
+            tids.push(tid);
+        }
+        let rt = table.spawn(&TaskSpec::default().realtime(SchedClass::Fifo, 55));
+        tids.push(rt);
+        for &tid in &tids {
+            for cpu in 0..4 {
+                for prev_mm in [MmId::KERNEL, MmId(1), MmId(2)] {
+                    assert_eq!(
+                        goodness_ignoring_yield_on(&flat, table.task(tid), cpu, prev_mm),
+                        goodness_ignoring_yield(table.task(tid), cpu, prev_mm),
+                        "flat-topology goodness must match for {tid:?} cpu={cpu}"
+                    );
+                    assert_eq!(
+                        lane_goodness_ignoring_yield_on(
+                            &flat,
+                            table.lanes(),
+                            tid.index(),
+                            cpu,
+                            prev_mm
+                        ),
+                        lane_goodness_ignoring_yield(table.lanes(), tid.index(), cpu, prev_mm),
+                        "flat-topology lane goodness must match for {tid:?} cpu={cpu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topo_lane_goodness_agrees_with_struct_variant() {
+        let numa: elsc_simcore::Topology = "2N4C2T".parse().unwrap();
+        let mut table = TaskTable::new();
+        let mut tids = Vec::new();
+        for processor in [0usize, 1, 3, 8, 15] {
+            let tid = table.spawn(&TaskSpec::default().priority(20).mm(MmId(1)));
+            let mut t = table.task_mut(tid);
+            t.counter = 6;
+            t.processor = processor;
+            drop(t);
+            tids.push(tid);
+        }
+        for &tid in &tids {
+            for cpu in [0usize, 1, 7, 8] {
+                assert_eq!(
+                    lane_goodness_ignoring_yield_on(
+                        &numa,
+                        table.lanes(),
+                        tid.index(),
+                        cpu,
+                        MmId(2)
+                    ),
+                    goodness_ignoring_yield_on(&numa, table.task(tid), cpu, MmId(2)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topo_bonus_grades_by_distance() {
+        let numa: elsc_simcore::Topology = "2N4C2T".parse().unwrap();
+        let t = other_task(7, 20, 1, MmId(1));
+        // Deciding on CPU 0; task last ran on CPU 1 (SMT sibling).
+        assert_eq!(
+            goodness_ignoring_yield_on(&numa, &t, 0, MmId(2)),
+            27 + SMT_AFFINITY_BONUS
+        );
+        let t = other_task(7, 20, 5, MmId(1));
+        assert_eq!(
+            goodness_ignoring_yield_on(&numa, &t, 0, MmId(2)),
+            27 + LLC_AFFINITY_BONUS
+        );
+        let t = other_task(7, 20, 9, MmId(1));
+        assert_eq!(goodness_ignoring_yield_on(&numa, &t, 0, MmId(2)), 27);
+        // The exact-CPU bonus is unchanged and still dominates.
+        let t = other_task(7, 20, 0, MmId(1));
+        assert_eq!(
+            goodness_ignoring_yield_on(&numa, &t, 0, MmId(2)),
+            27 + PROC_CHANGE_PENALTY
+        );
+        // The ladder must be strictly decreasing with distance.
+        const {
+            assert!(PROC_CHANGE_PENALTY > SMT_AFFINITY_BONUS);
+            assert!(SMT_AFFINITY_BONUS > LLC_AFFINITY_BONUS);
+            assert!(LLC_AFFINITY_BONUS > PACKAGE_AFFINITY_BONUS);
+            assert!(PACKAGE_AFFINITY_BONUS > 0);
+        }
     }
 }

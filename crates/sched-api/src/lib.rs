@@ -12,11 +12,11 @@
 //! * [`resched::reschedule_idle`] — the wakeup placement logic shared by
 //!   all schedulers (the paper keeps it unchanged).
 //! * [`SchedConfig`] — machine-level knobs the schedulers see (CPU count,
-//!   SMP vs UP build, ELSC search limit).
+//!   SMP vs UP build, ELSC search limit, declared topology tree).
 //! * [`LockPlan`] — the locking regime each scheduler declares for its
-//!   run-queue state (global, per-CPU, or sharded), with [`LockDomains`]
-//!   handling per-call multi-domain acquisition in `double_rq_lock`
-//!   order.
+//!   run-queue state (global, per-CPU, sharded, or per-NUMA-node), with
+//!   [`LockDomains`] handling per-call multi-domain acquisition in
+//!   `double_rq_lock` order.
 //!
 //! The baseline lives in `elsc-sched-linux`, the paper's contribution in
 //! the `elsc` crate, and the §8 future-work designs in `elsc-sched-ext`;
@@ -31,8 +31,10 @@ pub mod scheduler;
 
 pub use config::SchedConfig;
 pub use goodness::{
-    goodness, goodness_ignoring_yield, lane_goodness_ignoring_yield, rt_goodness, IDLE_GOODNESS,
-    MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE,
+    goodness, goodness_ignoring_yield, goodness_ignoring_yield_on, lane_goodness_ignoring_yield,
+    lane_goodness_ignoring_yield_on, rt_goodness, topo_affinity_bonus, IDLE_GOODNESS,
+    LLC_AFFINITY_BONUS, MM_BONUS, PACKAGE_AFFINITY_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE,
+    SMT_AFFINITY_BONUS,
 };
 pub use lockplan::{DomainAcquire, DomainLocker, LockDomains, LockPlan, LockScratch};
 pub use resched::{reschedule_idle, CpuView, WakeTarget};

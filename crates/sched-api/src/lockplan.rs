@@ -38,6 +38,13 @@ pub enum LockPlan {
     PerCpu,
     /// A fixed number of lock shards, CPUs mapped round-robin.
     Sharded(usize),
+    /// One lock per NUMA node: CPUs are chunked `cpus_per_node` at a
+    /// time (hierarchical CPU numbering makes chunk == node), so all
+    /// queues on a node — the unit a topology-aware scheduler shares
+    /// state across — sit under one lock. The payload is the chunk size,
+    /// fixed at plan-resolution time from the declared topology, which
+    /// keeps the plan `Copy` and the mapping pure arithmetic.
+    PerNode(usize),
 }
 
 impl LockPlan {
@@ -47,6 +54,7 @@ impl LockPlan {
             LockPlan::Global => 1,
             LockPlan::PerCpu => nr_cpus.max(1),
             LockPlan::Sharded(n) => n.max(1),
+            LockPlan::PerNode(per) => nr_cpus.max(1).div_ceil(per.max(1)),
         }
     }
 
@@ -56,10 +64,16 @@ impl LockPlan {
             LockPlan::Global => 0,
             LockPlan::PerCpu => queue_cpu % nr_cpus.max(1),
             LockPlan::Sharded(n) => queue_cpu % n.max(1),
+            LockPlan::PerNode(per) => (queue_cpu / per.max(1)).min(
+                // Clamp stale CPU ids into the last node's domain so the
+                // mapping is total, as the modulo plans are.
+                self.nr_domains(nr_cpus) - 1,
+            ),
         }
     }
 
-    /// Short label for reports ("global", "percpu", "sharded:N").
+    /// Short label for reports ("global", "percpu", "sharded:N",
+    /// "pernode:K" with K the CPUs-per-node chunk).
     pub fn label(self) -> String {
         self.to_string()
     }
@@ -71,6 +85,7 @@ impl fmt::Display for LockPlan {
             LockPlan::Global => f.write_str("global"),
             LockPlan::PerCpu => f.write_str("percpu"),
             LockPlan::Sharded(n) => write!(f, "sharded:{n}"),
+            LockPlan::PerNode(per) => write!(f, "pernode:{per}"),
         }
     }
 }
@@ -78,7 +93,9 @@ impl fmt::Display for LockPlan {
 impl FromStr for LockPlan {
     type Err = String;
 
-    /// Parses `global`, `percpu`, or `sharded:N` (N ≥ 1).
+    /// Parses `global`, `percpu`, `sharded:N`, or `pernode:K` (N, K ≥ 1).
+    /// The CLI additionally accepts bare `pernode`, resolving K from the
+    /// declared topology before it reaches this parser.
     ///
     /// ```
     /// use elsc_sched_api::LockPlan;
@@ -86,7 +103,9 @@ impl FromStr for LockPlan {
     /// assert_eq!("global".parse::<LockPlan>(), Ok(LockPlan::Global));
     /// assert_eq!("percpu".parse::<LockPlan>(), Ok(LockPlan::PerCpu));
     /// assert_eq!("sharded:3".parse::<LockPlan>(), Ok(LockPlan::Sharded(3)));
+    /// assert_eq!("pernode:8".parse::<LockPlan>(), Ok(LockPlan::PerNode(8)));
     /// assert!("sharded:0".parse::<LockPlan>().is_err());
+    /// assert!("pernode:0".parse::<LockPlan>().is_err());
     /// assert!("banana".parse::<LockPlan>().is_err());
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
@@ -102,9 +121,17 @@ impl FromStr for LockPlan {
                         return Err("lock plan needs at least one shard".to_string());
                     }
                     Ok(LockPlan::Sharded(n))
+                } else if let Some(per) = s.strip_prefix("pernode:") {
+                    let per: usize = per
+                        .parse()
+                        .map_err(|_| format!("bad CPUs-per-node in lock plan '{s}'"))?;
+                    if per == 0 {
+                        return Err("pernode needs at least one CPU per node".to_string());
+                    }
+                    Ok(LockPlan::PerNode(per))
                 } else {
                     Err(format!(
-                        "unknown lock plan '{s}' (expected global, percpu, or sharded:N)"
+                        "unknown lock plan '{s}' (expected global, percpu, sharded:N, or pernode:K)"
                     ))
                 }
             }
@@ -294,6 +321,9 @@ mod tests {
         assert_eq!(LockPlan::PerCpu.nr_domains(0), 1);
         assert_eq!(LockPlan::Sharded(2).nr_domains(8), 2);
         assert_eq!(LockPlan::Sharded(0).nr_domains(8), 1);
+        assert_eq!(LockPlan::PerNode(8).nr_domains(16), 2);
+        assert_eq!(LockPlan::PerNode(4).nr_domains(4), 1);
+        assert_eq!(LockPlan::PerNode(0).nr_domains(4), 4);
     }
 
     #[test]
@@ -304,8 +334,27 @@ mod tests {
     }
 
     #[test]
+    fn pernode_plan_chunks_cpus_by_node() {
+        // 2N4C2T: 16 CPUs, 8 per node — CPUs 0..8 are node 0, 8..16 node 1.
+        let p = LockPlan::PerNode(8);
+        for cpu in 0..8 {
+            assert_eq!(p.domain_for_cpu(cpu, 16), 0);
+        }
+        for cpu in 8..16 {
+            assert_eq!(p.domain_for_cpu(cpu, 16), 1);
+        }
+        // Out-of-range queue CPUs clamp into the last domain (total map).
+        assert_eq!(p.domain_for_cpu(99, 16), 1);
+    }
+
+    #[test]
     fn plan_labels_round_trip() {
-        for p in [LockPlan::Global, LockPlan::PerCpu, LockPlan::Sharded(3)] {
+        for p in [
+            LockPlan::Global,
+            LockPlan::PerCpu,
+            LockPlan::Sharded(3),
+            LockPlan::PerNode(8),
+        ] {
             assert_eq!(p.label().parse::<LockPlan>().unwrap(), p);
         }
     }
@@ -315,6 +364,8 @@ mod tests {
         assert!("bogus".parse::<LockPlan>().is_err());
         assert!("sharded:0".parse::<LockPlan>().is_err());
         assert!("sharded:x".parse::<LockPlan>().is_err());
+        assert!("pernode:0".parse::<LockPlan>().is_err());
+        assert!("pernode:x".parse::<LockPlan>().is_err());
     }
 
     #[test]

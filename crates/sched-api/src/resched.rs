@@ -12,7 +12,7 @@
 use elsc_ktask::{CpuId, TaskTable, Tid};
 
 use crate::config::SchedConfig;
-use crate::goodness::goodness_ignoring_yield;
+use crate::goodness::{goodness_ignoring_yield, goodness_ignoring_yield_on, topo_affinity_bonus};
 
 /// What the waker sees of one CPU.
 #[derive(Clone, Copy, Debug)]
@@ -77,9 +77,24 @@ pub fn reschedule_idle(
             return WakeTarget::IpiIdle(last);
         }
     }
-    // ...then any other idle CPU...
-    if let Some(view) = cpus.iter().find(|v| v.idle) {
-        return WakeTarget::IpiIdle(view.id);
+    // ...then the *nearest* idle CPU. The flat model had no notion of
+    // near: its "any idle CPU" fallback took the lowest-numbered one.
+    // Under a declared topology that choice is a bug — it happily sends
+    // a task across the machine while an SMT sibling of its last CPU
+    // sits idle — so idle candidates are ranked by the same
+    // distance-graded affinity bonus `goodness()` uses. Ties keep the
+    // first (lowest-id) candidate, and on a flat tree every bonus is 0,
+    // so the flat behaviour is bit-for-bit the old `find(idle)`.
+    let topo = &cfg.topology;
+    let mut nearest: Option<(CpuId, i32)> = None;
+    for view in cpus.iter().filter(|v| v.idle) {
+        let bonus = topo_affinity_bonus(topo, view.id, last);
+        if nearest.is_none_or(|(_, b)| bonus > b) {
+            nearest = Some((view.id, bonus));
+        }
+    }
+    if let Some((cpu, _)) = nearest {
+        return WakeTarget::IpiIdle(cpu);
     }
     // ...else the busy CPU whose current task is weakest, preempting only
     // if the woken task clearly beats it (the affinity penalty acts as the
@@ -87,18 +102,18 @@ pub fn reschedule_idle(
     let mut weakest: Option<(CpuId, i32)> = None;
     for view in cpus {
         let cur = tasks.task(view.current);
-        let g_cur = goodness_ignoring_yield(cur, view.id, cur.mm);
+        let g_cur = goodness_ignoring_yield_on(topo, cur, view.id, cur.mm);
         if weakest.is_none_or(|(_, g)| g_cur < g) {
             weakest = Some((view.id, g_cur));
         }
     }
     if let Some((cpu, g_cur)) = weakest {
         // The woken task's goodness from that CPU's perspective; it does
-        // not get the affinity bonus unless it last ran there.
+        // not get the affinity bonus unless it last ran near there.
         let cur_mm = tasks
             .task(cpus.iter().find(|v| v.id == cpu).unwrap().current)
             .mm;
-        let g_new = goodness_ignoring_yield(task, cpu, cur_mm);
+        let g_new = goodness_ignoring_yield_on(topo, task, cpu, cur_mm);
         if g_new > g_cur {
             return WakeTarget::Preempt(cpu);
         }
@@ -229,6 +244,59 @@ mod tests {
             reschedule_idle(&f.tasks, &SchedConfig::up(), &v, woken),
             WakeTarget::IpiIdle(0)
         );
+    }
+
+    #[test]
+    fn idle_fallback_prefers_nearest_cpu_under_topology() {
+        // Regression for the flat-model bug: with the task's last CPU
+        // busy, the old fallback took the lowest-numbered idle CPU even
+        // when an SMT sibling or node-mate of the last CPU was idle.
+        let mut f = fixture(16);
+        let mut cfg = SchedConfig::smp(16);
+        cfg.topology = "2N4C2T".parse().unwrap();
+        // Woken task last ran on CPU 9 (node 1); CPU 9 is busy.
+        let woken = spawn_woken(&mut f, 20, 9);
+        let mut mask = [false; 16];
+        mask[2] = true; // idle, but node 0: remote
+        mask[8] = true; // idle SMT sibling of CPU 9
+        mask[12] = true; // idle, same node, different core
+        let v = views(&f, &mask);
+        let target = reschedule_idle(&f.tasks, &cfg, &v, woken);
+        assert_eq!(target, WakeTarget::IpiIdle(8), "SMT sibling wins");
+        // Without the sibling, the node-mate beats the remote CPU.
+        let mut mask = [false; 16];
+        mask[2] = true;
+        mask[12] = true;
+        let v = views(&f, &mask);
+        let target = reschedule_idle(&f.tasks, &cfg, &v, woken);
+        assert_eq!(target, WakeTarget::IpiIdle(12), "node-mate beats remote");
+    }
+
+    #[test]
+    fn idle_fallback_on_flat_trees_is_first_idle_cpu() {
+        // Pinned flat behaviour: a declared flat tree must reproduce the
+        // pre-topology pick (the lowest-numbered idle CPU) exactly, for
+        // every idle mask.
+        let mut f = fixture(4);
+        let woken = spawn_woken(&mut f, 20, 3);
+        let mut cfg = SchedConfig::smp(4);
+        cfg.topology = elsc_simcore::Topology::flat(4);
+        for mask_bits in 0u32..8 {
+            // CPU 3 (the last CPU) stays busy so the fallback is reached.
+            let mask = [
+                mask_bits & 1 != 0,
+                mask_bits & 2 != 0,
+                mask_bits & 4 != 0,
+                false,
+            ];
+            let v = views(&f, &mask);
+            let got = reschedule_idle(&f.tasks, &cfg, &v, woken);
+            let want = match mask.iter().position(|&b| b) {
+                Some(first_idle) => WakeTarget::IpiIdle(first_idle),
+                None => reschedule_idle(&f.tasks, &SchedConfig::smp(4), &v, woken),
+            };
+            assert_eq!(got, want, "mask {mask:?}");
+        }
     }
 
     #[test]

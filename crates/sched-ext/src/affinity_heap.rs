@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use elsc_ktask::{CpuId, MmId, SchedClass, TaskState, TaskTable, Tid};
-use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
+use elsc_sched_api::{topo_affinity_bonus, SchedCtx, Scheduler, MM_BONUS, RT_GOODNESS_BASE};
 use elsc_simcore::CostKind;
 
 /// Heap key: `(static key, tie sequence)`; highest key wins, lowest
@@ -210,10 +210,10 @@ impl Scheduler for AffinityHeapScheduler {
                 let w = if p.policy.class.is_realtime() {
                     top_key
                 } else {
-                    let mut w = top_key;
-                    if heap_cpu == cpu {
-                        w += PROC_CHANGE_PENALTY;
-                    }
+                    // Per-processor heaps make the affinity term a
+                    // per-heap constant; distance-graded on declared
+                    // topologies, the classic `{+15, 0}` on flat trees.
+                    let mut w = top_key + topo_affinity_bonus(&ctx.cfg.topology, cpu, heap_cpu);
                     if heap_mm == prev_mm {
                         w += MM_BONUS;
                     }

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use elsc_ktask::{CpuId, SchedClass, TaskState, TaskTable, Tid};
-use elsc_sched_api::{SchedCtx, Scheduler, MM_BONUS, PROC_CHANGE_PENALTY, RT_GOODNESS_BASE};
+use elsc_sched_api::{topo_affinity_bonus, SchedCtx, Scheduler, MM_BONUS, RT_GOODNESS_BASE};
 use elsc_simcore::CostKind;
 
 /// Key of a queued task: `(static key, tie sequence)`. Higher key wins;
@@ -207,10 +207,10 @@ impl Scheduler for HeapScheduler {
                 let w = if p.policy.class.is_realtime() {
                     RT_GOODNESS_BASE + p.rt_priority
                 } else {
-                    let mut w = p.static_goodness();
-                    if p.processor == cpu {
-                        w += PROC_CHANGE_PENALTY;
-                    }
+                    // Distance-graded on declared topologies; the classic
+                    // `{+15 same CPU, else 0}` on flat trees.
+                    let mut w = p.static_goodness()
+                        + topo_affinity_bonus(&ctx.cfg.topology, cpu, p.processor);
                     if p.mm == prev_mm {
                         w += MM_BONUS;
                     }

@@ -14,14 +14,21 @@
 //!   stealing (the direction Linux eventually took with the O(1)
 //!   scheduler).
 //!
-//! Both plug into the same [`elsc_sched_api::Scheduler`] trait and are
+//! A third design goes beyond the paper's sketches:
+//! [`bubble::BubbleScheduler`] places whole address-space *groups* down
+//! a declared NUMA/SMT topology tree — per-node queues, sticky group
+//! homes, and whole-group re-homing on steal.
+//!
+//! All plug into the same [`elsc_sched_api::Scheduler`] trait and are
 //! compared against `reg` and `elsc` by the ablation benchmarks.
 #![warn(missing_docs)]
 
 pub mod affinity_heap;
+pub mod bubble;
 pub mod heap;
 pub mod multiqueue;
 
 pub use affinity_heap::AffinityHeapScheduler;
+pub use bubble::BubbleScheduler;
 pub use heap::HeapScheduler;
 pub use multiqueue::MultiQueueScheduler;

@@ -22,7 +22,7 @@
 
 use elsc_ktask::recalc::recalculate_counters;
 use elsc_ktask::{CpuId, Lists, SchedClass, TaskTable, Tid};
-use elsc_sched_api::{goodness_ignoring_yield, LockPlan, SchedCtx, Scheduler, IDLE_GOODNESS};
+use elsc_sched_api::{goodness_ignoring_yield_on, LockPlan, SchedCtx, Scheduler, IDLE_GOODNESS};
 use elsc_simcore::CostKind;
 
 /// Per-CPU run queues with stealing.
@@ -74,7 +74,7 @@ impl MultiQueueScheduler {
             if !skip {
                 ctx.meter.charge(ctx.costs, CostKind::GoodnessEval);
                 ctx.stats.cpu_mut(cpu).tasks_examined += 1;
-                let w = goodness_ignoring_yield(p, cpu, prev_mm);
+                let w = goodness_ignoring_yield_on(&ctx.cfg.topology, p, cpu, prev_mm);
                 if w > best.0 {
                     best = (w, Some(tid));
                 }
@@ -166,7 +166,7 @@ impl Scheduler for MultiQueueScheduler {
                         prev_yielded = false;
                         0
                     } else {
-                        goodness_ignoring_yield(prev_task, cpu, prev_mm)
+                        goodness_ignoring_yield_on(&ctx.cfg.topology, prev_task, cpu, prev_mm)
                     };
                     next = prev;
                 }
@@ -178,12 +178,25 @@ impl Scheduler for MultiQueueScheduler {
                 next = cand.expect("goodness above idle implies a task");
             }
             // Steal from the fullest other queue when ours is empty of
-            // candidates.
+            // candidates — preferring victims that share this CPU's LLC.
+            // A task stolen from a queue on the same NUMA node keeps its
+            // working set warm in the shared last-level cache; crossing
+            // the node boundary means a cold start plus interconnect
+            // traffic (the machine charges a doubled migration penalty
+            // for it). On a flat tree every queue is same-node, so the
+            // preference degenerates to the old global fullest-queue
+            // pick, byte for byte.
             if next == idle && self.counts.len() > 1 {
-                if let Some(victim) = (0..self.counts.len())
-                    .filter(|&q| q != my_q && self.counts[q] > 0)
+                let topo = &ctx.cfg.topology;
+                let victim = (0..self.counts.len())
+                    .filter(|&q| q != my_q && self.counts[q] > 0 && topo.same_node(q, cpu))
                     .max_by_key(|&q| self.counts[q])
-                {
+                    .or_else(|| {
+                        (0..self.counts.len())
+                            .filter(|&q| q != my_q && self.counts[q] > 0)
+                            .max_by_key(|&q| self.counts[q])
+                    });
+                if let Some(victim) = victim {
                     // Take the victim queue's lock domain before touching
                     // its list (two domains held, canonical order).
                     ctx.lock_queue_domain(victim);
@@ -354,6 +367,26 @@ mod tests {
         assert_ne!(stolen, rig.idles[1]);
         // The stolen task now belongs to queue 1.
         assert_eq!(rig.tasks.task(stolen).rq_hint, 1);
+    }
+
+    #[test]
+    fn stealing_prefers_a_same_node_victim_under_topology() {
+        // 2N2C1T: node 0 = CPUs {0,1}, node 1 = {2,3}. Queue 0 is the
+        // fullest, but queue 2 shares CPU 3's LLC — the steal must take
+        // the node-mate's task, not cross the node boundary.
+        let mut rig = Rig::new(4);
+        rig.cfg.topology = "2N2C1T".parse().unwrap();
+        let _a = rig.spawn_on("a", 0);
+        let _b = rig.spawn_on("b", 0);
+        let _c = rig.spawn_on("c", 0);
+        let d = rig.spawn_on("d", 2);
+        let stolen = rig.schedule(3);
+        assert_eq!(stolen, d, "same-node victim beats the fullest queue");
+        // With every same-node queue now empty, the fullest remote queue
+        // is still fair game (work beats locality when it's that or idle).
+        let stolen2 = rig.schedule(3);
+        assert_ne!(stolen2, rig.idles[3]);
+        assert_eq!(rig.tasks.task(stolen2).rq_hint, 3);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use elsc_ktask::recalc::recalculate_counters;
 use elsc_ktask::{CpuId, Lists, SchedClass, Tid};
 use elsc_obs::ObsEvent;
 use elsc_sched_api::{
-    goodness_ignoring_yield, lane_goodness_ignoring_yield, SchedCtx, Scheduler, IDLE_GOODNESS,
+    goodness_ignoring_yield_on, lane_goodness_ignoring_yield_on, SchedCtx, Scheduler, IDLE_GOODNESS,
 };
 use elsc_simcore::CostKind;
 
@@ -150,7 +150,7 @@ impl Scheduler for LinuxScheduler {
                         prev_yielded = false;
                         0
                     } else {
-                        goodness_ignoring_yield(prev_task, cpu, prev_mm)
+                        goodness_ignoring_yield_on(&ctx.cfg.topology, prev_task, cpu, prev_mm)
                     };
                     next = prev;
                 }
@@ -176,7 +176,13 @@ impl Scheduler for LinuxScheduler {
                 if !skip {
                     ctx.meter.charge(ctx.costs, CostKind::GoodnessEval);
                     ctx.stats.cpu_mut(cpu).tasks_examined += 1;
-                    let weight = lane_goodness_ignoring_yield(ctx.tasks.lanes(), i, cpu, prev_mm);
+                    let weight = lane_goodness_ignoring_yield_on(
+                        &ctx.cfg.topology,
+                        ctx.tasks.lanes(),
+                        i,
+                        cpu,
+                        prev_mm,
+                    );
                     if weight > c {
                         c = weight;
                         next = ctx.tasks.by_index(i).tid;

@@ -14,6 +14,9 @@
 //! * [`cost::CostModel`] / [`cost::CycleMeter`] — a table of per-primitive
 //!   cycle costs and an accumulator used by the schedulers to charge their
 //!   own work to the simulated CPU.
+//! * [`topology::Topology`] — a declared machine topology tree
+//!   (packages → NUMA nodes → cores → SMT siblings), with the flat
+//!   per-CPU model as its one-level degenerate case.
 //!
 //! Nothing in this crate knows about tasks or scheduling; it is a generic
 //! deterministic simulation toolkit.
@@ -26,6 +29,7 @@ pub mod histogram;
 pub mod lockdomain;
 pub mod rng;
 pub mod spinlock;
+pub mod topology;
 
 pub use clock::Cycles;
 pub use cost::{CostKind, CostModel, CycleMeter, COST_KINDS};
@@ -34,3 +38,4 @@ pub use histogram::Histogram;
 pub use lockdomain::{DomainStats, LockModel};
 pub use rng::SimRng;
 pub use spinlock::SimSpinLock;
+pub use topology::Topology;
