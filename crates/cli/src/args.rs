@@ -55,6 +55,8 @@ const FLAGS: &[&str] = &[
     "profile",
     "diff",
     "oracle",
+    // learned-scheduler flags.
+    "decision-trace",
     // `lab` subcommand flags.
     "force",
     "all-figures",
@@ -92,6 +94,13 @@ const OPTIONS: &[&str] = &[
     "policy-budget",
     "policy-backend",
     "policy-dir",
+    // `learn` subcommand / learned-scheduler options.
+    "data",
+    "arch",
+    "model-out",
+    "model",
+    "epochs",
+    "learn-eject-k",
     // `lab` subcommand options.
     "workers",
     "spec",
@@ -260,6 +269,28 @@ mod tests {
         assert_eq!(a.get_or("policy-budget", 0u64).unwrap(), 4096);
         let a = parse(&["ls", "--policy-dir=policies"]).unwrap();
         assert_eq!(a.get("policy-dir"), Some("policies"));
+    }
+
+    #[test]
+    fn learn_options_are_registered() {
+        let a = parse(&[
+            "train",
+            "--data",
+            "t.jsonl",
+            "--arch=mlp",
+            "--model-out",
+            "m.model",
+            "--epochs",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(a.get("data"), Some("t.jsonl"));
+        assert_eq!(a.get("arch"), Some("mlp"));
+        assert_eq!(a.get("model-out"), Some("m.model"));
+        assert_eq!(a.get_or("epochs", 0u32).unwrap(), 5);
+        let a = parse(&["volano", "--decision-trace", "--learn-eject-k", "4"]).unwrap();
+        assert!(a.flag("decision-trace"));
+        assert_eq!(a.get_or("learn-eject-k", 8u32).unwrap(), 4);
     }
 
     #[test]

@@ -48,12 +48,13 @@ fn specs(a: &Args) -> Result<Vec<SweepSpec>, String> {
         for name in SweepSpec::BUILTINS {
             // `smoke` is a CI gate, `chaos` an oracle sweep, `topo` the
             // topology gate, `policy` a policy-runtime conformance
-            // sweep, `cluster` the federation gate, and `mega` the
-            // engine-throughput gate — none is a
-            // paper figure, so `--all-figures` skips all five.
+            // sweep, `cluster` the federation gate, `mega` the
+            // engine-throughput gate, and `learn` the learned-scheduler
+            // gate — none is a paper figure, so `--all-figures` skips
+            // them all.
             if !matches!(
                 name,
-                "smoke" | "chaos" | "topo" | "policy" | "cluster" | "mega"
+                "smoke" | "chaos" | "topo" | "policy" | "cluster" | "mega" | "learn"
             ) {
                 chosen.push(SweepSpec::builtin(name).expect("builtin"));
             }
@@ -205,8 +206,8 @@ sweep options:
   --spec-file P    a spec file in the lab text format (see DESIGN.md sec. 7)
   --all-figures    every paper artifact: figure2..figure6, table2,
                    kernel_share (manifests under results/lab/; the
-                   smoke, chaos, topo, policy, cluster, and mega gates are
-                   separate specs)
+                   smoke, chaos, topo, policy, cluster, mega, and learn
+                   gates are separate specs)
   --workers N      worker threads                  [host parallelism]
   --out PATH       manifest path (single spec only) [results/lab/<name>.json]
   --cache-dir P    result cache directory           [results/lab/cache]
@@ -217,7 +218,9 @@ compare options:
   --baseline P     the committed reference (BENCH_baseline.json)
   --threshold PCT  fail on > PCT% growth in cycles_per_schedule or
                    sched_time_share, or > PCT% decline in
-                   sim_events_per_sec where both manifests carry it [5]
+                   sim_events_per_sec or prediction_accuracy where both
+                   manifests carry it [5]; wall_ratio gates separately
+                   at a fixed 2x factor
 
 environment: ELSC_MESSAGES (messages/user, default 20),
 ELSC_ITERATIONS (seeds per cell, default 1; first discarded when > 1),

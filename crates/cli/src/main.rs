@@ -12,7 +12,7 @@
 //!
 //! common options:
 //!   --sched LIST   comma list of reg,elsc,heap,aheap,mq and/or
-//!                  policy:FILE.pol                       [reg,elsc]
+//!                  policy:FILE.pol, learned:FILE.model   [reg,elsc]
 //!   --cpus N       processors                            [1]
 //!   --up           non-SMP kernel build (forces 1 CPU)
 //!   --seed N       simulation seed                       [23062]
@@ -30,6 +30,7 @@
 
 mod args;
 mod lab;
+mod learn;
 
 use args::Args;
 
@@ -42,7 +43,9 @@ use elsc_machine::{FaultPlan, Machine, MachineConfig, RunReport, TraceRecord};
 use elsc_obs::{first_divergence, JsonLinesSink};
 use elsc_policy::PolicyScheduler;
 use elsc_sched_api::{LockPlan, PolicyBackend, Scheduler};
-use elsc_sched_ext::{AffinityHeapScheduler, BubbleScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_ext::{
+    AffinityHeapScheduler, BubbleScheduler, HeapScheduler, LearnedScheduler, MultiQueueScheduler,
+};
 use elsc_sched_linux::LinuxScheduler;
 use elsc_simcore::Topology;
 use elsc_stats::render::render_proc;
@@ -51,15 +54,26 @@ use elsc_workloads::{HttpdConfig, KbuildConfig, RtMixConfig, StressConfig, Volan
 
 /// Builds one scheduler by name. `policy:<file>` loads an interpreted
 /// `.pol` program through the verifying loader; a rejected program
-/// surfaces as `file:line:col: message`, never a panic. The declared
-/// topology sizes the structural schedulers (`mq` per CPU, `bubble` per
-/// NUMA node).
+/// surfaces as `file:line:col: message`, never a panic. `learned:<file>`
+/// loads a trained `elsc-learn` model (see `elsc-sim learn`). The
+/// declared topology sizes the structural schedulers (`mq` per CPU,
+/// `bubble` per NUMA node).
 fn scheduler(
     name: &str,
     topo: Topology,
     policy_budget: Option<u64>,
 ) -> Result<Box<dyn Scheduler>, String> {
     let nr_cpus = topo.nr_cpus();
+    if let Some(path) = name.strip_prefix("learned:") {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("--sched learned: {path}: {e}"))?;
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("model");
+        let sched = LearnedScheduler::from_text(stem, &src).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(Box::new(sched));
+    }
     if let Some(path) = name.strip_prefix("policy:") {
         let src =
             std::fs::read_to_string(path).map_err(|e| format!("--sched policy: {path}: {e}"))?;
@@ -166,6 +180,18 @@ fn machine_cfg(a: &Args) -> Result<MachineConfig, String> {
         let backend = PolicyBackend::from_name(text)
             .ok_or_else(|| format!("--policy-backend: unknown backend '{text}' (interp, vm)"))?;
         cfg = cfg.with_policy_backend(Some(backend));
+    }
+    if a.flag("decision-trace") {
+        cfg = cfg.with_decision_trace(true);
+    }
+    if let Some(text) = a.get("learn-eject-k") {
+        let k: u32 = text
+            .parse()
+            .map_err(|_| format!("--learn-eject-k: invalid value '{text}'"))?;
+        if k == 0 {
+            return Err("--learn-eject-k must be at least 1".into());
+        }
+        cfg = cfg.with_learn_eject_k(k);
     }
     Ok(cfg)
 }
@@ -588,6 +614,31 @@ fn run_ls(a: &Args) -> Result<(), String> {
     if entries.is_empty() {
         println!("  (none found)");
     }
+    println!("\nlearned models (models/*.model, run with --sched learned:<file>):");
+    let mut models: Vec<std::path::PathBuf> = match std::fs::read_dir("models") {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "model"))
+            .collect(),
+        Err(e) => {
+            println!("  (cannot read models: {e})");
+            Vec::new()
+        }
+    };
+    models.sort();
+    for path in &models {
+        let shown = path.display();
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| elsc_learn::Model::parse(&src))
+        {
+            Ok(m) => println!("  {shown:<28} arch={:<7} seed={}", m.arch.name(), m.seed),
+            Err(e) => println!("  {shown:<28} INVALID: {e}"),
+        }
+    }
+    if models.is_empty() {
+        println!("  (none found; train one with elsc-sim learn train)");
+    }
     println!("\nworkloads:");
     for (name, what) in [
         ("volano", "VolanoMark chat benchmark (paper sec. 4/6)"),
@@ -613,10 +664,12 @@ fn run_ls(a: &Args) -> Result<(), String> {
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    // `lab` is a command family with its own sub-subcommand (sweep,
-    // compare, ls), so it is peeled off before the flat workload parser.
+    // `lab` and `learn` are command families with their own
+    // sub-subcommand (sweep/compare/ls, train/eval), so they are peeled
+    // off before the flat workload parser.
     let is_lab = raw.first().map(String::as_str) == Some("lab");
-    if is_lab {
+    let is_learn = !is_lab && raw.first().map(String::as_str) == Some("learn");
+    if is_lab || is_learn {
         raw.remove(0);
     }
     let a = match Args::parse(raw) {
@@ -632,6 +685,17 @@ fn main() {
             return;
         }
         if let Err(e) = lab::run_lab(&a) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if is_learn {
+        if a.flag("help") {
+            print!("{}", learn::LEARN_USAGE);
+            return;
+        }
+        if let Err(e) = learn::run_learn(&a) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
@@ -672,6 +736,7 @@ usage: elsc-sim <workload> [options]
        elsc-sim ls [--policy-dir DIR]              (list schedulers,
                                                     policies, workloads)
        elsc-sim lab <sweep|compare|ls> [options]   (elsc-sim lab --help)
+       elsc-sim learn <train|eval> [options]       (elsc-sim learn --help)
 
 workloads:
   volano    VolanoMark chat benchmark (paper sec. 4/6; alias: volanomark)
@@ -682,7 +747,8 @@ workloads:
 
 common options:
   --sched LIST   comma list of reg,elsc,heap,aheap,mq,bubble, and/or
-                 policy:FILE.pol (interpreted policy)   [reg,elsc]
+                 policy:FILE.pol (interpreted policy) or
+                 learned:FILE.model (trained model)     [reg,elsc]
   --cpus N       processors                            [1]
   --topology T   declared NUMA/SMT tree, e.g. 2N4C2T (2 nodes x 4 cores
                  x 2 threads = 16 CPUs) or 2P2N4C2T with packages; CPU
@@ -712,6 +778,18 @@ policy runtime (loadable .pol schedulers):
                  bytecode, the default) or interp (the reference
                  tree-walking interpreter); both are decision- and
                  charge-identical, so this only changes wall-clock speed
+
+learned scheduling (offline-trained pick predictor, elsc-sim learn):
+  --sched learned:FILE.model  score candidates with a trained model;
+                 every pick is verified by a bounded goodness check,
+                 a misprediction charges Mispredict cycles and falls
+                 back to the native scan
+  --learn-eject-k K  consecutive mispredictions before the watchdog
+                 ejects the model (reg takes over, the run
+                 completes)                            [8]
+  --decision-trace  emit per-decision candidate/label events into the
+                 trace; capture with --trace-out, then train with
+                 elsc-sim learn train
 
 observability:
   --profile        print the cycle-attribution profile (per CPU x phase
@@ -1072,6 +1150,96 @@ mod tests {
         // file:line:col: message — clickable, never a panic.
         assert!(err.contains("undefined_var.pol:"), "{err}");
         assert!(err.contains("winner"), "{err}");
+    }
+
+    #[test]
+    fn learned_factory_loads_model_files() {
+        let dir = std::env::temp_dir().join(format!("elsc-cli-learned-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("zero.model");
+        let model = elsc_learn::Model::zeroed(elsc_learn::Arch::LogReg);
+        std::fs::write(&path, model.to_text()).unwrap();
+        let spec = format!("learned:{}", path.display());
+        let s = scheduler(&spec, Topology::flat(2), None).unwrap();
+        assert_eq!(s.name(), "learned:zero");
+        // Missing file and garbage bytes are diagnostics, not panics.
+        let err = scheduler("learned:/no/such.model", Topology::flat(1), None)
+            .err()
+            .unwrap();
+        assert!(err.contains("/no/such.model"), "{err}");
+        std::fs::write(&path, "not a model").unwrap();
+        let err = scheduler(&spec, Topology::flat(1), None).err().unwrap();
+        assert!(err.contains("zero.model"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn machine_cfg_parses_learned_options() {
+        let cfg = machine_cfg(&args(&[
+            "volano",
+            "--decision-trace",
+            "--learn-eject-k",
+            "3",
+        ]))
+        .unwrap();
+        assert!(cfg.decision_trace);
+        assert_eq!(cfg.learn_eject_k, 3);
+        let cfg = machine_cfg(&args(&["volano"])).unwrap();
+        assert!(!cfg.decision_trace);
+        assert_eq!(cfg.learn_eject_k, 8);
+        let err = machine_cfg(&args(&["volano", "--learn-eject-k", "0"])).unwrap_err();
+        assert!(err.contains("--learn-eject-k"), "{err}");
+    }
+
+    #[test]
+    fn decision_trace_feeds_the_trainer_end_to_end() {
+        // The full loop at CLI level: capture a labelled trace, train a
+        // model on it, run the workload again under the trained model.
+        let dir = std::env::temp_dir().join(format!("elsc-cli-loop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("volano.jsonl").display().to_string();
+        let a = args(&[
+            "volano",
+            "--rooms",
+            "1",
+            "--users",
+            "4",
+            "--messages",
+            "2",
+            "--decision-trace",
+            "--quiet",
+        ]);
+        run_one(
+            &a,
+            scheduler("reg", Topology::flat(1), None).unwrap(),
+            Some(&trace),
+        )
+        .unwrap();
+        let data = elsc_learn::parse_trace(&std::fs::read_to_string(&trace).unwrap());
+        assert!(!data.decisions.is_empty(), "the trace must be labelled");
+        let model = dir.join("volano.model").display().to_string();
+        learn::run_learn(&args(&[
+            "train",
+            "--data",
+            &trace,
+            "--arch",
+            "logreg",
+            "--model-out",
+            &model,
+            "--quiet",
+        ]))
+        .unwrap();
+        let out = run_one(
+            &a,
+            scheduler(&format!("learned:{model}"), Topology::flat(1), None).unwrap(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.report.ledger.get("messages"), 4 * 4 * 2);
+        let l = out.report.learned.as_ref().expect("learned summary");
+        assert!(l.predictions > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Wall-clock calibration: a fixed pure-CPU reference loop that turns
+//! host-dependent wall time into a comparable, dimensionless ratio.
+//!
+//! Everything else the lab records is a deterministic function of
+//! `(seed, config, scheduler)` — which is exactly why none of it can
+//! catch a *wall-clock* regression: a dispatch loop that got 3× slower
+//! produces byte-identical reports, manifests, and `sim_events_per_sec`
+//! (virtual events over *virtual* seconds). The engine gate therefore
+//! carries one deliberately host-dependent number: `wall_ratio`, a mega
+//! cell's wall-clock execution time divided by the measured duration of
+//! the fixed xorshift reference loop below. Dividing by the reference
+//! cancels the host's raw speed — a laptop and a CI runner report
+//! comparable ratios — so a committed baseline can gate growth at a
+//! fixed factor (see [`crate::compare::WALL_RATIO_MAX`]).
+//!
+//! The reference is measured **once per process** and cached: every cell
+//! in a sweep divides by the same denominator, and the (small) cost of
+//! the loop is paid once, not per cell. Cache hits never re-measure —
+//! cached records carry the `wall_ratio` of the run that executed them.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Xorshift64 steps in the reference loop. Sized to run for tens of
+/// milliseconds on current hardware — long enough to dominate timer
+/// granularity, short enough to be unnoticeable once per process.
+const REFERENCE_ITERS: u64 = 20_000_000;
+
+/// Runs the reference loop once and returns its duration in seconds.
+fn run_reference() -> f64 {
+    let start = Instant::now();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..REFERENCE_ITERS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    // The result feeds black_box so the loop cannot be optimized away.
+    std::hint::black_box(x);
+    start.elapsed().as_secs_f64()
+}
+
+/// The reference loop's measured duration, in seconds — measured on
+/// first use, cached for the life of the process.
+pub fn reference_secs() -> f64 {
+    static REFERENCE: OnceLock<f64> = OnceLock::new();
+    *REFERENCE.get_or_init(|| run_reference().max(1e-9))
+}
+
+/// Converts a cell's wall-clock seconds into the dimensionless ratio
+/// recorded in the manifest. Rounded to millesimals: the ratio is noisy
+/// at finer precision anyway, and short decimals keep records readable.
+pub fn wall_ratio(wall_secs: f64) -> f64 {
+    (wall_secs / reference_secs() * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_positive_and_cached() {
+        let a = reference_secs();
+        assert!(a > 0.0);
+        // Cached: the second call is the same measurement.
+        assert_eq!(a, reference_secs());
+    }
+
+    #[test]
+    fn wall_ratio_scales_linearly_and_rounds() {
+        let one = wall_ratio(reference_secs());
+        assert!((one - 1.0).abs() < 1e-9, "reference maps to 1.0, got {one}");
+        let three = wall_ratio(3.0 * reference_secs());
+        assert!((three - 3.0).abs() < 1e-9);
+        // Millesimal rounding.
+        let r = wall_ratio(reference_secs() * 0.123_456_7);
+        assert_eq!(r, (r * 1000.0).round() / 1000.0);
+    }
+}

@@ -14,7 +14,9 @@ use elsc::ElscScheduler;
 use elsc_cluster::{volano, ClusterConfig, ClusterFaultPlan, DispatcherId};
 use elsc_machine::{FaultPlan, MachineConfig, RunReport};
 use elsc_sched_api::{LockPlan, PolicyBackend, Scheduler};
-use elsc_sched_ext::{AffinityHeapScheduler, BubbleScheduler, HeapScheduler, MultiQueueScheduler};
+use elsc_sched_ext::{
+    AffinityHeapScheduler, BubbleScheduler, HeapScheduler, LearnedScheduler, MultiQueueScheduler,
+};
 use elsc_sched_linux::LinuxScheduler;
 use elsc_simcore::Topology;
 use elsc_workloads::{
@@ -57,6 +59,19 @@ pub enum SchedId {
         /// backends get distinct cache entries and baseline rows.
         backend: PolicyBackend,
     },
+    /// A learned scheduler wrapping a trained `elsc-learn` model (see
+    /// `crates/learn`). Like [`SchedId::Policy`], the model text travels
+    /// *inside* the cell — verified at construction, digested into the
+    /// cell id — so retraining a model dirties exactly its own cache
+    /// entries and cell execution stays file-IO free.
+    Learned {
+        /// Display name, `learned:<file stem>` — figure-legend form.
+        name: String,
+        /// The full model file text, verified at construction.
+        src: String,
+        /// FNV-1a digest of `src`; part of the cell id.
+        digest: u64,
+    },
 }
 
 impl SchedId {
@@ -85,6 +100,16 @@ impl SchedId {
         })
     }
 
+    /// Builds a learned scheduler id from a display name and model file
+    /// text, parsing the model up front so a corrupt file fails at spec
+    /// parse time, not mid-sweep on a worker thread.
+    pub fn learned(name: impl Into<String>, src: impl Into<String>) -> Result<SchedId, String> {
+        let (name, src) = (name.into(), src.into());
+        elsc_learn::Model::parse(&src).map_err(|e| format!("{name}: {e}"))?;
+        let digest = crate::hash::fnv1a(src.as_bytes());
+        Ok(SchedId::Learned { name, src, digest })
+    }
+
     /// Builder-style policy-backend override; a no-op on native ids.
     pub fn with_backend(mut self, b: PolicyBackend) -> SchedId {
         if let SchedId::Policy { backend, .. } = &mut self {
@@ -103,6 +128,7 @@ impl SchedId {
             SchedId::Mq => "mq",
             SchedId::Bubble => "bubble",
             SchedId::Policy { name, .. } => name,
+            SchedId::Learned { name, .. } => name,
         }
     }
 
@@ -118,6 +144,7 @@ impl SchedId {
                 backend,
                 ..
             } => format!("{name}#{digest:016x}@{}", backend.label()),
+            SchedId::Learned { name, digest, .. } => format!("{name}#{digest:016x}"),
             native => native.label().to_string(),
         }
     }
@@ -141,6 +168,13 @@ impl SchedId {
                     .unwrap_or_else(|e| panic!("{name} verified at construction: {e}"))
                     .with_backend(*backend),
             ),
+            SchedId::Learned { name, src, .. } => {
+                let stem = name.strip_prefix("learned:").unwrap_or(name);
+                Box::new(
+                    LearnedScheduler::from_text(stem, src)
+                        .unwrap_or_else(|e| panic!("{name} verified at construction: {e}")),
+                )
+            }
         }
     }
 }
@@ -148,10 +182,19 @@ impl SchedId {
 impl std::str::FromStr for SchedId {
     type Err = String;
 
-    /// Parses a scheduler name: `reg`, `elsc`, `heap`, `aheap`, `mq`, or
-    /// `policy:PATH` for an interpreted `.pol` program (read and verified
-    /// immediately; the cell embeds the source, not the path).
+    /// Parses a scheduler name: `reg`, `elsc`, `heap`, `aheap`, `mq`,
+    /// `policy:PATH` for an interpreted `.pol` program, or `learned:PATH`
+    /// for a trained model file (both read and verified immediately; the
+    /// cell embeds the source, not the path).
     fn from_str(s: &str) -> Result<SchedId, String> {
+        if let Some(path) = s.strip_prefix("learned:") {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("model file {path}: {e}"))?;
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.to_string(), |x| x.to_string_lossy().into_owned());
+            return SchedId::learned(format!("learned:{stem}"), src);
+        }
         if let Some(path) = s.strip_prefix("policy:") {
             let src =
                 std::fs::read_to_string(path).map_err(|e| format!("policy program {path}: {e}"))?;
@@ -167,7 +210,10 @@ impl std::str::FromStr for SchedId {
             .into_iter()
             .find(|k| k.label() == s)
             .ok_or_else(|| {
-                format!("unknown scheduler '{s}' (reg|elsc|heap|aheap|mq|bubble|policy:FILE)")
+                format!(
+                    "unknown scheduler '{s}' \
+                     (reg|elsc|heap|aheap|mq|bubble|policy:FILE|learned:FILE)"
+                )
             })
     }
 }
@@ -614,6 +660,17 @@ pub struct Metrics {
     /// workload). `None` keeps every pre-engine manifest byte-identical;
     /// `compare` min-gates this metric only when both manifests carry it.
     pub sim_events_per_sec: Option<f64>,
+    /// Verified prediction accuracy of a learned scheduler (hits over
+    /// predictions), present only for cells run under `learned:*`.
+    /// `compare` min-gates it when both manifests carry it, so a
+    /// retrained model that predicts worse trips the gate.
+    pub prediction_accuracy: Option<f64>,
+    /// Wall-clock execution time divided by the calibrated reference
+    /// loop (see [`crate::calibrate`]) — the **one** host-dependent
+    /// number in the schema, recorded only for `mega` cells by
+    /// [`execute_cell`], never derived from the report. `compare` gates
+    /// it at a fixed ratio, not the percentage threshold.
+    pub wall_ratio: Option<f64>,
 }
 
 impl Metrics {
@@ -638,13 +695,16 @@ impl Metrics {
             lock_acquisitions: report.lock_acquisitions,
             tasks_spawned: report.tasks_spawned,
             sim_events_per_sec: report.engine.as_ref().map(|e| e.sim_events_per_sec),
+            prediction_accuracy: report.learned.as_ref().map(|l| l.accuracy()),
+            wall_ratio: None,
         }
     }
 
     /// The `(name, value)` pairs of every *unconditional* metric in
     /// canonical order — drives both serialization and `compare`'s gate
-    /// table. The optional `sim_events_per_sec` is appended separately
-    /// by the manifest writer when present.
+    /// table. The optional `sim_events_per_sec`, `prediction_accuracy`,
+    /// and `wall_ratio` are appended separately by the manifest writer
+    /// when present.
     pub fn fields(&self) -> Vec<(&'static str, f64)> {
         vec![
             ("elapsed_secs", self.elapsed_secs),
@@ -699,6 +759,16 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
     if matches!(cell.workload, WorkloadCell::Mega { .. }) {
         // Mega cells gate the engine itself: record dispatch throughput.
         cfg = cfg.with_engine_metrics(true);
+        // CI's self-test knob: an injected per-dispatch busy loop that
+        // changes wall time but no virtual result, used to prove the
+        // wall_ratio gate actually trips (see `.github/workflows`).
+        if let Ok(v) = std::env::var("ELSC_ENGINE_SLOWDOWN") {
+            let f = v
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| CellError::Run(format!("bad ELSC_ENGINE_SLOWDOWN '{v}'")))?;
+            cfg = cfg.with_engine_slowdown(f);
+        }
     }
     if let Some(text) = cell.chaos.plan_text() {
         let plan: FaultPlan = text
@@ -712,6 +782,7 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
         cfg = cfg.with_oracle(true);
     }
     let sched = cell.sched.build(cell.shape.topology());
+    let wall_start = std::time::Instant::now();
     let report = match &cell.workload {
         WorkloadCell::Volano {
             rooms,
@@ -771,6 +842,7 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
         // Handled by the early return above.
         WorkloadCell::Cluster { .. } => unreachable!("cluster cells route to execute_cluster_cell"),
     }?;
+    let wall_secs = wall_start.elapsed().as_secs_f64();
     if !report.conservation_ok {
         return Err(CellError::Conservation);
     }
@@ -788,8 +860,16 @@ pub fn execute_cell(cell: &CellConfig) -> Result<CellResult, CellError> {
             )));
         }
     }
+    let mut metrics = Metrics::from_report(&report, cell.workload.metric_key());
+    if matches!(cell.workload, WorkloadCell::Mega { .. }) {
+        // Wall-clock is deliberately host-dependent: it is the only
+        // signal that catches a dispatch loop that got slower while
+        // producing byte-identical virtual results. Mega cells only —
+        // everything else stays a pure function of the cell.
+        metrics.wall_ratio = Some(crate::calibrate::wall_ratio(wall_secs));
+    }
     Ok(CellResult {
-        metrics: Metrics::from_report(&report, cell.workload.metric_key()),
+        metrics,
         report_json: report.to_json(),
     })
 }
@@ -887,6 +967,8 @@ fn cluster_metrics(report: &elsc_cluster::ClusterReport) -> Metrics {
         lock_acquisitions: report.nodes.iter().map(|n| n.lock_acquisitions).sum(),
         tasks_spawned: report.nodes.iter().map(|n| n.tasks_spawned).sum(),
         sim_events_per_sec: None,
+        prediction_accuracy: None,
+        wall_ratio: None,
     }
 }
 
@@ -1229,6 +1311,54 @@ mod tests {
         let p = execute_cell(&plain).unwrap();
         assert_eq!(p.metrics.sim_events_per_sec, None);
         assert!(!p.report_json.contains("\"engine\""));
+        // Mega cells carry the calibrated wall-clock ratio; plain cells
+        // never do (it is the one host-dependent metric in the schema).
+        let ratio = r.metrics.wall_ratio.expect("mega cells are wall-timed");
+        assert!(ratio > 0.0);
+        assert_eq!(p.metrics.wall_ratio, None);
+    }
+
+    #[test]
+    fn learned_sched_id_embeds_model_and_digest() {
+        let src = include_str!("../../../models/volano-logreg.model");
+        let id = SchedId::learned("learned:volano-logreg", src).unwrap();
+        assert_eq!(id.label(), "learned:volano-logreg");
+        // The id token pins the model *content*, not just the name —
+        // retraining dirties exactly these cache entries.
+        let token = id.id_token();
+        assert!(token.starts_with("learned:volano-logreg#"), "{token}");
+        let retrained = src.replace("seed 23062", "seed 23063");
+        let other = SchedId::learned("learned:volano-logreg", retrained).unwrap();
+        assert_ne!(token, other.id_token(), "retraining moves the digest");
+        // A corrupt model file is rejected at construction.
+        let err = SchedId::learned("learned:bad", "not a model\n").unwrap_err();
+        assert!(err.starts_with("learned:bad: "), "{err}");
+    }
+
+    #[test]
+    fn learned_cell_executes_deterministically_with_accuracy() {
+        let mut cell = tiny_volano(SchedId::Elsc, Shape::Smp(2), 11);
+        cell.sched = SchedId::learned(
+            "learned:volano-logreg",
+            include_str!("../../../models/volano-logreg.model"),
+        )
+        .unwrap();
+        // Relaxed invariants-only oracle (see OracleMode::for_scheduler):
+        // a violation would fail the cell.
+        cell.chaos.oracle = true;
+        let one = execute_cell(&cell).expect("learned cell completes clean");
+        let two = execute_cell(&cell).unwrap();
+        assert_eq!(one.report_json, two.report_json);
+        assert_eq!(one.metrics, two.metrics, "wall_ratio stays None off-mega");
+        let acc = one
+            .metrics
+            .prediction_accuracy
+            .expect("learned cells report accuracy");
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(one.report_json.contains("\"learned\""), "summary embedded");
+        // Native cells never carry the metric.
+        let reg = execute_cell(&tiny_volano(SchedId::Reg, Shape::Up, 1)).unwrap();
+        assert_eq!(reg.metrics.prediction_accuracy, None);
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! manifests carry `sim_events_per_sec` for a cell (mega cells do; the
 //! model sweeps never will), a *decline* beyond the threshold is a
 //! regression — the simulator getting slower, not the model changing.
+//! `prediction_accuracy` (learned-scheduler cells) min-gates the same
+//! way: a retrained model that predicts worse is a regression.
+//!
+//! `wall_ratio` gets its own rule. It is calibrated wall-clock (see
+//! [`crate::calibrate`]) — too noisy for the percentage threshold, but
+//! the only metric that can see a dispatch loop getting slower in real
+//! time while virtual results stay byte-identical. It gates at the
+//! fixed factor [`WALL_RATIO_MAX`], both-sides-only like the other
+//! optional metrics.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -27,7 +36,17 @@ pub const GATED_METRICS: [&str; 2] = ["cycles_per_schedule", "sched_time_share"]
 /// Metrics gated on *decline*: lower is worse. Optional — a cell is
 /// gated on one of these only when both the baseline and the current
 /// record carry it, so model-only manifests are unaffected.
-pub const MIN_GATED_METRICS: [&str; 1] = ["sim_events_per_sec"];
+pub const MIN_GATED_METRICS: [&str; 2] = ["sim_events_per_sec", "prediction_accuracy"];
+
+/// The wall-clock metric's name in manifests.
+pub const WALL_RATIO_METRIC: &str = "wall_ratio";
+
+/// The fixed `wall_ratio` growth factor: a cell whose calibrated
+/// wall-clock ratio more than doubles against the baseline fails the
+/// gate regardless of the percentage threshold. Loose by design —
+/// host-to-host noise is real — while still catching integer-factor
+/// slowdowns of the dispatch loop.
+pub const WALL_RATIO_MAX: f64 = 2.0;
 
 /// Baselines smaller than this are not gated relatively (a 0 → 0.0001
 /// change is not a "regression by ∞%").
@@ -110,6 +129,7 @@ impl CompareReport {
 struct Gated {
     maxg: Vec<f64>,
     ming: Vec<Option<f64>>,
+    wall: Option<f64>,
 }
 
 /// Indexes a manifest's results by cell id, keeping each cell's gated
@@ -140,7 +160,8 @@ fn index(manifest: &Value, which: &str) -> Result<BTreeMap<String, Gated>, Strin
             .iter()
             .map(|name| metrics.get(name).and_then(Value::as_f64))
             .collect();
-        map.insert(id.to_string(), Gated { maxg, ming });
+        let wall = metrics.get(WALL_RATIO_METRIC).and_then(Value::as_f64);
+        map.insert(id.to_string(), Gated { maxg, ming, wall });
     }
     Ok(map)
 }
@@ -183,6 +204,19 @@ pub fn compare(current: &str, baseline: &str, threshold: f64) -> Result<CompareR
                         current: c,
                     });
                 }
+            }
+        }
+        // Wall-clock gates at a fixed factor, not the threshold: the
+        // ratio is noisy across hosts, so only integer-factor growth —
+        // a genuinely slower dispatch loop — should fail.
+        if let (Some(b), Some(c)) = (base_metrics.wall, cur_metrics.wall) {
+            if b > ABS_FLOOR && c > b * WALL_RATIO_MAX {
+                report.regressions.push(Regression {
+                    id: id.clone(),
+                    metric: WALL_RATIO_METRIC,
+                    baseline: b,
+                    current: c,
+                });
             }
         }
     }
@@ -300,6 +334,67 @@ mod tests {
         // Either direction of absence: no gate, no parse error.
         assert!(compare(&plain, &engine, 0.05).unwrap().ok());
         assert!(compare(&engine, &plain, 0.05).unwrap().ok());
+    }
+
+    fn learned_record(id: &str, acc: f64) -> String {
+        Obj::new()
+            .str("id", id)
+            .raw(
+                "metrics",
+                Obj::new()
+                    .f64("cycles_per_schedule", 100.0)
+                    .f64("sched_time_share", 0.1)
+                    .f64("prediction_accuracy", acc)
+                    .build(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn prediction_accuracy_gates_on_decline() {
+        let base = manifest(vec![learned_record("l", 0.40)]);
+        let worse = manifest(vec![learned_record("l", 0.30)]); // -25%
+        let r = compare(&worse, &base, 0.05).unwrap();
+        assert!(!r.ok());
+        assert_eq!(r.regressions[0].metric, "prediction_accuracy");
+        // Better or absent-on-one-side: no gate.
+        let better = manifest(vec![learned_record("l", 0.50)]);
+        assert!(compare(&better, &base, 0.05).unwrap().ok());
+        let plain = manifest(vec![record("l", 100.0, 0.1)]);
+        assert!(compare(&plain, &base, 0.05).unwrap().ok());
+        assert!(compare(&base, &plain, 0.05).unwrap().ok());
+    }
+
+    fn wall_record(id: &str, ratio: f64) -> String {
+        Obj::new()
+            .str("id", id)
+            .raw(
+                "metrics",
+                Obj::new()
+                    .f64("cycles_per_schedule", 100.0)
+                    .f64("sched_time_share", 0.1)
+                    .f64("wall_ratio", ratio)
+                    .build(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn wall_ratio_gates_at_a_fixed_factor() {
+        let base = manifest(vec![wall_record("m", 0.5)]);
+        // 1.8× is within the 2× allowance (host noise), 3× is not.
+        let noisy = manifest(vec![wall_record("m", 0.9)]);
+        assert!(compare(&noisy, &base, 0.05).unwrap().ok());
+        let slow = manifest(vec![wall_record("m", 1.5)]);
+        let r = compare(&slow, &base, 0.05).unwrap();
+        assert!(!r.ok());
+        assert_eq!(r.regressions[0].metric, WALL_RATIO_METRIC);
+        // The percentage threshold has no effect on this gate.
+        assert!(!compare(&slow, &base, 10.0).unwrap().ok());
+        // Both-sides-only, like the other optional metrics.
+        let plain = manifest(vec![record("m", 100.0, 0.1)]);
+        assert!(compare(&plain, &base, 0.05).unwrap().ok());
+        assert!(compare(&base, &plain, 0.05).unwrap().ok());
     }
 
     #[test]

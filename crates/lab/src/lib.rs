@@ -27,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod calibrate;
 pub mod cell;
 pub mod compare;
 pub mod hash;
@@ -40,7 +41,9 @@ pub use cell::{
     execute_cell, CellConfig, CellError, CellResult, ChaosSpec, Metrics, SchedId, Shape,
     WorkloadCell,
 };
-pub use compare::{compare, CompareReport, Regression, GATED_METRICS, MIN_GATED_METRICS};
+pub use compare::{
+    compare, CompareReport, Regression, GATED_METRICS, MIN_GATED_METRICS, WALL_RATIO_MAX,
+};
 pub use manifest::{cell_record, manifest, write_manifest};
 pub use pool::{run_sweep, CellOutcome, RunOptions, SweepRun};
 pub use spec::SweepSpec;

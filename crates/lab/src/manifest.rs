@@ -43,6 +43,14 @@ pub fn cell_record(cell: &CellConfig, result: &CellResult) -> String {
     if let Some(v) = result.metrics.sim_events_per_sec {
         metrics = metrics.f64("sim_events_per_sec", v);
     }
+    // Optional learned-scheduler metric: only `learned:*` cells carry it.
+    if let Some(v) = result.metrics.prediction_accuracy {
+        metrics = metrics.f64("prediction_accuracy", v);
+    }
+    // Optional wall-clock ratio: only mega (engine-gate) cells carry it.
+    if let Some(v) = result.metrics.wall_ratio {
+        metrics = metrics.f64("wall_ratio", v);
+    }
     Obj::new()
         .str("id", &cell.id())
         .str("workload", cell.workload.name())
@@ -112,6 +120,8 @@ pub fn metrics_from_record(record: &Value) -> Result<Metrics, String> {
         // Optional: absent in every record produced without engine
         // metrics (and in every pre-engine cache entry and baseline).
         sim_events_per_sec: m.get("sim_events_per_sec").and_then(Value::as_f64),
+        prediction_accuracy: m.get("prediction_accuracy").and_then(Value::as_f64),
+        wall_ratio: m.get("wall_ratio").and_then(Value::as_f64),
     })
 }
 

@@ -634,6 +634,46 @@ impl SweepSpec {
                 }
                 return Some(spec);
             }
+            // Learned-scheduler sweep: the two native baselines beside
+            // the bundled trained models (a logistic regression and a
+            // tiny MLP, both trained on a committed UP volano decision
+            // trace — see `crates/learn` and `models/`), oracle on in
+            // every cell (strict for reg/elsc, relaxed invariants-only
+            // for `learned:*`). The model files are embedded at compile
+            // time like the bundled policies; spec *files* can instead
+            // say `sched = learned:models/volano-logreg.model`. The
+            // manifest carries each learned cell's verified
+            // `prediction_accuracy` beside `cycles_per_schedule` —
+            // accuracy vs overhead is the sweep's whole point.
+            "learn" => {
+                let mut spec: SweepSpec = format!(
+                    "name = learn\n\
+                     workload = volano\n\
+                     shape = UP, 2P\n\
+                     seed = {BASE_SEED}\n\
+                     oracle = on\n\
+                     rooms = 1\n users = 4\n messages = 2\n think = 0\n"
+                )
+                .parse()
+                .expect("builtin specs always parse");
+                let bundled = [
+                    (
+                        "learned:volano-logreg",
+                        include_str!("../../../models/volano-logreg.model"),
+                    ),
+                    (
+                        "learned:volano-mlp",
+                        include_str!("../../../models/volano-mlp.model"),
+                    ),
+                ];
+                spec.scheds = [SchedId::Reg, SchedId::Elsc]
+                    .into_iter()
+                    .chain(bundled.into_iter().map(|(name, src)| {
+                        SchedId::learned(name, src).expect("bundled models parse")
+                    }))
+                    .collect();
+                return Some(spec);
+            }
             // §4 kernel-share claim: 5 vs 25 rooms, UP and 4P.
             "kernel_share" => format!(
                 "name = kernel_share\n\
@@ -649,9 +689,9 @@ impl SweepSpec {
     }
 
     /// Names of every builtin spec, in `--all-figures` run order (the
-    /// non-figure `smoke`, `chaos`, `topo`, `policy`, `cluster`, and
-    /// `mega` sweeps are excluded from `--all-figures` by the CLI).
-    pub const BUILTINS: [&'static str; 13] = [
+    /// non-figure `smoke`, `chaos`, `topo`, `policy`, `cluster`, `mega`,
+    /// and `learn` sweeps are excluded from `--all-figures` by the CLI).
+    pub const BUILTINS: [&'static str; 14] = [
         "smoke",
         "figure2",
         "figure3",
@@ -665,6 +705,7 @@ impl SweepSpec {
         "policy",
         "cluster",
         "mega",
+        "learn",
     ];
 }
 
@@ -876,6 +917,46 @@ mod tests {
         }
         // CI-sized, like smoke.
         assert!(cells.len() <= 16);
+    }
+
+    #[test]
+    fn learn_builtin_mixes_native_and_learned_cells() {
+        let spec = SweepSpec::builtin("learn").unwrap();
+        assert!(spec.oracle, "every learn cell runs under the oracle");
+        let cells = spec.cells();
+        // (2 native + 2 bundled models) × 2 shapes.
+        assert_eq!(cells.len(), 8);
+        let ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
+        assert!(ids.iter().any(|i| i.contains("sched=reg|")));
+        assert!(ids.iter().any(|i| i.contains("sched=elsc|")));
+        for name in ["learned:volano-logreg#", "learned:volano-mlp#"] {
+            assert!(
+                ids.iter().any(|i| i.contains(name)),
+                "missing {name} in {ids:?}"
+            );
+        }
+        // CI-sized, like smoke and policy.
+        assert!(cells.len() <= 16);
+    }
+
+    #[test]
+    fn spec_files_accept_learned_paths() {
+        let model = format!(
+            "{}/../../models/volano-logreg.model",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let spec: SweepSpec = format!(
+            "name = l\nworkload = stress\nsched = reg, learned:{model}\nshape = UP\ntasks = 4"
+        )
+        .parse()
+        .unwrap();
+        assert_eq!(spec.scheds.len(), 2);
+        assert_eq!(spec.scheds[1].label(), "learned:volano-logreg");
+        assert!(
+            "name = l\nworkload = stress\nsched = learned:/no/such.model"
+                .parse::<SweepSpec>()
+                .is_err()
+        );
     }
 
     #[test]

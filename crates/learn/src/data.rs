@@ -1,0 +1,182 @@
+//! Dataset extraction: `--decision-trace` JSON lines → supervised rows.
+//!
+//! The machine (under `--decision-trace`) emits, for every `schedule()`
+//! call, one `sched_candidate` line per eligible task followed by a
+//! single `sched_decision` line naming the pick. This module replays that
+//! stream into [`Decision`] rows: the candidate burst becomes the feature
+//! matrix, the decision line the label. Parsing is a hand-rolled field
+//! extractor over the fixed key order `elsc-obs` guarantees — no JSON
+//! dependency, and byte-identical traces extract byte-identical datasets.
+
+use crate::FEATURES;
+
+/// One candidate's raw (unquantized) feature row within a decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CandidateRow {
+    /// Task slab index (labels match on this).
+    pub tid: u64,
+    /// Raw features in [`crate::FEATURE_NAMES`] order.
+    pub raw: [i64; FEATURES],
+}
+
+/// One labeled scheduling decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// The candidates the scheduler chose among.
+    pub candidates: Vec<CandidateRow>,
+    /// Slab index of the task actually picked (always one of
+    /// `candidates` — idle picks are dropped at extraction).
+    pub chosen: u64,
+}
+
+/// An extracted training set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Dataset {
+    /// Decisions in trace order.
+    pub decisions: Vec<Decision>,
+}
+
+impl Dataset {
+    /// Total candidate rows across all decisions.
+    pub fn rows(&self) -> usize {
+        self.decisions.iter().map(|d| d.candidates.len()).sum()
+    }
+}
+
+/// Pulls the integer value of `"key":N` out of a JSON line. Only handles
+/// the flat, unescaped objects `ObsRecord::to_json_line` produces.
+fn int_field(line: &str, key: &str) -> Option<i64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the labeled dataset from a trace.
+///
+/// Candidate lines buffer until the next `sched_decision` closes the
+/// burst. Decisions whose pick is not among the buffered candidates
+/// (idle picks) and malformed bursts are skipped, not errors: traces
+/// legitimately interleave other event kinds, and the extractor's job is
+/// to harvest every well-formed decision deterministically.
+pub fn parse_trace(text: &str) -> Dataset {
+    let mut out = Dataset::default();
+    let mut pending: Vec<CandidateRow> = Vec::new();
+    for line in text.lines() {
+        if line.contains("\"event\":\"sched_candidate\"") {
+            let get = |k| int_field(line, k);
+            if let (
+                Some(tid),
+                Some(counter),
+                Some(priority),
+                Some(rt),
+                Some(mm),
+                Some(aff),
+                Some(rec),
+            ) = (
+                get("tid"),
+                get("counter"),
+                get("priority"),
+                get("rt"),
+                get("mm_match"),
+                get("affinity"),
+                get("recency"),
+            ) {
+                // raw[0] (depth) is filled from the closing decision line.
+                pending.push(CandidateRow {
+                    tid: tid as u64,
+                    raw: [0, counter, priority, rt, mm, aff, rec],
+                });
+            }
+        } else if line.contains("\"event\":\"sched_decision\"") {
+            let chosen = int_field(line, "chosen");
+            let depth = int_field(line, "depth");
+            if let (Some(chosen), Some(depth)) = (chosen, depth) {
+                let chosen = chosen as u64;
+                if !pending.is_empty() && pending.iter().any(|c| c.tid == chosen) {
+                    for c in &mut pending {
+                        c.raw[0] = depth;
+                    }
+                    out.decisions.push(Decision {
+                        candidates: std::mem::take(&mut pending),
+                        chosen,
+                    });
+                    continue;
+                }
+            }
+            pending.clear();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        r#"{"at":5,"event":"wakeup","tid":1,"by_cpu":0}"#,
+        "\n",
+        r#"{"at":9,"event":"sched_candidate","cpu":0,"tid":1,"counter":6,"priority":20,"rt":0,"mm_match":1,"affinity":0,"recency":255}"#,
+        "\n",
+        r#"{"at":9,"event":"sched_candidate","cpu":0,"tid":2,"counter":3,"priority":20,"rt":0,"mm_match":0,"affinity":12,"recency":4}"#,
+        "\n",
+        r#"{"at":10,"event":"sched_decision","cpu":0,"prev":1,"chosen":2,"depth":2}"#,
+        "\n",
+        // Idle pick: chosen (0) not among candidates — dropped.
+        r#"{"at":20,"event":"sched_candidate","cpu":0,"tid":3,"counter":0,"priority":20,"rt":0,"mm_match":0,"affinity":0,"recency":1}"#,
+        "\n",
+        r#"{"at":21,"event":"sched_decision","cpu":0,"prev":3,"chosen":0,"depth":1}"#,
+        "\n",
+    );
+
+    #[test]
+    fn extracts_labeled_decisions() {
+        let ds = parse_trace(TRACE);
+        assert_eq!(ds.decisions.len(), 1);
+        let d = &ds.decisions[0];
+        assert_eq!(d.chosen, 2);
+        assert_eq!(d.candidates.len(), 2);
+        assert_eq!(
+            d.candidates[0],
+            CandidateRow {
+                tid: 1,
+                raw: [2, 6, 20, 0, 1, 0, 255],
+            }
+        );
+        assert_eq!(
+            d.candidates[1],
+            CandidateRow {
+                tid: 2,
+                raw: [2, 3, 20, 0, 0, 12, 4],
+            }
+        );
+        assert_eq!(ds.rows(), 2);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        assert_eq!(parse_trace(TRACE), parse_trace(TRACE));
+    }
+
+    #[test]
+    fn foreign_and_malformed_lines_are_skipped() {
+        let ds = parse_trace("not json\n{\"event\":\"sched_decision\"}\n");
+        assert!(ds.decisions.is_empty());
+        // A decision with no preceding candidates yields nothing.
+        let ds = parse_trace(
+            r#"{"at":1,"event":"sched_decision","cpu":0,"prev":1,"chosen":2,"depth":1}"#,
+        );
+        assert!(ds.decisions.is_empty());
+    }
+
+    #[test]
+    fn int_field_handles_negatives_and_missing() {
+        assert_eq!(int_field(r#"{"a":-5,"b":7}"#, "a"), Some(-5));
+        assert_eq!(int_field(r#"{"a":-5,"b":7}"#, "b"), Some(7));
+        assert_eq!(int_field(r#"{"a":-5}"#, "c"), None);
+    }
+}

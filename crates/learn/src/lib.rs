@@ -1,0 +1,83 @@
+//! Learned scheduling: the offline half of `--sched learned:<model>`.
+//!
+//! ROADMAP item 4 asks whether a *trained* predictor can beat the paper's
+//! hand-built heuristics (reg's O(n) goodness scan, ELSC's table split) at
+//! the per-decision "which task runs next" problem. This crate is the
+//! train-time side of that loop:
+//!
+//! * [`data`] — replays a `--decision-trace` JSON-lines stream
+//!   (`sched_candidate` bursts closed by a `sched_decision` label, see
+//!   `elsc-obs`) into supervised per-decision rows.
+//! * [`model`] — the model zoo: logistic regression and a tiny
+//!   fixed-topology MLP over [`FEATURES`] integer features, with a
+//!   versioned text serialization. All weights are Q16.16 fixed-point
+//!   `i64`s; scoring is pure integer arithmetic so train-time and
+//!   run-time agree bit-for-bit on every platform.
+//! * [`mod@train`] — a dependency-free SGD trainer with `SimRng`-seeded
+//!   initialization and integer weight updates, so `(seed, dataset)` →
+//!   **byte-identical model file**. Models are lab-cache-friendly: the
+//!   model text digests into the cell id like `.pol` policy source does.
+//!
+//! The run-time half — the `learned:<model>` scheduler that scores
+//! candidates, verifies the pick with a bounded goodness check, charges
+//! `CostKind::Mispredict` on failure and falls back to the native scan —
+//! lives in `elsc-sched-ext`, built on the same [`model::Model`] type.
+#![deny(missing_docs)]
+
+pub mod data;
+pub mod model;
+pub mod train;
+
+pub use data::{parse_trace, CandidateRow, Dataset, Decision};
+pub use model::{Arch, Model, Q_ONE};
+pub use train::{eval, train, TrainConfig};
+
+/// Number of features per candidate, in [`FEATURE_NAMES`] order.
+pub const FEATURES: usize = 7;
+
+/// Canonical feature order. Indexes into every feature vector in this
+/// crate and in the `learned:<model>` scheduler; see CONTRIBUTING.md for
+/// the checklist when adding a column.
+pub const FEATURE_NAMES: [&str; FEATURES] = [
+    "depth",    // runnable tasks at the decision (excluding idle)
+    "counter",  // candidate's remaining time-slice counter
+    "priority", // candidate's static priority
+    "rt",       // 1 if realtime-class
+    "mm_match", // 1 if candidate shares the outgoing task's mm
+    "affinity", // topology affinity bonus of last CPU vs deciding CPU
+    "recency",  // decisions since the candidate last won here (255 = never)
+];
+
+/// Per-feature full-scale values: a raw feature equal to its scale maps
+/// to 1.0 in Q16.16. Chosen so every in-range raw value lands in roughly
+/// `[0, 1]` and SGD sees comparable magnitudes per column.
+pub const SCALE: [i64; FEATURES] = [64, 64, 64, 1, 1, 16, 256];
+
+/// Quantizes raw integer features into Q16.16 model inputs
+/// (`x_q = raw * 65536 / SCALE`).
+pub fn quantize(raw: &[i64; FEATURES]) -> [i64; FEATURES] {
+    let mut q = [0i64; FEATURES];
+    for i in 0..FEATURES {
+        q[i] = raw[i] * model::Q_ONE / SCALE[i];
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_maps_scale_to_one() {
+        let mut raw = [0i64; FEATURES];
+        for (i, s) in SCALE.iter().enumerate() {
+            raw[i] = *s;
+        }
+        assert_eq!(quantize(&raw), [model::Q_ONE; FEATURES]);
+    }
+
+    #[test]
+    fn quantize_zero_is_zero() {
+        assert_eq!(quantize(&[0; FEATURES]), [0; FEATURES]);
+    }
+}

@@ -70,6 +70,22 @@ pub struct MachineConfig {
     /// builtin turns it on. Every reported value derives from virtual
     /// time, so same-seed runs stay byte-identical.
     pub engine_metrics: bool,
+    /// Emit per-decision `sched_candidate`/`sched_decision` trace events
+    /// — the supervised dataset `elsc-learn` trains on. Off by default:
+    /// tracing decisions roughly doubles trace volume and existing traces
+    /// must stay byte-identical. Pure observation; never changes the
+    /// schedule or the meter.
+    pub decision_trace: bool,
+    /// Learned-scheduler watchdog: eject a `learned:<model>` scheduler
+    /// after this many *consecutive* mispredictions (the accuracy-
+    /// collapse analogue of [`MachineConfig::policy_starve_k`]). Ignored
+    /// for native and policy schedulers.
+    pub learn_eject_k: u32,
+    /// Wall-clock-only busy-work multiplier on the event dispatch loop,
+    /// used by the CI engine job to prove the `wall_ratio` gate trips.
+    /// `1` (the default) adds no work. Never touches virtual time, so
+    /// reports stay byte-identical at any setting.
+    pub engine_slowdown: u64,
 }
 
 impl MachineConfig {
@@ -94,6 +110,9 @@ impl MachineConfig {
             policy_backend: None,
             node_id: 0,
             engine_metrics: false,
+            decision_trace: false,
+            learn_eject_k: 8,
+            engine_slowdown: 1,
         }
     }
 
@@ -192,6 +211,27 @@ impl MachineConfig {
     /// Builder-style cluster node identity.
     pub fn with_node_id(mut self, node: u32) -> Self {
         self.node_id = node;
+        self
+    }
+
+    /// Builder-style decision-trace enablement (requires
+    /// [`MachineConfig::with_trace`] capacity to see the events).
+    pub fn with_decision_trace(mut self, on: bool) -> Self {
+        self.decision_trace = on;
+        self
+    }
+
+    /// Builder-style override of the learned-scheduler ejection
+    /// threshold (consecutive mispredictions).
+    pub fn with_learn_eject_k(mut self, k: u32) -> Self {
+        self.learn_eject_k = k.max(1);
+        self
+    }
+
+    /// Builder-style engine-slowdown override (wall-clock only; `1`
+    /// disables).
+    pub fn with_engine_slowdown(mut self, factor: u64) -> Self {
+        self.engine_slowdown = factor.max(1);
         self
     }
 

@@ -19,7 +19,7 @@ use crate::behavior::{Behavior, Op, SysView, Syscall};
 use crate::config::MachineConfig;
 use crate::cpu::CpuState;
 use crate::report::{
-    Distributions, EngineSummary, Ledger, PolicySummary, RunReport, TopologySummary,
+    Distributions, EngineSummary, LearnedSummary, Ledger, PolicySummary, RunReport, TopologySummary,
 };
 use crate::trace::Trace;
 
@@ -149,6 +149,26 @@ struct PolicyRun {
     insns_final: u64,
 }
 
+/// Watchdog state for a run driven by a learned scheduler (one that
+/// reports [`Scheduler::learned_info`]). `None` on native and policy
+/// runs, so they stay byte-identical to the pre-learned machine.
+struct LearnedRun {
+    /// The scheduler's reported name (`learned:<model>`), kept across
+    /// ejection so the report names what the run was asked to do.
+    name: &'static str,
+    /// Model architecture label (`logreg` or `mlp`).
+    arch: &'static str,
+    /// Consecutive verified mispredictions.
+    miss_streak: u32,
+    /// Set once the watchdog fires: `(when, why)`. The learned scheduler
+    /// is gone by then; the `final_*` fields froze its counters.
+    ejected: Option<(Cycles, &'static str)>,
+    /// Predictions made up to ejection.
+    final_predictions: u64,
+    /// Verified hits up to ejection.
+    final_hits: u64,
+}
+
 /// The simulated machine.
 ///
 /// Construct with [`Machine::new`], create pipes and [`Machine::spawn`]
@@ -186,6 +206,14 @@ pub struct Machine {
     oracle: Option<Oracle>,
     /// Policy runtime: watchdog state (None = native scheduler).
     policy: Option<PolicyRun>,
+    /// Learned scheduler: watchdog state (None = not a learned run).
+    learned: Option<LearnedRun>,
+    /// Decision counter for `--decision-trace` recency features. Only
+    /// advanced while tracing, so untraced runs carry no extra state.
+    trace_decisions: u64,
+    /// Per-task decision index of the last traced win, for the recency
+    /// feature column.
+    trace_last_picked: std::collections::HashMap<Tid, u64>,
     now: Cycles,
     live_users: usize,
     last_exit: Cycles,
@@ -261,6 +289,14 @@ impl Machine {
             ejected: None,
             insns_final: 0,
         });
+        let learned = sched.learned_info().map(|info| LearnedRun {
+            name: info.name,
+            arch: info.arch,
+            miss_streak: 0,
+            ejected: None,
+            final_predictions: 0,
+            final_hits: 0,
+        });
         Machine {
             cfg,
             tasks,
@@ -282,6 +318,9 @@ impl Machine {
             injector,
             oracle,
             policy,
+            learned,
+            trace_decisions: 0,
+            trace_last_picked: std::collections::HashMap::new(),
             now: Cycles::ZERO,
             live_users: 0,
             last_exit: Cycles::ZERO,
@@ -505,6 +544,15 @@ impl Machine {
                 },
             );
         }
+        if let Some(l) = &self.learned {
+            self.bus.emit_at(
+                Cycles::ZERO,
+                ObsEvent::LearnedLoaded {
+                    model: l.name,
+                    arch: l.arch,
+                },
+            );
+        }
         for cpu in 0..self.cfg.nr_cpus() {
             self.push_event(self.cfg.tick_cycles.into(), Event::Tick { cpu });
             self.push_event(Cycles::ZERO, Event::Ipi { cpu });
@@ -524,6 +572,19 @@ impl Machine {
         self.now = t;
         if t.get() > self.cfg.max_cycles {
             return Err(RunError::Watchdog { at: t });
+        }
+        if self.cfg.engine_slowdown > 1 {
+            // Wall-clock-only busy work per dispatched event, sized so a
+            // factor-F slowdown dominates the real dispatch cost. Burns
+            // host time without touching virtual time, the meter, or any
+            // simulation state — reports stay byte-identical; only the
+            // lab's `wall_ratio` moves (which is the point: the CI engine
+            // job injects a 3× here to prove the wall-clock gate trips).
+            let mut x = t.get() | 1;
+            for i in 0..(self.cfg.engine_slowdown - 1) * 2000 {
+                x = std::hint::black_box(x.wrapping_mul(6364136223846793005).wrapping_add(i));
+            }
+            std::hint::black_box(x);
         }
         match ev {
             Event::Tick { cpu } => self.on_tick(cpu),
@@ -756,9 +817,15 @@ impl Machine {
         );
         let total = self.stats.total();
         RunReport {
-            // An ejected policy run still reports under the policy's
-            // name: the run *was* the policy plus its ejection.
-            scheduler: self.policy.as_ref().map_or(self.sched.name(), |p| p.name),
+            // An ejected policy or learned run still reports under its
+            // original name: the run *was* that scheduler plus its
+            // ejection.
+            scheduler: self
+                .policy
+                .as_ref()
+                .map(|p| p.name)
+                .or_else(|| self.learned.as_ref().map(|l| l.name))
+                .unwrap_or_else(|| self.sched.name()),
             config: self.cfg.label(),
             seed: self.cfg.seed,
             elapsed: self.last_exit,
@@ -805,6 +872,22 @@ impl Machine {
                 ejected: p.ejected.is_some(),
                 ejected_at: p.ejected.map(|(at, _)| at),
                 eject_reason: p.ejected.map(|(_, r)| r),
+            }),
+            learned: self.learned.as_ref().map(|l| {
+                let (predictions, hits) = if l.ejected.is_some() {
+                    (l.final_predictions, l.final_hits)
+                } else {
+                    self.sched.prediction_stats()
+                };
+                LearnedSummary {
+                    name: l.name,
+                    arch: l.arch,
+                    predictions,
+                    hits,
+                    ejected: l.ejected.is_some(),
+                    ejected_at: l.ejected.map(|(at, _)| at),
+                    eject_reason: l.ejected.map(|(_, r)| r),
+                }
             }),
             engine: if self.cfg.engine_metrics {
                 let events = self.events.total_popped();
@@ -1037,6 +1120,42 @@ impl Machine {
         self.dists.record("runqueue_len", depth);
         self.bus
             .emit_at(t, ObsEvent::QueueDepthSample { cpu, depth });
+        // Decision trace: snapshot every eligible candidate's features
+        // *before* the scheduler runs (it mutates counters and yield
+        // bits). The burst plus the closing `sched_decision` below is one
+        // supervised training row for `elsc-learn`. Pure observation.
+        if self.cfg.decision_trace {
+            self.trace_decisions += 1;
+            let idles: Vec<Tid> = self.cpus.iter().map(|c| c.idle).collect();
+            let prev_mm = self.tasks.task(prev).mm;
+            let topo = self.cfg.sched.topology;
+            for task in self.tasks.iter() {
+                let eligible = task.state.is_runnable()
+                    && !idles.contains(&task.tid)
+                    && (task.tid == prev || !task.has_cpu);
+                if !eligible {
+                    continue;
+                }
+                let recency = self
+                    .trace_last_picked
+                    .get(&task.tid)
+                    .map_or(255, |&won| (self.trace_decisions - won).min(255));
+                self.bus.emit_at(
+                    t,
+                    ObsEvent::SchedCandidate {
+                        cpu,
+                        tid: task.tid,
+                        counter: task.counter.max(0) as u64,
+                        priority: task.priority.max(0) as u64,
+                        rt: task.policy.class.is_realtime() as u64,
+                        mm_match: (task.mm == prev_mm) as u64,
+                        affinity: elsc_sched_api::topo_affinity_bonus(&topo, cpu, task.processor)
+                            .max(0) as u64,
+                        recency,
+                    },
+                );
+            }
+        }
         // Chaos oracle: freeze the runnable set and prev's scheduling
         // state *before* the scheduler under test runs (it may mutate
         // counters, clear SCHED_YIELD, or recalculate). Idle tasks are
@@ -1133,6 +1252,22 @@ impl Machine {
             self.account_domain_acquire(cpu, a);
         }
         self.stats.cpu_mut(cpu).sched_cycles += cycles;
+        // Close the decision-trace burst with the label: what the
+        // scheduler actually picked, and at what queue depth.
+        if self.cfg.decision_trace {
+            self.bus.emit_at(
+                t_done,
+                ObsEvent::SchedDecision {
+                    cpu,
+                    prev,
+                    chosen: next,
+                    depth,
+                },
+            );
+            if next != idle {
+                self.trace_last_picked.insert(next, self.trace_decisions);
+            }
+        }
         // Chaos oracle: replay the reference O(n) scan over the frozen
         // snapshot, classify this decision, and check the run-queue
         // invariants the scheduler must have preserved. Pure observation:
@@ -1198,6 +1333,24 @@ impl Machine {
                     p.starve_streak += 1;
                     if p.starve_streak >= self.cfg.policy_starve_k {
                         self.eject_policy(cpu, t_done, "starvation");
+                    }
+                }
+            }
+        }
+        // Learned watchdog: the accuracy-collapse analogue of the policy
+        // starvation check. A model whose verified prediction fails
+        // `learn_eject_k` consecutive decisions is deterministically
+        // ejected; the pick for this decision stands — the scheduler's
+        // fallback scan already substituted the native choice.
+        if self.learned.as_ref().is_some_and(|l| l.ejected.is_none()) {
+            if let Some(hit) = self.sched.take_prediction() {
+                let l = self.learned.as_mut().expect("checked above");
+                if hit {
+                    l.miss_streak = 0;
+                } else {
+                    l.miss_streak += 1;
+                    if l.miss_streak >= self.cfg.learn_eject_k {
+                        self.eject_learned(cpu, t_done, "accuracy_collapse");
                     }
                 }
             }
@@ -1337,6 +1490,52 @@ impl Machine {
             let queued = old.drain(&mut ctx);
             // The baseline's `add_to_runqueue` inserts at the *front*,
             // so re-adding in reverse preserves the drained order.
+            for &tid in queued.iter().rev() {
+                self.sched.add_to_runqueue(&mut ctx, tid);
+            }
+        }
+        self.charge_kernel_meter(cpu, Phase::Schedule, &meter);
+    }
+
+    /// Ejects the active learned scheduler at `t`: freezes its prediction
+    /// counters, emits [`ObsEvent::LearnedEjected`], swaps in the vanilla
+    /// baseline scheduler, and migrates every queued task across with
+    /// front-to-back order preserved — the same surgery as
+    /// [`Machine::eject_policy`], charged the same way, and equally
+    /// deterministic.
+    fn eject_learned(&mut self, cpu: CpuId, t: Cycles, reason: &'static str) {
+        let (predictions, hits) = self.sched.prediction_stats();
+        let l = self.learned.as_mut().expect("eject without a learned run");
+        l.final_predictions = predictions;
+        l.final_hits = hits;
+        l.ejected = Some((t, reason));
+        let name = l.name;
+        self.bus.emit_at(
+            t,
+            ObsEvent::LearnedEjected {
+                cpu,
+                model: name,
+                reason,
+            },
+        );
+        let mut old = std::mem::replace(
+            &mut self.sched,
+            Box::new(elsc_sched_linux::LinuxScheduler::new()),
+        );
+        let mut meter = CycleMeter::new();
+        self.bus.set_now(t);
+        {
+            let mut ctx = SchedCtx {
+                tasks: &mut self.tasks,
+                stats: &mut self.stats,
+                meter: &mut meter,
+                costs: &self.cfg.costs,
+                cfg: &self.cfg.sched,
+                probe: Some(&mut self.bus),
+                locks: None,
+            };
+            let queued = old.drain(&mut ctx);
+            // Front insertion again: reverse re-add preserves order.
             for &tid in queued.iter().rev() {
                 self.sched.add_to_runqueue(&mut ctx, tid);
             }

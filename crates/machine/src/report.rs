@@ -126,6 +126,65 @@ impl PolicySummary {
     }
 }
 
+/// Learned-scheduler summary: model identity plus the prediction record
+/// the machine's watchdog observed over the run. Present only when the
+/// run was driven by a `learned:<model>` scheduler, so native and policy
+/// runs serialize exactly as before the learned subsystem existed.
+#[derive(Clone, Debug)]
+pub struct LearnedSummary {
+    /// The scheduler's reported name (`learned:<model>`).
+    pub name: &'static str,
+    /// Model architecture (`"logreg"` or `"mlp"`).
+    pub arch: &'static str,
+    /// Predictions the model made (one per non-idle decision; frozen at
+    /// ejection time if the watchdog fired).
+    pub predictions: u64,
+    /// Predictions that survived the bounded goodness verification.
+    pub hits: u64,
+    /// Whether the watchdog ejected the model mid-run.
+    pub ejected: bool,
+    /// Virtual time of the ejection, if any.
+    pub ejected_at: Option<Cycles>,
+    /// Why the watchdog fired (`"accuracy_collapse"`), if it did.
+    pub eject_reason: Option<&'static str>,
+}
+
+impl LearnedSummary {
+    /// Verified predictions that failed (fell back to the native scan).
+    pub fn mispredicts(&self) -> u64 {
+        self.predictions - self.hits
+    }
+
+    /// Fraction of predictions that verified (1.0 when none were made,
+    /// so an unexercised model doesn't read as broken).
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.predictions as f64
+        }
+    }
+
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new()
+            .str("name", self.name)
+            .str("arch", self.arch)
+            .u64("predictions", self.predictions)
+            .u64("hits", self.hits)
+            .u64("mispredicts", self.mispredicts())
+            .f64("accuracy", self.accuracy())
+            .raw("ejected", bool_json(self.ejected));
+        if let Some(at) = self.ejected_at {
+            obj = obj.u64("ejected_at", at.get());
+        }
+        if let Some(r) = self.eject_reason {
+            obj = obj.str("eject_reason", r);
+        }
+        obj.build()
+    }
+}
+
 /// The outcome of one machine run.
 ///
 /// A `RunReport` is plain owned data and therefore `Send`: the
@@ -186,6 +245,9 @@ pub struct RunReport {
     pub chaos: Option<ChaosSummary>,
     /// Policy-runtime summary: `None` for native schedulers.
     pub policy: Option<PolicySummary>,
+    /// Learned-scheduler summary: `None` unless the run was driven by a
+    /// `learned:<model>` scheduler.
+    pub learned: Option<LearnedSummary>,
     /// Engine-throughput summary: `None` unless the run was configured
     /// with `engine_metrics`, so pre-existing cells serialize exactly as
     /// they did before the mega-scale engine existed.
@@ -331,6 +393,9 @@ impl RunReport {
         if let Some(p) = &self.policy {
             obj = obj.raw("policy", p.to_json());
         }
+        if let Some(l) = &self.learned {
+            obj = obj.raw("learned", l.to_json());
+        }
         if let Some(e) = &self.engine {
             obj = obj.raw("engine", e.to_json());
         }
@@ -465,6 +530,27 @@ impl fmt::Display for RunReport {
             }
             writeln!(f)?;
         }
+        if let Some(l) = &self.learned {
+            write!(
+                f,
+                "  learned: {} [{}] predictions={} hits={} mispredicts={} accuracy={:.3}",
+                l.name,
+                l.arch,
+                l.predictions,
+                l.hits,
+                l.mispredicts(),
+                l.accuracy()
+            )?;
+            if l.ejected {
+                write!(
+                    f,
+                    " EJECTED at {} ({})",
+                    l.ejected_at.unwrap_or(Cycles::ZERO),
+                    l.eject_reason.unwrap_or("?")
+                )?;
+            }
+            writeln!(f)?;
+        }
         if let Some(e) = &self.engine {
             writeln!(
                 f,
@@ -528,6 +614,7 @@ mod tests {
             conservation_ok: true,
             chaos: None,
             policy: None,
+            learned: None,
             engine: None,
             topology: None,
         }
@@ -619,5 +706,46 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("EJECTED"));
         assert!(text.contains("starvation"));
+    }
+
+    #[test]
+    fn learned_summary_json_only_when_present() {
+        let r = report();
+        assert!(!r.to_json().contains("\"learned\""));
+        let mut r = report();
+        r.learned = Some(LearnedSummary {
+            name: "learned:volano-logreg",
+            arch: "logreg",
+            predictions: 100,
+            hits: 80,
+            ejected: false,
+            ejected_at: None,
+            eject_reason: None,
+        });
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"learned\":{\"name\":\"learned:volano-logreg\",\
+             \"arch\":\"logreg\",\"predictions\":100,\"hits\":80,\
+             \"mispredicts\":20,\"accuracy\":0.8,\"ejected\":false}"
+        ));
+        assert!(r.to_string().contains("accuracy=0.800"));
+    }
+
+    #[test]
+    fn learned_summary_accuracy_edge_cases() {
+        let l = LearnedSummary {
+            name: "learned:m",
+            arch: "mlp",
+            predictions: 0,
+            hits: 0,
+            ejected: true,
+            ejected_at: Some(Cycles(5)),
+            eject_reason: Some("accuracy_collapse"),
+        };
+        assert_eq!(l.accuracy(), 1.0);
+        assert_eq!(l.mispredicts(), 0);
+        assert!(l
+            .to_json()
+            .contains("\"eject_reason\":\"accuracy_collapse\""));
     }
 }

@@ -1,0 +1,93 @@
+//! Learned-scheduler integration: the trained bundled models drive real
+//! machine workloads to completion, and the adversarial always-wrong
+//! model is ejected by the watchdog — deterministically, with
+//! conservation intact and no task lost either side of the swap.
+
+use elsc_ktask::{MmId, TaskSpec};
+use elsc_machine::behavior::Script;
+use elsc_machine::{Machine, MachineConfig, Op, RunReport, Syscall};
+use elsc_sched_ext::LearnedScheduler;
+
+const LOGREG: &str = include_str!("../../../models/volano-logreg.model");
+const MLP: &str = include_str!("../../../models/volano-mlp.model");
+const ADVERSARIAL: &str = include_str!("../../../models/adversarial.model");
+
+/// A chat-shaped workload: twelve workers across three address spaces,
+/// compute bursts separated by sleeps so run queues keep a mix of
+/// candidates with different counters, priorities, and mm affinities —
+/// enough signal for predictions to be non-trivial.
+fn run(cfg: MachineConfig, stem: &str, model: &str) -> RunReport {
+    let sched = LearnedScheduler::from_text(stem, model).expect("bundled model parses");
+    let mut m = Machine::new(cfg, Box::new(sched));
+    for i in 0..12u32 {
+        m.spawn(
+            &TaskSpec::named("worker").mm(MmId(i % 3 + 1)),
+            Box::new(Script::new(
+                (0..5)
+                    .map(|_| Op::compute(250_000, Syscall::Nop))
+                    .flat_map(|c| [c, Op::sleep_after(30_000, 120_000)])
+                    .collect(),
+            )),
+        );
+    }
+    m.run().expect("run completes")
+}
+
+#[test]
+fn trained_models_complete_with_verified_accuracy() {
+    for (stem, model) in [("volano-logreg", LOGREG), ("volano-mlp", MLP)] {
+        for nr_cpus in [1usize, 2] {
+            // This script workload is off the models' training
+            // distribution (they are fitted to a UP volano trace), so a
+            // cold streak can legitimately reach the default K=8; a
+            // generous streak allowance keeps the test about completion
+            // and accounting, not about on-distribution accuracy (the
+            // CLI and lab volano tests pin that).
+            let cfg = if nr_cpus == 1 {
+                MachineConfig::up()
+            } else {
+                MachineConfig::smp(nr_cpus)
+            }
+            .with_max_secs(100.0)
+            .with_learn_eject_k(64);
+            let r = run(cfg, stem, model);
+            assert!(r.conservation_ok, "{stem}/{nr_cpus}P: conservation");
+            assert_eq!(r.tasks_spawned, 12, "{stem}/{nr_cpus}P");
+            let l = r.learned.as_ref().expect("learned summary present");
+            assert!(!l.ejected, "{stem}/{nr_cpus}P: trained model survives");
+            assert!(
+                l.predictions > 10,
+                "{stem}/{nr_cpus}P: only {} predictions",
+                l.predictions
+            );
+            assert!((0.0..=1.0).contains(&l.accuracy()));
+            assert_eq!(l.mispredicts(), l.predictions - l.hits);
+            // The summary serializes into the report.
+            assert!(r.to_json().contains("\"learned\""));
+        }
+    }
+}
+
+#[test]
+fn adversarial_model_is_ejected_deterministically() {
+    let cfg = || {
+        MachineConfig::smp(2)
+            .with_max_secs(100.0)
+            .with_learn_eject_k(8)
+    };
+    let one = run(cfg(), "adversarial", ADVERSARIAL);
+    let l = one.learned.as_ref().expect("learned summary present");
+    assert!(l.ejected, "an always-wrong model must trip the watchdog");
+    assert_eq!(l.eject_reason, Some("accuracy_collapse"));
+    let at = l.ejected_at.expect("ejection is timestamped");
+    assert!(at.get() > 0);
+    // Mispredictions were charged before the ejection froze the record.
+    assert!(l.mispredicts() >= 8, "streak-K fired: {}", l.mispredicts());
+    // The swap to the native scan loses nothing: every task accounted
+    // for, the run completes, and the whole story is deterministic —
+    // two runs produce byte-identical reports.
+    assert!(one.conservation_ok);
+    assert_eq!(one.tasks_spawned, 12);
+    let two = run(cfg(), "adversarial", ADVERSARIAL);
+    assert_eq!(one.to_json(), two.to_json());
+}

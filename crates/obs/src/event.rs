@@ -135,6 +135,63 @@ pub enum ObsEvent {
         /// `state_corrupt`, `starvation`).
         reason: &'static str,
     },
+    /// One candidate's feature snapshot at a `schedule()` decision point,
+    /// emitted under `--decision-trace` *before* the scheduler runs. A
+    /// burst of these followed by one [`ObsEvent::SchedDecision`] is the
+    /// supervised training row `elsc-learn` extracts: features here, the
+    /// label there. Feature semantics (and scaling) are owned by
+    /// `elsc-learn`; this event just records the raw integers.
+    SchedCandidate {
+        /// The deciding CPU.
+        cpu: CpuId,
+        /// The candidate task.
+        tid: Tid,
+        /// Remaining time-slice counter.
+        counter: u64,
+        /// Static priority.
+        priority: u64,
+        /// 1 if the candidate is realtime-class, else 0.
+        rt: u64,
+        /// 1 if the candidate shares the outgoing task's mm, else 0.
+        mm_match: u64,
+        /// Topology affinity bonus of the candidate's last CPU vs the
+        /// deciding CPU (0 when cold or single-CPU).
+        affinity: u64,
+        /// Decisions since this candidate last won on this CPU,
+        /// saturated at 255 (255 = never).
+        recency: u64,
+    },
+    /// The label closing a `--decision-trace` candidate burst: which task
+    /// `schedule()` actually picked.
+    SchedDecision {
+        /// The deciding CPU.
+        cpu: CpuId,
+        /// The outgoing task.
+        prev: Tid,
+        /// The task the scheduler chose (the training label).
+        chosen: Tid,
+        /// Runnable tasks at the decision (excluding idle).
+        depth: u64,
+    },
+    /// A learned scheduler (`learned:<model>`) parsed its model file and
+    /// took over scheduling (emitted once at machine boot).
+    LearnedLoaded {
+        /// The scheduler's report name (`learned:<model>`).
+        model: &'static str,
+        /// Model architecture label (`logreg` or `mlp`).
+        arch: &'static str,
+    },
+    /// The machine's watchdog ejected a learned scheduler whose rolling
+    /// prediction accuracy collapsed, and swapped in the vanilla baseline
+    /// scheduler mid-run.
+    LearnedEjected {
+        /// The CPU whose decision triggered the ejection.
+        cpu: CpuId,
+        /// The ejected scheduler's report name.
+        model: &'static str,
+        /// Static ejection label (`accuracy_collapse`).
+        reason: &'static str,
+    },
 }
 
 impl ObsEvent {
@@ -156,6 +213,10 @@ impl ObsEvent {
             ObsEvent::PolicyLoaded { .. } => "policy_loaded",
             ObsEvent::PolicyBudget { .. } => "policy_budget",
             ObsEvent::PolicyEjected { .. } => "policy_ejected",
+            ObsEvent::SchedCandidate { .. } => "sched_candidate",
+            ObsEvent::SchedDecision { .. } => "sched_decision",
+            ObsEvent::LearnedLoaded { .. } => "learned_loaded",
+            ObsEvent::LearnedEjected { .. } => "learned_ejected",
         }
     }
 }
@@ -238,6 +299,39 @@ impl ObsRecord {
                 .u64("cpu", cpu as u64)
                 .str("policy", policy)
                 .str("reason", reason),
+            ObsEvent::SchedCandidate {
+                cpu,
+                tid,
+                counter,
+                priority,
+                rt,
+                mm_match,
+                affinity,
+                recency,
+            } => o
+                .u64("cpu", cpu as u64)
+                .u64("tid", tid.index() as u64)
+                .u64("counter", counter)
+                .u64("priority", priority)
+                .u64("rt", rt)
+                .u64("mm_match", mm_match)
+                .u64("affinity", affinity)
+                .u64("recency", recency),
+            ObsEvent::SchedDecision {
+                cpu,
+                prev,
+                chosen,
+                depth,
+            } => o
+                .u64("cpu", cpu as u64)
+                .u64("prev", prev.index() as u64)
+                .u64("chosen", chosen.index() as u64)
+                .u64("depth", depth),
+            ObsEvent::LearnedLoaded { model, arch } => o.str("model", model).str("arch", arch),
+            ObsEvent::LearnedEjected { cpu, model, reason } => o
+                .u64("cpu", cpu as u64)
+                .str("model", model)
+                .str("reason", reason),
         };
         o.build()
     }
@@ -307,6 +401,31 @@ mod tests {
                 cpu: 0,
                 policy: "policy:rr",
                 reason: "starvation",
+            },
+            ObsEvent::SchedCandidate {
+                cpu: 0,
+                tid: tid(2),
+                counter: 6,
+                priority: 20,
+                rt: 0,
+                mm_match: 1,
+                affinity: 12,
+                recency: 255,
+            },
+            ObsEvent::SchedDecision {
+                cpu: 0,
+                prev: tid(1),
+                chosen: tid(2),
+                depth: 4,
+            },
+            ObsEvent::LearnedLoaded {
+                model: "learned:volano-logreg",
+                arch: "logreg",
+            },
+            ObsEvent::LearnedEjected {
+                cpu: 0,
+                model: "learned:adversarial",
+                reason: "accuracy_collapse",
             },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
@@ -399,6 +518,59 @@ mod tests {
         assert_eq!(
             r7.to_json_line(),
             r#"{"at":21,"event":"policy_ejected","cpu":1,"policy":"policy:starve","reason":"starvation"}"#
+        );
+        let r8 = ObsRecord {
+            at: Cycles(30),
+            event: ObsEvent::SchedCandidate {
+                cpu: 1,
+                tid: tid(5),
+                counter: 3,
+                priority: 20,
+                rt: 0,
+                mm_match: 1,
+                affinity: 6,
+                recency: 9,
+            },
+        };
+        assert_eq!(
+            r8.to_json_line(),
+            r#"{"at":30,"event":"sched_candidate","cpu":1,"tid":5,"counter":3,"priority":20,"rt":0,"mm_match":1,"affinity":6,"recency":9}"#
+        );
+        let r9 = ObsRecord {
+            at: Cycles(31),
+            event: ObsEvent::SchedDecision {
+                cpu: 1,
+                prev: tid(4),
+                chosen: tid(5),
+                depth: 2,
+            },
+        };
+        assert_eq!(
+            r9.to_json_line(),
+            r#"{"at":31,"event":"sched_decision","cpu":1,"prev":4,"chosen":5,"depth":2}"#
+        );
+        let r10 = ObsRecord {
+            at: Cycles(0),
+            event: ObsEvent::LearnedLoaded {
+                model: "learned:volano-logreg",
+                arch: "logreg",
+            },
+        };
+        assert_eq!(
+            r10.to_json_line(),
+            r#"{"at":0,"event":"learned_loaded","model":"learned:volano-logreg","arch":"logreg"}"#
+        );
+        let r11 = ObsRecord {
+            at: Cycles(55),
+            event: ObsEvent::LearnedEjected {
+                cpu: 0,
+                model: "learned:adversarial",
+                reason: "accuracy_collapse",
+            },
+        };
+        assert_eq!(
+            r11.to_json_line(),
+            r#"{"at":55,"event":"learned_ejected","cpu":0,"model":"learned:adversarial","reason":"accuracy_collapse"}"#
         );
     }
 

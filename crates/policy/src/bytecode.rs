@@ -1,6 +1,6 @@
 //! The register bytecode a verified `.pol` program compiles to.
 //!
-//! The compiler ([`crate::compile`]) lowers each hook body to one
+//! The compiler ([`crate::compile()`]) lowers each hook body to one
 //! [`Chunk`]: a flat array of fixed-width instructions over a register
 //! file sized at compile time, plus an `i64` constant pool. The VM
 //! ([`crate::vm`]) executes chunks with exactly the tree-walking
@@ -222,7 +222,7 @@ impl Chunk {
     /// Renders the chunk as human-readable assembly, one instruction
     /// per line: `index: mnemonic operands ; cost N`. The exact format
     /// is shown (and kept in sync by doctest) in
-    /// `docs/POLICY.md` — see [`crate::compile`] for a full example.
+    /// `docs/POLICY.md` — see [`crate::compile()`] for a full example.
     pub fn disasm(&self) -> String {
         use core::fmt::Write;
         let mut out = String::new();

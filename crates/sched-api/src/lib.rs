@@ -38,4 +38,6 @@ pub use goodness::{
 };
 pub use lockplan::{DomainAcquire, DomainLocker, LockDomains, LockPlan, LockScratch};
 pub use resched::{reschedule_idle, CpuView, WakeTarget};
-pub use scheduler::{PolicyBackend, PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler};
+pub use scheduler::{
+    LearnedInfo, PolicyBackend, PolicyLoadInfo, PolicyViolation, SchedCtx, Scheduler,
+};

@@ -120,6 +120,18 @@ pub struct PolicyLoadInfo {
     pub backend: PolicyBackend,
 }
 
+/// Metadata a learned scheduler (`learned:<model>`, see `elsc-learn`)
+/// reports to the machine, so the machine can announce the model at boot
+/// and run the accuracy watchdog over it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LearnedInfo {
+    /// The scheduler's reported name (`learned:<model stem>`, leaked to
+    /// `'static` at load time).
+    pub name: &'static str,
+    /// Model architecture label (`"logreg"` or `"mlp"`).
+    pub arch: &'static str,
+}
+
 /// A safety violation an interpreted policy committed, reported to the
 /// machine's watchdog.
 ///
@@ -245,6 +257,31 @@ pub trait Scheduler {
     /// only; native schedulers report 0).
     fn policy_insns_executed(&self) -> u64 {
         0
+    }
+
+    /// If this scheduler drives its picks from a trained model, its
+    /// load metadata. Native schedulers return `None` (the default).
+    fn learned_info(&self) -> Option<LearnedInfo> {
+        None
+    }
+
+    /// Takes (and clears) the outcome of the model prediction the last
+    /// `schedule()` call made: `Some(true)` for a verified hit,
+    /// `Some(false)` for a misprediction (the scheduler fell back to the
+    /// native scan), `None` when no prediction was attempted (no
+    /// candidates, or not a learned scheduler — the default).
+    ///
+    /// The machine polls this after every `schedule()` call on learned
+    /// runs; a streak of `Some(false)` long enough to trip
+    /// `MachineConfig::learn_eject_k` ejects the model.
+    fn take_prediction(&mut self) -> Option<bool> {
+        None
+    }
+
+    /// Cumulative `(predictions, verified hits)` the model has made
+    /// (learned schedulers only; native schedulers report zeros).
+    fn prediction_stats(&self) -> (u64, u64) {
+        (0, 0)
     }
 
     /// Timer-tick hook: runs once per tick on a busy CPU, *after* the

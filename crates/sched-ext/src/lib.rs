@@ -19,6 +19,13 @@
 //! a declared NUMA/SMT topology tree — per-node queues, sticky group
 //! homes, and whole-group re-homing on steal.
 //!
+//! A fourth replaces the selection heuristic itself:
+//! [`learned::LearnedScheduler`] ranks candidates with an offline-trained
+//! `elsc-learn` model and dispatches the prediction only after a bounded
+//! goodness check — mispredictions pay a `Mispredict` penalty and fall
+//! back to the full native scan, and persistent inaccuracy gets the model
+//! ejected by the machine's watchdog.
+//!
 //! All plug into the same [`elsc_sched_api::Scheduler`] trait and are
 //! compared against `reg` and `elsc` by the ablation benchmarks.
 #![warn(missing_docs)]
@@ -26,9 +33,11 @@
 pub mod affinity_heap;
 pub mod bubble;
 pub mod heap;
+pub mod learned;
 pub mod multiqueue;
 
 pub use affinity_heap::AffinityHeapScheduler;
 pub use bubble::BubbleScheduler;
 pub use heap::HeapScheduler;
+pub use learned::LearnedScheduler;
 pub use multiqueue::MultiQueueScheduler;

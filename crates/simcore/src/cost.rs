@@ -58,10 +58,17 @@ pub enum CostKind {
     /// node, so an interpreted policy pays a realistic interpretation tax
     /// in every figure instead of scheduling for free.
     PolicyInsn,
+    /// A learned scheduler's prediction failed its bounded goodness
+    /// verification (the `learned:<model>` scheduler, `elsc-learn`).
+    ///
+    /// Charged once per misprediction, on top of the native fallback
+    /// scan the scheduler then performs — the branch-misprediction-style
+    /// recovery cost of trusting a model and being wrong.
+    Mispredict,
 }
 
 /// Number of cost kinds (size of the model table).
-pub const COST_KINDS: usize = 17;
+pub const COST_KINDS: usize = 18;
 
 const ALL_KINDS: [CostKind; COST_KINDS] = [
     CostKind::SchedBase,
@@ -81,6 +88,7 @@ const ALL_KINDS: [CostKind; COST_KINDS] = [
     CostKind::Fork,
     CostKind::Exit,
     CostKind::PolicyInsn,
+    CostKind::Mispredict,
 ];
 
 impl CostKind {
@@ -109,6 +117,7 @@ impl CostKind {
             CostKind::Fork => "fork",
             CostKind::Exit => "exit",
             CostKind::PolicyInsn => "policy_insn",
+            CostKind::Mispredict => "mispredict",
         }
     }
 }
@@ -145,6 +154,10 @@ impl Default for CostModel {
         // ~10 cycles per interpreted IR node: a dispatch + a couple of
         // loads on the paper's Pentium II class machine.
         m.set(CostKind::PolicyInsn, 10);
+        // A mispredicted pick costs a pipeline-flush-class penalty before
+        // the fallback scan even starts: discard the model's choice, fix
+        // up the bookkeeping, re-enter the scan loop.
+        m.set(CostKind::Mispredict, 150);
         m
     }
 }
